@@ -1,0 +1,119 @@
+// Ablation: what the Address Tracking Table buys (§4.1).  The same
+// same-block write/read chaos runs with tracking on and off; without it,
+// concurrent writes interleave per-bank and reads assemble torn blocks —
+// the Fig 4.1 disaster, quantified.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "cfm/cfm_memory.hpp"
+#include "sim/rng.hpp"
+
+using namespace cfm;
+using core::BlockOpKind;
+using core::CfmMemory;
+using core::ConsistencyPolicy;
+using core::OpStatus;
+using sim::Cycle;
+using sim::Word;
+
+namespace {
+
+struct ChaosResult {
+  std::uint64_t reads = 0;
+  std::uint64_t torn_reads = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t writes_aborted = 0;
+  std::uint64_t restarts = 0;
+  bool final_torn = false;
+};
+
+ChaosResult run_chaos(ConsistencyPolicy policy, std::uint32_t processors,
+                      Cycle cycles, std::uint64_t seed) {
+  CfmMemory mem(core::CfmConfig::make(processors), policy);
+  const auto banks = mem.config().banks;
+  sim::Rng rng(seed);
+  mem.poke_block(1, std::vector<Word>(banks, 0));
+  std::vector<CfmMemory::OpToken> live(processors, CfmMemory::kNoOp);
+  std::vector<bool> is_read(processors, false);
+  ChaosResult out;
+  Word next = 1;
+
+  Cycle t = 0;
+  for (; t < cycles; ++t) {
+    for (std::uint32_t p = 0; p < processors; ++p) {
+      auto& token = live[p];
+      if (token != CfmMemory::kNoOp) {
+        if (auto r = mem.take_result(token)) {
+          if (is_read[p] && r->status == OpStatus::Completed) {
+            ++out.reads;
+            out.restarts += r->restarts;
+            for (const Word w : r->data) {
+              if (w != r->data[0]) {
+                ++out.torn_reads;
+                break;
+              }
+            }
+          } else if (!is_read[p]) {
+            if (r->status == OpStatus::Completed) {
+              ++out.writes_completed;
+            } else {
+              ++out.writes_aborted;
+            }
+          }
+          token = CfmMemory::kNoOp;
+        }
+      }
+      if (token == CfmMemory::kNoOp && rng.chance(0.3)) {
+        if (rng.chance(0.5)) {
+          token = mem.issue(t, p, BlockOpKind::Read, 1);
+          is_read[p] = true;
+        } else {
+          token = mem.issue(t, p, BlockOpKind::Write, 1,
+                            std::vector<Word>(banks, next++));
+          is_read[p] = false;
+        }
+      }
+    }
+    mem.tick(t);
+  }
+  // Drain: stop issuing and let in-flight tours retire, so the final
+  // block reflects the protocol, not a mid-tour snapshot.
+  for (Cycle extra = 0; extra < 20ull * banks; ++extra) mem.tick(t++);
+  const auto final_block = mem.peek_block(1);
+  for (const Word w : final_block) {
+    if (w != final_block[0]) out.final_torn = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — address tracking on vs off "
+              "(same-block read/write chaos, 20k cycles)\n\n");
+  std::printf("%-12s %-14s %-10s %-12s %-18s %-14s %-12s\n", "processors",
+              "tracking", "reads", "torn reads", "writes done/abrt",
+              "read restarts", "final block");
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    for (const bool tracking : {false, true}) {
+      const auto r = run_chaos(tracking ? ConsistencyPolicy::LatestWins
+                                        : ConsistencyPolicy::NoTracking,
+                               n, 20000, 99 + n);
+      char writes[32];
+      std::snprintf(writes, sizeof writes, "%llu / %llu",
+                    static_cast<unsigned long long>(r.writes_completed),
+                    static_cast<unsigned long long>(r.writes_aborted));
+      std::printf("%-12u %-14s %-10llu %-12llu %-18s %-14llu %-12s\n", n,
+                  tracking ? "ATT (ch.4)" : "none",
+                  static_cast<unsigned long long>(r.reads),
+                  static_cast<unsigned long long>(r.torn_reads), writes,
+                  static_cast<unsigned long long>(r.restarts),
+                  r.final_torn ? "TORN" : "consistent");
+    }
+  }
+  std::printf("\nThe ATT costs aborted writers and read restarts; what it\n"
+              "buys is zero torn blocks — \"exactly one of the competing\n"
+              "write operations completes\" (§4.1.2).\n");
+  return 0;
+}

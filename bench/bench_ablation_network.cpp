@@ -1,0 +1,101 @@
+// Ablation: what the synchronous interconnect buys (§3.4.3, Figs 3.9/3.10).
+//  * message-header bits per request across network kinds,
+//  * per-request setup/propagation delay,
+//  * uniform-shift traffic on a clock-driven omega (zero conflicts) vs
+//    the same traffic on a circuit-switched omega (measured conflicts).
+#include <cstdio>
+
+#include "net/circuit_omega.hpp"
+#include "net/message.hpp"
+#include "net/omega.hpp"
+#include "sim/rng.hpp"
+
+using namespace cfm::net;
+
+int main() {
+  std::printf("Ablation — synchronous vs circuit-switched interconnect\n\n");
+
+  std::printf("header bits per memory request (20-bit offsets):\n");
+  std::printf("%-28s %-12s %-12s %-12s %-8s\n", "machine", "module bits",
+              "offset bits", "bank bits", "total");
+  struct Row {
+    const char* name;
+    NetworkKind kind;
+    std::uint32_t modules, banks;
+  };
+  const Row rows[] = {
+      {"conventional MIN, 8x8", NetworkKind::CircuitSwitched, 8, 8},
+      {"CFM, one 64-bank module", NetworkKind::FullySynchronous, 1, 64},
+      {"partial CFM, 8x8-bank", NetworkKind::PartiallySynchronous, 8, 8},
+  };
+  for (const auto& row : rows) {
+    const auto h = header_layout(row.kind, row.modules, row.banks, 20);
+    std::printf("%-28s %-12u %-12u %-12u %-8u\n", row.name, h.module_bits,
+                h.offset_bits, h.bank_bits, h.total_bits());
+  }
+
+  std::printf("\nper-request switch setup delay (6 stages, 2 cycles each):\n");
+  std::printf("  circuit-switched: %2u cycles   clock-driven: %u cycles "
+              "(\"neither setup time nor propagation delay\", §3.2.1)\n",
+              setup_delay_cycles(NetworkKind::CircuitSwitched, 6, 2),
+              setup_delay_cycles(NetworkKind::FullySynchronous, 6, 2));
+
+  std::printf("\nuniform-shift traffic (the CFM access pattern), 64 ports, "
+              "4000 slots:\n");
+  {
+    // Clock-driven: every slot realizes sigma_t with zero conflicts — by
+    // construction; verify by traversal.
+    SyncOmega sync(64);
+    bool clean = true;
+    for (cfm::sim::Cycle t = 0; t < 64; ++t) {
+      for (Port i = 0; i < 64; ++i) {
+        if (sync.output_for(t, i) != (t + i) % 64) clean = false;
+      }
+    }
+    std::printf("  clock-driven omega: %s, 0 conflicts, 0 retransmissions\n",
+                clean ? "all shifts realized" : "BROKEN");
+
+    // Circuit-switched carrying the same shift traffic, requests arriving
+    // unsynchronized: paths collide and must retry.
+    CircuitOmega circuit(64);
+    cfm::sim::Rng rng(5);
+    std::uint64_t served = 0;
+    for (cfm::sim::Cycle t = 0; t < 4000; ++t) {
+      for (int k = 0; k < 8; ++k) {
+        const auto src = static_cast<Port>(rng.below(64));
+        const auto dst = static_cast<Port>((src + t) % 64);
+        if (circuit.try_circuit(t, src, dst, 17).has_value()) ++served;
+      }
+    }
+    std::printf("  circuit-switched:   %llu served, %llu conflicts "
+                "(%.0f%% of attempts retried)\n",
+                static_cast<unsigned long long>(served),
+                static_cast<unsigned long long>(circuit.conflicts()),
+                100.0 * static_cast<double>(circuit.conflicts()) /
+                    static_cast<double>(circuit.attempts()));
+  }
+
+  std::printf("\nrandom permutations through one omega pass "
+              "(why MINs block):\n");
+  {
+    OmegaTopology topo(64);
+    cfm::sim::Rng rng(7);
+    int passed = 0;
+    const int trials = 500;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<Port> perm(64);
+      for (Port i = 0; i < 64; ++i) perm[i] = i;
+      for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+      }
+      if (SyncOmega::schedule_for_permutation(topo, perm).has_value()) {
+        ++passed;
+      }
+    }
+    std::printf("  %d / %d random permutations pass conflict-free; all 64\n"
+                "  uniform shifts pass (Lawrie) — which is the only traffic\n"
+                "  the CFM schedule ever offers.\n",
+                passed, trials);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Resource-binding performance (§6): bind/unbind overhead on the threaded
+// shared-memory runtime, region-granularity scaling (the flexibility
+// argument of §6.3), and the CFM-backed atomic-multiple-lock binding.
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "binding/cfm_binding.hpp"
+#include "binding/runtime.hpp"
+
+using namespace cfm::bind;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bind/unbind raw overhead (single thread) ===\n");
+  {
+    BindingManager mgr;
+    constexpr int kOps = 200000;
+    const auto region = Region(1).dim(0, 7);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      const auto id = mgr.bind(region, Access::ReadWrite, Sync::Blocking, 1);
+      mgr.unbind(*id);
+    }
+    const double ms = ms_since(start);
+    std::printf("  %d bind+unbind pairs in %.1f ms  (%.0f ns/pair)\n", kOps,
+                ms, ms * 1e6 / kOps);
+  }
+
+  std::printf("\n=== granularity scaling: 8 threads over a 1024-element "
+              "array ===\n");
+  std::printf("(each thread updates its strided slice 200 times)\n");
+  for (const bool whole_structure : {true, false}) {
+    BindingRuntime rt(8);
+    std::vector<long> data(1024, 0);
+    const auto start = std::chrono::steady_clock::now();
+    rt.bfork([&](Ctx& ctx) {
+      const auto pid = static_cast<std::int64_t>(ctx.pid());
+      for (int iter = 0; iter < 200; ++iter) {
+        auto region = whole_structure
+                          ? Region::whole(1)
+                          : Region(1).dim(pid, 1023, 8);  // strided slice
+        auto b = ctx.bind(region, Access::ReadWrite);
+        for (std::size_t i = ctx.pid(); i < 1024; i += 8) data[i] += 1;
+      }
+    });
+    std::printf("  %-28s %.1f ms\n",
+                whole_structure ? "one bind for the whole array:"
+                                : "per-slice strided regions:",
+                ms_since(start));
+  }
+
+  std::printf("\n=== multiple-read/single-write (readers in parallel) ===\n");
+  {
+    BindingRuntime rt(8);
+    const auto start = std::chrono::steady_clock::now();
+    rt.bfork([&](Ctx& ctx) {
+      for (int iter = 0; iter < 200; ++iter) {
+        auto b = ctx.bind(Region::whole(2), Access::ReadOnly);
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    });
+    std::printf("  8 read-only binders, 200 x 20us reads: %.1f ms "
+                "(~%.1f ms of read work each, overlapped)\n",
+                ms_since(start), 200 * 0.02);
+  }
+
+  std::printf("\n=== CFM-backed binding (atomic multiple lock, §6.5.1) ===\n");
+  std::printf("%-30s %-10s %-16s %-12s\n", "workload", "binds",
+              "binds/kcycle", "mean latency");
+  {
+    const auto dining = run_cfm_binding_farm(
+        8, dining_philosopher_regions(8), 12, 60000);
+    std::printf("%-30s %-10llu %-16.2f %-12.1f\n", "dining philosophers (8)",
+                static_cast<unsigned long long>(dining.binds),
+                dining.throughput, dining.mean_bind_latency);
+    std::vector<std::vector<IndexRange>> solo(8);
+    for (std::uint32_t p = 0; p < 8; ++p) solo[p] = {IndexRange{p, p, 1}};
+    const auto disjoint = run_cfm_binding_farm(8, solo, 12, 60000);
+    std::printf("%-30s %-10llu %-16.2f %-12.1f\n", "disjoint components (8)",
+                static_cast<unsigned long long>(disjoint.binds),
+                disjoint.throughput, disjoint.mean_bind_latency);
+    std::vector<std::vector<IndexRange>> all(8, {IndexRange{0, 7, 1}});
+    const auto serialized = run_cfm_binding_farm(8, all, 12, 60000);
+    std::printf("%-30s %-10llu %-16.2f %-12.1f\n", "full overlap (8)",
+                static_cast<unsigned long long>(serialized.binds),
+                serialized.throughput, serialized.mean_bind_latency);
+  }
+  std::printf("\nShape: throughput tracks the *actual* overlap of the bound\n"
+              "regions — the flexibility §6.3 claims over one-semaphore\n"
+              "locking, with deadlock impossible by construction.\n");
+  return 0;
+}

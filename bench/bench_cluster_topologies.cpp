@@ -1,0 +1,73 @@
+// §3.3 extension study: multi-cluster CFM over different inter-cluster
+// topologies (Fig 3.12 generalized to ring / 2-D mesh / hypercube).
+// Remote accesses ride the destination cluster's free AT-space slot, so
+// the only latency difference between topologies is hop count — and
+// local traffic is never disturbed.
+#include <cstdio>
+
+#include "cfm/cluster.hpp"
+#include "sim/stats.hpp"
+
+using namespace cfm::core;
+using cfm::sim::Cycle;
+
+namespace {
+
+double mean_remote_latency(ClusterTopology topo, std::uint32_t clusters,
+                           std::uint32_t link) {
+  ClusterConfig cfg;
+  cfg.local_processors = 3;
+  cfg.total_slots = 4;
+  cfg.link_latency = link;
+  cfg.topology = topo;
+  ClusterSystem sys(clusters, cfg);
+  cfm::sim::RunningStat latency;
+  Cycle t = 0;
+  for (std::uint32_t dst = 1; dst < clusters; ++dst) {
+    const auto id = sys.remote_request(t, 0, dst, BlockOpKind::Read, 7);
+    for (int i = 0; i < 2000; ++i) {
+      sys.tick(t);
+      for (std::uint32_t c = 0; c < clusters; ++c) sys.memory(c).tick(t);
+      ++t;
+      if (const auto* r = sys.result(id)) {
+        latency.add(static_cast<double>(r->completed - r->issued));
+        break;
+      }
+    }
+  }
+  return latency.mean();
+}
+
+const char* name_of(ClusterTopology t) {
+  switch (t) {
+    case ClusterTopology::FullyConnected: return "fully connected";
+    case ClusterTopology::Ring: return "ring";
+    case ClusterTopology::Mesh2D: return "2-D mesh";
+    case ClusterTopology::Hypercube: return "hypercube";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Multi-cluster CFM topologies (§3.3) — mean remote-read "
+              "latency from cluster 0\n");
+  std::printf("(4-slot clusters with one free slot, link hop = 4 cycles, "
+              "block access = 4 cycles)\n\n");
+  std::printf("%-18s %-12s %-12s %-12s\n", "topology", "4 clusters",
+              "16 clusters", "64 clusters");
+  for (const auto topo :
+       {ClusterTopology::FullyConnected, ClusterTopology::Ring,
+        ClusterTopology::Mesh2D, ClusterTopology::Hypercube}) {
+    std::printf("%-18s %-12.1f %-12.1f %-12.1f\n", name_of(topo),
+                mean_remote_latency(topo, 4, 4),
+                mean_remote_latency(topo, 16, 4),
+                mean_remote_latency(topo, 64, 4));
+  }
+  std::printf("\naverage hop counts drive the spread: ring grows linearly,\n"
+              "mesh as sqrt, hypercube as log2 — while every topology keeps\n"
+              "the destination cluster's local traffic contention-free\n"
+              "(the free-slot service of Fig 3.12).\n");
+  return 0;
+}

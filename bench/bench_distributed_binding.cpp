@@ -1,0 +1,87 @@
+// §6.5.2 study: resource binding on a distributed-memory machine —
+// message and data-shipping costs of the bind/unbind protocol, and the
+// release-consistency property (rw data travels home at unbind).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "binding/distributed.hpp"
+
+using namespace cfm::bind;
+
+int main() {
+  std::printf("Distributed resource binding (§6.5.2)\n\n");
+
+  {
+    DistributedBindingRuntime::Params p;
+    p.nodes = 4;
+    DistributedBindingRuntime rt(p);
+    constexpr int kOps = 20000;
+    const auto region = Region(1).dim(0, 63);  // 64 elements
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      const auto t = rt.bind(region, Access::ReadWrite, Sync::Blocking, 1);
+      rt.unbind(*t);
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::printf("rw bind+unbind round trips: %d in %.1f ms (%.1f us each)\n",
+                kOps, ms, ms * 1000 / kOps);
+    std::printf("  messages: %llu (3 per round trip: request, grant, "
+                "unbind+data)\n",
+                static_cast<unsigned long long>(rt.messages_sent()));
+    std::printf("  bytes shipped: %llu (region out + region home per rw "
+                "round trip)\n",
+                static_cast<unsigned long long>(rt.bytes_shipped()));
+  }
+
+  std::printf("\nro vs rw shipping for a 1024-element region:\n");
+  {
+    DistributedBindingRuntime rt({});
+    const auto region = Region(2).dim(0, 1023);
+    const auto ro = rt.bind(region, Access::ReadOnly, Sync::NonBlocking, 1);
+    const auto after_ro = rt.bytes_shipped();
+    rt.unbind(*ro);
+    const auto after_ro_release = rt.bytes_shipped();
+    const auto rw = rt.bind(region, Access::ReadWrite, Sync::NonBlocking, 1);
+    rt.unbind(*rw);
+    const auto after_rw_release = rt.bytes_shipped();
+    std::printf("  ro bind ships %llu B, ro release ships %llu B\n",
+                static_cast<unsigned long long>(after_ro),
+                static_cast<unsigned long long>(after_ro_release - after_ro));
+    std::printf("  rw round trip ships %llu B (data home at release — the\n"
+                "  release-consistency flavour §6.5.2 recommends)\n",
+                static_cast<unsigned long long>(after_rw_release -
+                                                after_ro_release));
+  }
+
+  std::printf("\nthroughput under contention (8 client threads, one shared "
+              "region, 200 binds each):\n");
+  {
+    DistributedBindingRuntime rt({});
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+      threads.emplace_back([&rt, i] {
+        for (int k = 0; k < 200; ++k) {
+          const auto t = rt.bind(Region::whole(5), Access::ReadWrite,
+                                 Sync::Blocking, 100 + i);
+          rt.unbind(*t);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::printf("  1600 exclusive binds serialized at the home daemon in "
+                "%.1f ms\n",
+                ms);
+  }
+  std::printf("\nThe same bind/unbind source code runs on the threaded\n"
+              "shared-memory runtime and on this message-passing one —\n"
+              "the portability §6 claims.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Fig 3.13: memory access efficiency, conventional vs
+// conflict-free (n = 8 processors, m = 8 modules, 16-word blocks,
+// beta = 17).  Columns: the paper's closed-form E(r), our cycle-level
+// simulation of the same machine, and the CFM measured on the real
+// simulator (always 1.0 — no conflicts exist).
+#include <cstdio>
+
+#include "analytic/efficiency.hpp"
+#include "workload/access_gen.hpp"
+
+int main() {
+  using namespace cfm;
+  const analytic::ConventionalModel model{8, 8, 17};
+  std::printf("Fig 3.13 — Memory access efficiency "
+              "(n=8, m=8, block size=16, beta=17)\n\n");
+  std::printf("%-8s %-20s %-20s %-14s\n", "rate r", "conventional E(r)",
+              "conventional (sim)", "CFM (sim)");
+  for (const double r :
+       {0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05,
+        0.055, 0.06}) {
+    const auto sim = workload::measure_conventional(8, 8, 17, r, 400000, 42);
+    const auto cfm = workload::measure_cfm(8, 2, r, 60000, 42);
+    std::printf("%-8.3f %-20.3f %-20.3f %-14.3f\n", r, model.efficiency(r),
+                sim.efficiency, cfm.efficiency);
+  }
+  std::printf("\nShape check (paper): conventional efficiency falls steadily\n"
+              "with the access rate while the conflict-free machine stays at\n"
+              "~100%% — \"when memory access rate is expected to be high, the\n"
+              "CFM architecture is preferable\" (§3.4.1).\n");
+  return 0;
+}

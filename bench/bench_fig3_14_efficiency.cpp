@@ -1,0 +1,45 @@
+// Reproduces Fig 3.14: partially conflict-free efficiency under different
+// data localities (n = 64 processors, m = 8 conflict-free modules,
+// 16-word blocks, beta = 17), against a conventional machine with 64
+// modules (equal interconnect connectivity).
+#include <cstdio>
+
+#include "analytic/efficiency.hpp"
+#include "workload/access_gen.hpp"
+
+int main() {
+  using namespace cfm;
+  const analytic::PartialCfmModel partial{64, 8, 17};
+  const analytic::ConventionalModel conventional{64, 64, 17};
+
+  std::printf("Fig 3.14 — Memory access efficiency "
+              "(n=64, m=8, block size=16, beta=17)\n\n");
+  std::printf("analytic E(r, lambda):\n");
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-10s %-18s\n", "rate r",
+              "l=0.9", "l=0.8", "l=0.7", "l=0.5", "l=0.3",
+              "conventional(64)");
+  for (const double r : {0.01, 0.02, 0.03, 0.04, 0.05, 0.06}) {
+    std::printf("%-8.2f %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f %-18.3f\n", r,
+                partial.efficiency(r, 0.9), partial.efficiency(r, 0.8),
+                partial.efficiency(r, 0.7), partial.efficiency(r, 0.5),
+                partial.efficiency(r, 0.3), conventional.efficiency(r));
+  }
+
+  std::printf("\nsimulated (cycle-level channel fabric), r = 0.03:\n");
+  std::printf("%-10s %-12s %-12s\n", "lambda", "analytic", "simulated");
+  for (const double l : {0.9, 0.8, 0.7, 0.5, 0.3}) {
+    const auto sim = workload::measure_partial_cfm(64, 8, 17, 0.03, l,
+                                                   300000, 7);
+    std::printf("%-10.1f %-12.3f %-12.3f\n", l, partial.efficiency(0.03, l),
+                sim.efficiency);
+  }
+  const auto conv_sim = workload::measure_conventional(64, 64, 17, 0.03,
+                                                       300000, 7);
+  std::printf("%-10s %-12.3f %-12.3f\n", "conv(64)",
+              conventional.efficiency(0.03), conv_sim.efficiency);
+
+  std::printf("\nShape check (paper): the partial-CFM curves are ordered by\n"
+              "locality and all sit above the 64-module conventional curve,\n"
+              "\"especially in the cases of high access rates\" (§3.4.2).\n");
+  return 0;
+}

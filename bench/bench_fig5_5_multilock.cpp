@@ -1,0 +1,63 @@
+// Reproduces Fig 5.5: atomic multiple lock/unlock.  First the figure's
+// literal bit-pattern scenario, then a contention study: philosophers
+// acquiring two overlapping locks atomically vs. one at a time.
+#include <cstdio>
+
+#include "binding/cfm_binding.hpp"
+#include "cache/sync_ops.hpp"
+
+using namespace cfm;
+using cache::make_multiple_test_and_set;
+using cache::make_multiple_unlock;
+using cache::multiple_lock_succeeded;
+using sim::Word;
+
+int main() {
+  std::printf("Fig 5.5 — Atomic multiple lock/unlock\n\n");
+  std::printf("target block (bit map): 01010110   (1 = locked)\n");
+  const std::vector<Word> target{0b01010110};
+
+  const std::vector<Word> req1{0b10100001};
+  const auto after1 = make_multiple_test_and_set(req1)(target);
+  std::printf("lock  request 10100001: %s -> block now ",
+              multiple_lock_succeeded(target, req1) ? "SUCCEEDS" : "fails");
+  for (int bit = 7; bit >= 0; --bit) {
+    std::printf("%d", static_cast<int>(after1[0] >> bit & 1));
+  }
+  std::printf("\n");
+
+  const std::vector<Word> req2{0b00101000};
+  const auto after2 = make_multiple_test_and_set(req2)(after1);
+  std::printf("lock  request 00101000: %s -> block unchanged (%s)\n",
+              multiple_lock_succeeded(after1, req2) ? "succeeds?!" : "FAILS",
+              after2 == after1 ? "all-or-nothing holds" : "CORRUPTED");
+
+  const auto after3 = make_multiple_unlock(req1)(after1);
+  std::printf("unlock request 10100001: block back to %s\n",
+              after3 == target ? "01010110 (initial)" : "WRONG");
+
+  std::printf("\n=== Contention study: 8 dining philosophers on the CFM "
+              "protocol ===\n");
+  std::printf("each bind = ONE multiple-test-and-set of both chopsticks "
+              "(60k cycles, hold=12):\n");
+  const auto atomic2 = bind::run_cfm_binding_farm(
+      8, bind::dining_philosopher_regions(8), 12, 60000);
+  std::printf("  meals: %llu total, min %.0f per philosopher, "
+              "mean bind latency %.1f cycles\n",
+              static_cast<unsigned long long>(atomic2.binds),
+              atomic2.min_per_proc, atomic2.mean_bind_latency);
+
+  std::printf("\nsingle-resource binds for scale (no overlap):\n");
+  std::vector<std::vector<bind::IndexRange>> solo(8);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    solo[p] = {bind::IndexRange{p, p, 1}};
+  }
+  const auto independent = bind::run_cfm_binding_farm(8, solo, 12, 60000);
+  std::printf("  binds: %llu total, min %.0f, mean latency %.1f cycles\n",
+              static_cast<unsigned long long>(independent.binds),
+              independent.min_per_proc, independent.mean_bind_latency);
+  std::printf("\nThe overlapped case pays contention but never deadlocks\n"
+              "(\"A processor can then acquire either all the locks or "
+              "none\", §4.2.2).\n");
+  return 0;
+}

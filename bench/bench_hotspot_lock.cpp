@@ -1,0 +1,44 @@
+// Lock-contention scaling (§4.2.2 / §5.3.2 vs §2.1): throughput and
+// fairness of one contended lock as contenders grow, on three machines —
+// the CFM swap lock, the CFM cache-protocol lock, and a snoopy bus.
+#include <cstdio>
+
+#include "workload/lock_workload.hpp"
+
+int main() {
+  using namespace cfm::workload;
+  constexpr cfm::sim::Cycle kCycles = 60000;
+  constexpr std::uint32_t kHold = 20;
+
+  std::printf("Busy-wait lock scaling (hold = %u cycles, %llu-cycle runs)\n\n",
+              kHold, static_cast<unsigned long long>(kCycles));
+  std::printf("%-11s | %-26s | %-26s | %-26s\n", "",
+              "CFM swap lock (ch.4)", "CFM cached lock (ch.5)",
+              "snoopy bus lock");
+  std::printf("%-11s | %-12s %-13s | %-12s %-13s | %-12s %-13s\n",
+              "contenders", "acq/kcycle", "min/proc", "acq/kcycle", "min/proc",
+              "acq/kcycle", "min/proc");
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const auto cfm = run_lock_farm_cfm(n, kHold, kCycles, 1);
+    const auto cached = run_lock_farm_cached(n, kHold, kCycles, 1);
+    const auto bus = run_lock_farm_snoopy(n, kHold, kCycles, 1);
+    std::printf("%-11u | %-12.2f %-13.0f | %-12.2f %-13.0f | %-12.2f %-13.0f\n",
+                n, cfm.throughput, cfm.min_per_proc, cached.throughput,
+                cached.min_per_proc, bus.throughput, bus.min_per_proc);
+  }
+
+  std::printf("\nContention pressure at 16 contenders:\n");
+  const auto cfm16 = run_lock_farm_cfm(16, kHold, kCycles, 1);
+  const auto cached16 = run_lock_farm_cached(16, kHold, kCycles, 1);
+  const auto bus16 = run_lock_farm_snoopy(16, kHold, kCycles, 1);
+  std::printf("  CFM swap restarts per acquisition:   %.2f\n",
+              cfm16.aux_pressure);
+  std::printf("  CFM invalidations per acquisition:   %.2f\n",
+              cached16.aux_pressure);
+  std::printf("  snoopy bus utilization:              %.0f%%\n",
+              100.0 * bus16.aux_pressure);
+  std::printf("\nShape: CFM throughput holds as contenders grow (waiters\n"
+              "spin in their own AT slots / local caches); the snoopy bus\n"
+              "saturates — the hot-spot problem the paper eliminates.\n");
+  return 0;
+}

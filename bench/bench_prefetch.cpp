@@ -1,0 +1,32 @@
+// §3.1.4 study: software prefetching hides the block-access latency that
+// the CFM's large blocks would otherwise impose — "cache line prefetching
+// techniques ... can be employed to reduce the effect of a long memory
+// latency".  Measured on the real cycle-level machine.
+#include <cstdio>
+
+#include "cfm/config.hpp"
+#include "workload/prefetch.hpp"
+
+int main() {
+  using namespace cfm;
+  const auto cfg = core::CfmConfig::make(8, 2);  // beta = 17
+  const auto beta = cfg.block_access_time();
+  std::printf("Prefetching on the CFM (n=8, c=2, beta=%u), streaming 2000 "
+              "blocks\n\n",
+              beta);
+  std::printf("%-18s | %-26s | %-26s\n", "", "demand fetch", "software prefetch");
+  std::printf("%-18s | %-12s %-13s | %-12s %-13s\n", "compute/block",
+              "cyc/block", "stall %", "cyc/block", "stall %");
+  for (const std::uint32_t compute : {0u, 4u, 8u, 12u, 17u, 25u, 40u}) {
+    const auto demand = workload::run_stream(8, 2, compute, 2000, false);
+    const auto pre = workload::run_stream(8, 2, compute, 2000, true);
+    std::printf("%-18u | %-12.1f %-13.1f | %-12.1f %-13.1f\n", compute,
+                demand.cycles_per_block, 100.0 * demand.stall_fraction,
+                pre.cycles_per_block, 100.0 * pre.stall_fraction);
+  }
+  std::printf("\nShape: demand fetching always pays beta + compute per\n"
+              "block; with prefetch the cost approaches max(beta, compute),\n"
+              "vanishing entirely once compute >= beta — the latency-hiding\n"
+              "argument of §3.1.4/§3.4.4.\n");
+  return 0;
+}

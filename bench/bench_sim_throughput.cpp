@@ -1,0 +1,79 @@
+// google-benchmark microbenchmarks of the simulator itself: cycles/sec of
+// the CFM memory, the cache protocol, the hierarchical machine, and the
+// cost of deriving synchronous-omega schedules.  These guard against
+// performance regressions in the simulation kernel, not the paper.
+#include <benchmark/benchmark.h>
+
+#include "cache/cfm_protocol.hpp"
+#include "cfm/cfm_memory.hpp"
+#include "net/omega.hpp"
+#include "sim/rng.hpp"
+#include "workload/access_gen.hpp"
+
+namespace {
+
+using namespace cfm;
+
+void BM_CfmMemoryTick(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::CfmMemory mem(core::CfmConfig::make(n));
+  sim::Rng rng(1);
+  std::vector<core::CfmMemory::OpToken> live(n, core::CfmMemory::kNoOp);
+  sim::Cycle t = 0;
+  for (auto _ : state) {
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (live[p] != core::CfmMemory::kNoOp &&
+          mem.take_result(live[p]).has_value()) {
+        live[p] = core::CfmMemory::kNoOp;
+      }
+      if (live[p] == core::CfmMemory::kNoOp) {
+        live[p] = mem.issue(t, p, core::BlockOpKind::Read, 1000 + p);
+      }
+    }
+    mem.tick(t++);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CfmMemoryTick)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CacheProtocolTick(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  cache::CfmCacheSystem::Params params;
+  params.mem = core::CfmConfig::make(n);
+  cache::CfmCacheSystem sys(params);
+  sim::Rng rng(2);
+  std::vector<cache::CfmCacheSystem::ReqId> live(n, 0);
+  sim::Cycle t = 0;
+  for (auto _ : state) {
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (live[p] != 0 && sys.take_result(live[p]).has_value()) live[p] = 0;
+      if (live[p] == 0 && sys.processor_idle(p)) {
+        live[p] = sys.load(t, p, rng.below(64));
+      }
+    }
+    sys.tick(t++);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CacheProtocolTick)->Arg(4)->Arg(16);
+
+void BM_SyncOmegaConstruction(benchmark::State& state) {
+  const auto ports = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    net::SyncOmega so(ports);
+    benchmark::DoNotOptimize(so.output_for(1, 0));
+  }
+}
+BENCHMARK(BM_SyncOmegaConstruction)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EfficiencyExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto r = workload::measure_conventional(8, 8, 17, 0.03, 10000, 42);
+    benchmark::DoNotOptimize(r.efficiency);
+  }
+}
+BENCHMARK(BM_EfficiencyExperiment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Reproduces Table 3.3: trade-off in the CFM configurations for a fixed
+// 256-bit block and bank cycle c = 2 — more banks support more
+// processors but lengthen each block access.
+#include <cstdio>
+
+#include "cfm/config.hpp"
+
+int main() {
+  using namespace cfm::core;
+  std::printf("Table 3.3 — Trade-off in the CFM configurations "
+              "(l = 256 bits, c = 2)\n\n");
+  std::printf("%-14s %-12s %-16s %-12s\n", "Memory banks", "Word width",
+              "Memory latency", "Processors");
+  for (const auto& row : enumerate_tradeoffs(256, 2)) {
+    std::printf("%-14u %-12u %-16u %-12u\n", row.banks, row.word_bits,
+                row.memory_latency, row.processors);
+  }
+  std::printf("\n(The paper's table stops at 8 banks / 4 processors; the\n"
+              "enumeration continues to the degenerate 2-bank machine.)\n");
+
+  std::printf("\nOther block sizes, for scale (c = 2):\n");
+  for (const std::uint32_t block : {128u, 1024u}) {
+    const auto rows = enumerate_tradeoffs(block, 2);
+    std::printf("  l = %4u bits: %2zu configurations, up to %u processors\n",
+                block, rows.size(), rows.front().processors);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table 3.4 / Fig 3.8: the clock-driven state schedule of the
+// 8x8 synchronous omega network, derived from Lawrie routing of the
+// uniform shifts — and verified to match the paper's table bit for bit.
+#include <cstdio>
+
+#include "net/omega.hpp"
+
+int main() {
+  using namespace cfm::net;
+  SyncOmega so(8);
+
+  // The paper's Table 3.4, transcribed.
+  const int paper[8][3][4] = {
+      {{0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}},
+      {{0, 0, 0, 1}, {0, 0, 1, 1}, {1, 1, 1, 1}},
+      {{0, 0, 1, 1}, {1, 1, 1, 1}, {0, 0, 0, 0}},
+      {{0, 1, 1, 1}, {1, 1, 0, 0}, {1, 1, 1, 1}},
+      {{1, 1, 1, 1}, {0, 0, 0, 0}, {0, 0, 0, 0}},
+      {{1, 1, 1, 0}, {0, 0, 1, 1}, {1, 1, 1, 1}},
+      {{1, 1, 0, 0}, {1, 1, 1, 1}, {0, 0, 0, 0}},
+      {{1, 0, 0, 0}, {1, 1, 0, 0}, {1, 1, 1, 1}},
+  };
+
+  std::printf("Table 3.4 — States of switches in an 8x8 synchronous omega\n");
+  std::printf("(0 = straight, 1 = interchange)\n\n");
+  std::printf("         Column 0      Column 1      Column 2\n");
+  std::printf("Switch   0 1 2 3       0 1 2 3       0 1 2 3\n");
+  bool match = true;
+  for (int t = 0; t < 8; ++t) {
+    std::printf("Slot %d   ", t);
+    for (int col = 0; col < 3; ++col) {
+      for (int sw = 0; sw < 4; ++sw) {
+        const int state = static_cast<int>(so.switch_state(t, col, sw));
+        std::printf("%d ", state);
+        if (state != paper[t][col][sw]) match = false;
+      }
+      std::printf("      ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nderived schedule matches the paper's Table 3.4: %s\n",
+              match ? "EXACTLY" : "MISMATCH");
+
+  std::printf("\nrealized mapping at every slot (Fig 3.8): input i -> "
+              "(t + i) mod 8:\n");
+  bool mapping_ok = true;
+  for (int t = 0; t < 8; ++t) {
+    for (Port i = 0; i < 8; ++i) {
+      if (so.output_for(t, i) != (t + i) % 8) mapping_ok = false;
+    }
+  }
+  std::printf("  verified for all 8 slots x 8 inputs: %s\n",
+              mapping_ok ? "PASS" : "FAIL");
+  std::printf("\nNo setup time, no routing delay, no conflicts — the "
+              "schedule is a pure function of the clock (§3.2.1).\n");
+  return (match && mapping_ok) ? 0 : 1;
+}

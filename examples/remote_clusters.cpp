@@ -1,0 +1,76 @@
+// Multi-cluster CFM with free-slot remote access (Fig 3.12) — two
+// conflict-free clusters of three processors each donate their fourth
+// AT-space slot to remote service.  Remote requests are "just slower
+// regular memory accesses" and local traffic never notices them.
+#include <cstdio>
+
+#include "cfm/cluster.hpp"
+
+using namespace cfm::core;
+using cfm::sim::Cycle;
+using cfm::sim::Word;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.local_processors = 3;
+  cfg.total_slots = 4;
+  cfg.link_latency = 4;
+  ClusterSystem sys(2, cfg);
+
+  std::printf("Fig 3.12 — two conflict-free clusters, 3 CPUs + 1 free slot "
+              "each, 4-cycle link\n\n");
+
+  // Cluster B holds a block; cluster A's processor 0 fetches it remotely
+  // while ALL of cluster B's processors hammer their own memory.
+  sys.memory(1).poke_block(9, std::vector<Word>{5, 6, 7, 8});
+
+  Cycle t = 0;
+  const auto remote = sys.remote_request(t, 0, 1, BlockOpKind::Read, 9);
+  std::vector<CfmMemory::OpToken> local_ops;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    local_ops.push_back(sys.memory(1).issue(t, p, BlockOpKind::Read, 100 + p));
+  }
+
+  while (sys.result(remote) == nullptr) {
+    sys.tick(t);
+    sys.memory(0).tick(t);
+    sys.memory(1).tick(t);
+    ++t;
+  }
+  const auto* r = sys.result(remote);
+  std::printf("remote read of cluster B's block 9 from cluster A:\n");
+  std::printf("  data:");
+  for (const auto w : r->data) {
+    std::printf(" %llu", static_cast<unsigned long long>(w));
+  }
+  std::printf("\n  latency: %llu cycles (link %u + block %u + link %u)\n",
+              static_cast<unsigned long long>(r->completed - r->issued),
+              cfg.link_latency,
+              sys.memory(1).config().block_access_time(), cfg.link_latency);
+
+  std::printf("\ncluster B's local accesses during the remote service:\n");
+  for (std::size_t p = 0; p < local_ops.size(); ++p) {
+    const auto lr = sys.memory(1).take_result(local_ops[p]);
+    std::printf("  processor %zu: %llu cycles (beta = %u, undisturbed)\n", p,
+                static_cast<unsigned long long>(lr->completed - lr->issued),
+                sys.memory(1).config().block_access_time());
+  }
+
+  std::printf("\nremote write from A, then read-back at B:\n");
+  const std::vector<Word> payload{40, 41, 42, 43};
+  const auto wreq = sys.remote_request(t, 0, 1, BlockOpKind::Write, 20, payload);
+  while (sys.result(wreq) == nullptr) {
+    sys.tick(t);
+    sys.memory(0).tick(t);
+    sys.memory(1).tick(t);
+    ++t;
+  }
+  const auto check = sys.memory(1).peek_block(20);
+  std::printf("  cluster B now sees block 20 =");
+  for (const auto w : check) {
+    std::printf(" %llu", static_cast<unsigned long long>(w));
+  }
+  std::printf("\n\nThe free slot makes remote service contention-free for "
+              "the host cluster (§3.3).\n");
+  return 0;
+}

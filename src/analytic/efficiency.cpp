@@ -1,0 +1,59 @@
+#include "analytic/efficiency.hpp"
+
+#include <algorithm>
+
+namespace cfm::analytic {
+namespace {
+
+/// E = (2 - 2P) / (2 - P), clamped to [0, 1].
+[[nodiscard]] double efficiency_from_p(double p) noexcept {
+  p = std::clamp(p, 0.0, 1.0);
+  return (2.0 - 2.0 * p) / (2.0 - p);
+}
+
+}  // namespace
+
+double ConventionalModel::conflict_probability(double rate) const noexcept {
+  const double p = static_cast<double>(processors - 1) * rate *
+                   static_cast<double>(beta) / static_cast<double>(modules);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double ConventionalModel::expected_access_time(double rate) const noexcept {
+  const double p = conflict_probability(rate);
+  if (p >= 1.0) return 1e300;  // saturated
+  return static_cast<double>(beta) * (2.0 - p) / (2.0 - 2.0 * p);
+}
+
+double ConventionalModel::efficiency(double rate) const noexcept {
+  return efficiency_from_p(conflict_probability(rate));
+}
+
+double PartialCfmModel::local_block_probability(double rate,
+                                                double locality) const noexcept {
+  return std::clamp((1.0 - locality) * rate * static_cast<double>(beta), 0.0, 1.0);
+}
+
+double PartialCfmModel::remote_block_probability(double rate,
+                                                 double locality) const noexcept {
+  const double m = static_cast<double>(modules);
+  const double p =
+      (1.0 - (1.0 - locality) / (m - 1.0)) * rate * static_cast<double>(beta);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double PartialCfmModel::conflict_probability(double rate,
+                                             double locality) const noexcept {
+  const double l = locality;
+  const double m = static_cast<double>(modules);
+  const double p =
+      ((-m * l * l + 2.0 * l + m - 2.0) / (m - 1.0)) * rate *
+      static_cast<double>(beta);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double PartialCfmModel::efficiency(double rate, double locality) const noexcept {
+  return efficiency_from_p(conflict_probability(rate, locality));
+}
+
+}  // namespace cfm::analytic

@@ -1,0 +1,29 @@
+// latency.hpp is intentionally header-only (pure constexpr-style structs);
+// this translation unit exists so the analytic library always has at least
+// one object file and the header stays self-contained under -Wall.
+#include "analytic/latency.hpp"
+
+namespace cfm::analytic {
+
+static_assert(HierarchicalLatencyModel{8, 2}.beta() == 9,
+              "Table 5.5 machine: 8 banks, c=2 -> beta = 9");
+static_assert(HierarchicalLatencyModel{64, 2}.beta() == 65,
+              "Table 5.6 machine: 64 banks, c=2 -> beta = 65");
+static_assert(HierarchicalLatencyModel{8, 2}.global_read() == 27,
+              "Table 5.5: global read = 27 cycles");
+static_assert(HierarchicalLatencyModel{64, 2}.global_read() == 195,
+              "Table 5.6: global read = 195 cycles");
+static_assert(HierarchicalLatencyModel{8, 2}.dirty_remote_read_paper() == 63,
+              "Table 5.5: dirty remote read = 63 cycles");
+
+}  // namespace cfm::analytic
+
+namespace cfm::analytic {
+
+static_assert(HierarchicalLatencyModel{8, 2}.multi_level_read(1) == 9);
+static_assert(HierarchicalLatencyModel{8, 2}.multi_level_read(2) == 27,
+              "the two-level case reduces to Table 5.5's global read");
+static_assert(HierarchicalLatencyModel{8, 2}.multi_level_read(3) == 45);
+static_assert(HierarchyScaling{4, 8, 2}.processors(5) == 1024);
+
+}  // namespace cfm::analytic

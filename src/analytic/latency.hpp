@@ -1,0 +1,88 @@
+// Read-latency models for the hierarchical comparisons (§5.4.4).
+//
+// The CFM columns of Tables 5.5 / 5.6 decompose into block tours of the
+// two levels: with beta_c = cluster block time and beta_g = global block
+// time (equal when both levels have the same bank count and cycle),
+//
+//   local cluster read   = beta_c
+//   global (clean) read  = beta_g + L2 fill + L1 fill      = 3 * beta
+//   dirty remote read    = + remote L1 wb + remote L2 wb
+//                          + global retry                  = 6..7 * beta
+//
+// The paper reports 9 / 27 / 63 for the 16-processor 16-byte-line machine
+// and 65 / 195 for the 1024-processor 128-byte-line machine; the DASH and
+// KSR1 columns are the published numbers the paper quotes.
+#pragma once
+
+#include <cstdint>
+
+namespace cfm::analytic {
+
+struct HierarchicalLatencyModel {
+  std::uint32_t banks_per_cluster = 8;  ///< b at the cluster level
+  std::uint32_t bank_cycle = 2;         ///< c
+
+  [[nodiscard]] constexpr std::uint32_t beta() const noexcept {
+    return banks_per_cluster + bank_cycle - 1;
+  }
+  [[nodiscard]] constexpr std::uint32_t local_cluster_read() const noexcept {
+    return beta();
+  }
+  [[nodiscard]] constexpr std::uint32_t global_read() const noexcept { return 3 * beta(); }
+  /// The paper's accounting (7 phases); our simulator measures 6 phases.
+  [[nodiscard]] constexpr std::uint32_t dirty_remote_read_paper() const noexcept {
+    return 7 * beta();
+  }
+  [[nodiscard]] constexpr std::uint32_t dirty_remote_read_simulated() const noexcept {
+    return 6 * beta();
+  }
+
+  /// Read latency serviced at hierarchy level `level` (1 = local
+  /// cluster): each deeper level adds one fetch tour and one fill tour,
+  /// so level k costs (2k - 1) * beta — the §5.4.3 recursion.
+  [[nodiscard]] constexpr std::uint32_t multi_level_read(
+      std::uint32_t level) const noexcept {
+    return (2 * level - 1) * beta();
+  }
+
+  /// Worst-case read (dirty in the farthest remote subtree) at L levels:
+  /// the clean fetch plus a flush chain of one write-back per level and
+  /// one retry tour — (2L - 1) + (L + 1) tours.
+  [[nodiscard]] constexpr std::uint32_t multi_level_dirty_read(
+      std::uint32_t levels) const noexcept {
+    return ((2 * levels - 1) + (levels + 1)) * beta();
+  }
+};
+
+/// Scalability of the recursive extension (§5.4.3): with g processors per
+/// cluster per level, L levels span g^L processors while the worst-case
+/// miss grows linearly in L — i.e. logarithmically in the machine size.
+struct HierarchyScaling {
+  std::uint32_t cluster_arity = 4;      ///< g
+  std::uint32_t banks_per_cluster = 8;  ///< b per level
+  std::uint32_t bank_cycle = 2;
+
+  [[nodiscard]] constexpr std::uint64_t processors(std::uint32_t levels) const noexcept {
+    std::uint64_t n = 1;
+    for (std::uint32_t i = 0; i < levels; ++i) n *= cluster_arity;
+    return n;
+  }
+  [[nodiscard]] constexpr std::uint32_t worst_read(std::uint32_t levels) const noexcept {
+    return HierarchicalLatencyModel{banks_per_cluster, bank_cycle}
+        .multi_level_read(levels);
+  }
+};
+
+/// Published comparison points quoted by the paper.
+struct DashLatencies {  // Table 5.5 (16 processors, 4 clusters, 16 B lines)
+  std::uint32_t local_cluster_read = 29;
+  std::uint32_t global_read = 100;
+  std::uint32_t dirty_remote_read = 130;
+};
+
+struct Ksr1Latencies {  // Table 5.6 (1024 processors, 32 rings, 128 B lines)
+  std::uint32_t local_ring_read = 175;
+  std::uint32_t global_ring_read = 600;
+};
+
+}  // namespace cfm::analytic

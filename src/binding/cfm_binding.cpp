@@ -1,0 +1,98 @@
+#include "binding/cfm_binding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cache/cfm_protocol.hpp"
+#include "cache/sync_ops.hpp"
+
+namespace cfm::bind {
+
+std::vector<sim::Word> pattern_for_range(const IndexRange& range,
+                                         std::uint32_t block_words) {
+  return pattern_for_ranges({range}, block_words);
+}
+
+std::vector<sim::Word> pattern_for_ranges(const std::vector<IndexRange>& ranges,
+                                          std::uint32_t block_words) {
+  std::vector<sim::Word> pattern(block_words, 0);
+  const std::int64_t components = 64ll * block_words;
+  for (const auto& r : ranges) {
+    if (!r.valid() || r.hi >= components || r.lo < 0) {
+      throw std::invalid_argument("component range outside the lock block");
+    }
+    for (std::int64_t i = r.lo; i <= r.hi; i += r.step) {
+      pattern[static_cast<std::size_t>(i / 64)] |=
+          sim::Word{1} << (i % 64);
+    }
+  }
+  return pattern;
+}
+
+CfmBindingResult run_cfm_binding_farm(
+    std::uint32_t processors,
+    const std::vector<std::vector<IndexRange>>& regions,
+    std::uint32_t hold_cycles, sim::Cycle cycles) {
+  if (regions.size() != processors) {
+    throw std::invalid_argument("one region list per processor required");
+  }
+  cache::CfmCacheSystem::Params params;
+  params.mem = core::CfmConfig::make(processors);
+  cache::CfmCacheSystem sys(params);
+  const auto words = sys.block_words();
+  const sim::BlockAddr lock_block = 1;
+
+  std::vector<cache::CachedLockClient> clients;
+  clients.reserve(processors);
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    clients.emplace_back(p, lock_block, pattern_for_ranges(regions[p], words));
+  }
+
+  std::vector<sim::Cycle> release_at(processors, 0);
+  for (auto& c : clients) c.acquire();
+  for (sim::Cycle now = 0; now < cycles; ++now) {
+    for (std::uint32_t p = 0; p < processors; ++p) {
+      auto& c = clients[p];
+      if (c.holding()) {
+        if (release_at[p] == 0) release_at[p] = now + hold_cycles;
+        if (now >= release_at[p]) {
+          c.release();
+          release_at[p] = 0;
+        }
+      }
+      c.tick(now, sys);
+      if (!c.holding() && release_at[p] == 0 &&
+          c.state() == cache::CachedLockClient::State::Idle) {
+        c.acquire();
+      }
+    }
+    sys.tick(now);
+  }
+
+  CfmBindingResult out;
+  sim::RunningStat latency;
+  double min_acq = 1e300;
+  for (auto& c : clients) {
+    out.binds += c.acquisitions();
+    latency.merge(c.acquire_latency());
+    min_acq = std::min(min_acq, static_cast<double>(c.acquisitions()));
+  }
+  out.mean_bind_latency = latency.mean();
+  out.throughput = 1000.0 * static_cast<double>(out.binds) /
+                   static_cast<double>(cycles);
+  out.min_per_proc = min_acq;
+  return out;
+}
+
+std::vector<std::vector<IndexRange>> dining_philosopher_regions(
+    std::uint32_t n) {
+  std::vector<std::vector<IndexRange>> regions(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::int64_t left = i;
+    const std::int64_t right = (i + 1) % n;
+    regions[i] = {IndexRange{left, left, 1}, IndexRange{right, right, 1}};
+  }
+  return regions;
+}
+
+}  // namespace cfm::bind

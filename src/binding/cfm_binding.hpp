@@ -1,0 +1,54 @@
+// Resource binding on the CFM architecture (§6.5.1).
+//
+// For structures with coarse granularity, the paper divides the shared
+// data into components, each controlled by one lock bit, and implements
+// bind as an *atomic multiple lock* over the covered components — a
+// single multiple-test-and-set on the lock block acquires every component
+// of the region or none, with no possibility of deadlock from partial
+// acquisition (the dining-philosophers property, §6.3.1).
+//
+// Here a component maps to one bit of the lock block (bit j of word w is
+// component w*64 + j) and a 1-D strided region maps to a bit pattern; the
+// farm driver measures bind/unbind cost on the cycle-level CFM cache
+// protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "binding/region.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::bind {
+
+/// Bit pattern over a lock block of `block_words` words covering the
+/// components selected by `range` (indices into [0, 64*block_words)).
+[[nodiscard]] std::vector<sim::Word> pattern_for_range(
+    const IndexRange& range, std::uint32_t block_words);
+
+/// Pattern covering several ranges at once (a multi-component region —
+/// e.g. both chopsticks of a philosopher).
+[[nodiscard]] std::vector<sim::Word> pattern_for_ranges(
+    const std::vector<IndexRange>& ranges, std::uint32_t block_words);
+
+struct CfmBindingResult {
+  std::uint64_t binds = 0;
+  double mean_bind_latency = 0.0;  ///< cycles from request to ownership
+  double throughput = 0.0;         ///< binds per 1000 cycles
+  double min_per_proc = 0.0;       ///< fairness
+};
+
+/// Runs `processors` simulated workers on the CFM cache protocol, worker
+/// p repeatedly binding (atomic multiple lock) the pattern of
+/// `regions[p]`, holding it `hold_cycles`, then unbinding.
+[[nodiscard]] CfmBindingResult run_cfm_binding_farm(
+    std::uint32_t processors, const std::vector<std::vector<IndexRange>>& regions,
+    std::uint32_t hold_cycles, sim::Cycle cycles);
+
+/// The dining philosophers (Fig 6.5) as a canned region set: philosopher
+/// i's region covers chopsticks i and (i+1) mod n.
+[[nodiscard]] std::vector<std::vector<IndexRange>> dining_philosopher_regions(
+    std::uint32_t n);
+
+}  // namespace cfm::bind

@@ -1,0 +1,151 @@
+#include "binding/distributed.hpp"
+
+#include <atomic>
+
+namespace cfm::bind {
+
+DistributedBindingRuntime::DistributedBindingRuntime(const Params& params)
+    : params_(params) {
+  if (params.nodes == 0) {
+    throw std::invalid_argument("at least one node required");
+  }
+  nodes_.reserve(params.nodes);
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>());
+  }
+  for (auto& node : nodes_) {
+    node->daemon = std::thread([this, &node] { daemon_loop(*node); });
+  }
+}
+
+DistributedBindingRuntime::~DistributedBindingRuntime() {
+  for (auto& node : nodes_) {
+    {
+      std::lock_guard<std::mutex> lock(node->mu);
+      node->stop = true;
+    }
+    node->cv.notify_all();
+  }
+  for (auto& node : nodes_) node->daemon.join();
+}
+
+std::uint64_t DistributedBindingRuntime::region_bytes(
+    const Region& region) const {
+  std::uint64_t elements = 1;
+  for (const auto& r : region.dims()) {
+    elements *= static_cast<std::uint64_t>(r.count());
+  }
+  return elements * params_.element_bytes;
+}
+
+std::optional<DistributedBindingRuntime::Ticket>
+DistributedBindingRuntime::bind(const Region& region, Access access, Sync sync,
+                                OwnerId owner) {
+  const auto home = home_of(region.object());
+  auto& node = *nodes_[home];
+
+  if (params_.hop_delay.count() > 0) {
+    std::this_thread::sleep_for(params_.hop_delay);  // request transit
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+
+  BindRequest req;
+  req.region = region;
+  req.access = access;
+  req.sync = sync;
+  req.owner = owner;
+  auto reply = req.reply.get_future();
+  {
+    std::lock_guard<std::mutex> lock(node.mu);
+    node.binds.push_back(std::move(req));
+  }
+  node.cv.notify_all();
+
+  const auto granted = reply.get();
+  messages_.fetch_add(1, std::memory_order_relaxed);  // reply / data message
+  if (params_.hop_delay.count() > 0) {
+    std::this_thread::sleep_for(params_.hop_delay);  // reply transit
+  }
+  if (!granted.has_value()) return std::nullopt;
+
+  Ticket ticket;
+  ticket.id = *granted;
+  ticket.home = home;
+  ticket.access = access;
+  // The grant ships the region's data to the requester (ro: a copy,
+  // rw: the writable master copy).
+  ticket.shipped_bytes = region_bytes(region);
+  shipped_.fetch_add(ticket.shipped_bytes, std::memory_order_relaxed);
+  return ticket;
+}
+
+void DistributedBindingRuntime::unbind(const Ticket& ticket) {
+  auto& node = *nodes_[ticket.home];
+  if (params_.hop_delay.count() > 0) {
+    std::this_thread::sleep_for(params_.hop_delay);
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket.access == Access::ReadWrite) {
+    // Release: the updated region travels home with the unbind message.
+    shipped_.fetch_add(ticket.shipped_bytes, std::memory_order_relaxed);
+  }
+  UnbindRequest req;
+  req.id = ticket.id;
+  auto done = req.reply.get_future();
+  {
+    std::lock_guard<std::mutex> lock(node.mu);
+    node.unbinds.push_back(std::move(req));
+  }
+  node.cv.notify_all();
+  done.get();
+}
+
+void DistributedBindingRuntime::service_bind(Node& node, BindRequest&& req) {
+  const auto granted = node.manager.bind(req.region, req.access,
+                                         Sync::NonBlocking, req.owner);
+  if (granted.has_value()) {
+    req.reply.set_value(*granted);
+    return;
+  }
+  if (req.sync == Sync::NonBlocking) {
+    req.reply.set_value(std::nullopt);
+    return;
+  }
+  node.parked.push_back(std::move(req));  // retried after each unbind
+}
+
+void DistributedBindingRuntime::daemon_loop(Node& node) {
+  std::unique_lock<std::mutex> lock(node.mu);
+  while (true) {
+    node.cv.wait(lock, [&] {
+      return node.stop || !node.binds.empty() || !node.unbinds.empty();
+    });
+    if (node.stop) return;
+
+    while (!node.unbinds.empty()) {
+      auto req = std::move(node.unbinds.front());
+      node.unbinds.pop_front();
+      node.manager.unbind(req.id);
+      req.reply.set_value();
+      // An unbind may unblock parked requests: retry them in order.
+      auto parked = std::move(node.parked);
+      node.parked.clear();
+      for (auto& p : parked) service_bind(node, std::move(p));
+    }
+    while (!node.binds.empty()) {
+      auto req = std::move(node.binds.front());
+      node.binds.pop_front();
+      service_bind(node, std::move(req));
+    }
+  }
+}
+
+std::uint64_t DistributedBindingRuntime::messages_sent() const noexcept {
+  return messages_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DistributedBindingRuntime::bytes_shipped() const noexcept {
+  return shipped_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cfm::bind

@@ -1,0 +1,20 @@
+#include "binding/patterns.hpp"
+
+namespace cfm::bind {
+
+void pipeline(Ctx& ctx, std::int64_t items,
+              const std::function<void(std::size_t, std::int64_t)>& stage) {
+  const auto pid = ctx.pid();
+  for (std::int64_t i = 0; i < items; ++i) {
+    if (pid != 0) {
+      // bind(p[pid-1], ex, blocking, i): wait for the upstream stage to
+      // finish item i.
+      ctx.await_level(pid - 1, i);
+    }
+    stage(pid, i);
+    // bind(*pp, ex, , 0:i): publish completion of item i downstream.
+    ctx.set_level(i);
+  }
+}
+
+}  // namespace cfm::bind

@@ -1,0 +1,48 @@
+// Synchronization patterns expressed with process binding (§6.4.3).
+//
+//   Barrier (Fig 6.9): every process raises its level to the barrier
+//   epoch, then ex-binds every other PROC at that epoch.
+//
+//   Pipeline (Fig 6.10): stage `pid` may work on item i only after stage
+//   pid-1 has raised its level to i; raising one's own level to i hands
+//   item i downstream.  This is the paper's 32-stage pipeline verbatim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "binding/runtime.hpp"
+
+namespace cfm::bind {
+
+/// Reusable barrier over the runtime's PROC group.  Each *worker*
+/// instantiates its own ProcBarrier (it is a thread-local epoch counter
+/// over the shared PROCs); each arrive_and_wait uses the next epoch, so
+/// the barrier can sit in a loop.
+class ProcBarrier {
+ public:
+  explicit ProcBarrier(std::int64_t first_epoch = 0) : epoch_(first_epoch) {}
+
+  /// Called by every worker each round, with its own ctx and own
+  /// ProcBarrier instance.
+  void arrive_and_wait(Ctx& ctx) {
+    const auto e = epoch_;
+    ctx.set_level(e);
+    for (std::size_t q = 0; q < ctx.nprocs(); ++q) {
+      if (q == ctx.pid()) continue;
+      ctx.await_level(q, e);
+    }
+    ++epoch_;
+  }
+
+ private:
+  std::int64_t epoch_;  // advanced thread-locally: each worker's copy
+};
+
+/// Runs `items` pipeline iterations over the runtime's workers: worker
+/// `pid` calls stage(pid, i) for each item i, after worker pid-1 has
+/// finished item i (Fig 6.10).  Call from inside bfork.
+void pipeline(Ctx& ctx, std::int64_t items,
+              const std::function<void(std::size_t stage, std::int64_t item)>& stage);
+
+}  // namespace cfm::bind

@@ -1,0 +1,39 @@
+#include "binding/process.hpp"
+
+#include <memory>
+
+namespace cfm::bind {
+
+void Proc::set_level(std::int64_t level) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level <= level_) return;  // monotone
+    level_ = level;
+  }
+  cv_.notify_all();
+}
+
+std::int64_t Proc::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Proc::await_level(std::int64_t level) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return level_ >= level; });
+}
+
+bool Proc::allows(std::int64_t level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_ >= level;
+}
+
+ProcGroup::ProcGroup(std::size_t n) {
+  procs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    procs_.push_back(std::make_unique<Proc>());
+    procs_.back()->pid = static_cast<std::int64_t>(i);
+  }
+}
+
+}  // namespace cfm::bind

@@ -1,0 +1,60 @@
+// Process binding (§6.4): the PROC abstract data type and `ex` bindings.
+//
+// A PROC ("virtual processor") carries a *permission status*; a process
+// defines its dependency on another by binding that PROC with access type
+// `ex` and a request level — the bind completes only when the target's
+// permission status covers the level (Fig 6.8).  A process raises its own
+// permission with set_level (the paper's `bind(*pp, ex, , 0:i)`), which
+// is monotone: level i grants every request <= i.  Barrier and pipelining
+// (Figs 6.9 / 6.10) fall out directly; see patterns.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cfm::bind {
+
+class Proc {
+ public:
+  /// Raises the permission status to cover levels 0..level (monotone:
+  /// lower levels stay granted — the `0:i` range form).
+  void set_level(std::int64_t level);
+
+  /// Current permission watermark (-1 until first set_level).
+  [[nodiscard]] std::int64_t level() const;
+
+  /// Blocking `bind(target, ex, blocking, level)`: waits until the
+  /// permission status covers `level`.
+  void await_level(std::int64_t level) const;
+
+  /// Non-blocking probe.
+  [[nodiscard]] bool allows(std::int64_t level) const;
+
+  /// The paper's pid attribute (set by bfork/spawn).
+  std::int64_t pid = -1;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::int64_t level_ = -1;
+};
+
+/// A fixed-size group of PROCs, as produced by the paper's
+/// `bfork(p[0:31])` (the runtime spawns one thread per PROC).
+class ProcGroup {
+ public:
+  explicit ProcGroup(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return procs_.size(); }
+  [[nodiscard]] Proc& operator[](std::size_t i) { return *procs_.at(i); }
+  [[nodiscard]] const Proc& operator[](std::size_t i) const {
+    return *procs_.at(i);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Proc>> procs_;
+};
+
+}  // namespace cfm::bind

@@ -1,0 +1,96 @@
+#include "binding/region.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cfm::bind {
+namespace {
+
+/// Extended gcd: returns g = gcd(a, b) and x, y with a*x + b*y = g.
+std::int64_t ext_gcd(std::int64_t a, std::int64_t b, std::int64_t& x,
+                     std::int64_t& y) {
+  if (b == 0) {
+    x = 1;
+    y = 0;
+    return a;
+  }
+  std::int64_t x1 = 0;
+  std::int64_t y1 = 0;
+  const auto g = ext_gcd(b, a % b, x1, y1);
+  x = y1;
+  y = x1 - (a / b) * y1;
+  return g;
+}
+
+}  // namespace
+
+bool ranges_intersect(const IndexRange& a, const IndexRange& b) {
+  if (!a.valid() || !b.valid()) return false;
+  const auto lo = std::max(a.lo, b.lo);
+  const auto hi = std::min(a.hi, b.hi);
+  if (lo > hi) return false;
+  // Find x with x ≡ a.lo (mod a.step) and x ≡ b.lo (mod b.step).
+  std::int64_t p = 0;
+  std::int64_t q = 0;
+  const auto g = ext_gcd(a.step, b.step, p, q);
+  if ((b.lo - a.lo) % g != 0) return false;  // congruences incompatible
+  const auto lcm = a.step / g * b.step;
+  // One solution: a.lo + a.step * p * ((b.lo - a.lo) / g), then reduce to
+  // the smallest solution >= lo.  Use __int128 to dodge overflow.
+  const __int128 k = static_cast<__int128>(p) * ((b.lo - a.lo) / g);
+  __int128 x0 = static_cast<__int128>(a.lo) +
+                static_cast<__int128>(a.step) * k;
+  const auto m = static_cast<__int128>(lcm);
+  __int128 x = x0 % m;
+  if (x < 0) x += m;
+  // x is now the least non-negative representative; shift into [lo, hi].
+  __int128 base = x;
+  if (base < lo) {
+    const __int128 jump = (static_cast<__int128>(lo) - base + m - 1) / m;
+    base += jump * m;
+  }
+  return base <= hi;
+}
+
+Region& Region::dim(std::int64_t lo, std::int64_t hi, std::int64_t step) {
+  if (step <= 0 || lo > hi) {
+    throw std::invalid_argument("region dimension requires lo <= hi, step > 0");
+  }
+  dims_.push_back(IndexRange{lo, hi, step});
+  return *this;
+}
+
+Region& Region::field(std::uint32_t lo, std::uint32_t hi) {
+  if (lo > hi) throw std::invalid_argument("field range requires lo <= hi");
+  field_lo_ = lo;
+  field_hi_ = hi;
+  return *this;
+}
+
+bool Region::intersects(const Region& other) const {
+  if (object_ != other.object_) return false;
+  const auto shared_rank = std::min(dims_.size(), other.dims_.size());
+  for (std::size_t d = 0; d < shared_rank; ++d) {
+    if (!ranges_intersect(dims_[d], other.dims_[d])) return false;
+  }
+  // Field ranges must overlap as well (Fig 6.3b: .c[2] selections).
+  if (field_hi_ < other.field_lo_ || other.field_hi_ < field_lo_) return false;
+  return true;
+}
+
+std::string Region::to_string() const {
+  std::ostringstream os;
+  os << "obj" << object_;
+  for (const auto& r : dims_) {
+    os << '[' << r.lo << ':' << r.hi;
+    if (r.step != 1) os << ':' << r.step;
+    os << ']';
+  }
+  if (field_lo_ != 0 || field_hi_ != UINT32_MAX) {
+    os << ".f[" << field_lo_ << ':' << field_hi_ << ']';
+  }
+  return os.str();
+}
+
+}  // namespace cfm::bind

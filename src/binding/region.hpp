@@ -1,0 +1,79 @@
+// Shared data regions (§6.2.2 / §6.3, Figs 6.2 / 6.3).
+//
+// A region names a rectangular, possibly strided subset of a shared data
+// structure — `sh[1:2][2:3].c[2]`, `sh[0:3:2][0:4:2]`, a single element,
+// or the whole structure — as one bindable unit.  Two regions *conflict*
+// iff they belong to different owners, intersect, and at least one was
+// bound read-write (multiple-read/single-write, §6.2.2).
+//
+// Intersection of strided ranges is exact (CRT on the strides), so
+// sh[0:9:2] and sh[1:9:2] correctly do NOT conflict — the flexibility
+// the paper contrasts with one-semaphore-per-structure locking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cfm::bind {
+
+/// Inclusive strided index range lo, lo+step, ..., <= hi.
+struct IndexRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t step = 1;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return step > 0 && lo <= hi;
+  }
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return (hi - lo) / step + 1;
+  }
+  [[nodiscard]] bool contains(std::int64_t x) const noexcept {
+    return x >= lo && x <= hi && (x - lo) % step == 0;
+  }
+};
+
+/// True iff the two strided ranges share at least one index (solved via
+/// the Chinese Remainder Theorem on the strides).
+[[nodiscard]] bool ranges_intersect(const IndexRange& a, const IndexRange& b);
+
+class Region {
+ public:
+  /// `object` identifies the shared data structure (any stable id — an
+  /// address, a registry handle, ...).
+  explicit Region(std::uint64_t object) : object_(object) {}
+
+  /// The whole structure, as in binding a scalar shared variable.
+  [[nodiscard]] static Region whole(std::uint64_t object) {
+    return Region(object);
+  }
+
+  /// Appends one dimension's index range: sh[lo:hi:step].
+  Region& dim(std::int64_t lo, std::int64_t hi, std::int64_t step = 1);
+  /// Single index in the next dimension: sh[i].
+  Region& at(std::int64_t index) { return dim(index, index, 1); }
+  /// Restricts to a field/byte range within each element: .c[2] style.
+  Region& field(std::uint32_t lo, std::uint32_t hi);
+
+  [[nodiscard]] std::uint64_t object() const noexcept { return object_; }
+  [[nodiscard]] const std::vector<IndexRange>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// Exact intersection test.  Regions on different objects never
+  /// intersect; a rank mismatch compares the shared prefix (the shorter
+  /// region spans everything in its unspecified dimensions).
+  [[nodiscard]] bool intersects(const Region& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t object_;
+  std::vector<IndexRange> dims_;
+  std::uint32_t field_lo_ = 0;
+  std::uint32_t field_hi_ = UINT32_MAX;
+};
+
+}  // namespace cfm::bind

@@ -1,0 +1,52 @@
+#include "binding/runtime.hpp"
+
+#include <exception>
+
+namespace cfm::bind {
+
+std::size_t Ctx::nprocs() const noexcept { return rt_->nprocs(); }
+
+ScopedBind Ctx::bind(const Region& region, Access access) {
+  const auto id =
+      rt_->manager().bind(region, access, Sync::Blocking, pid_);
+  return ScopedBind(rt_->manager(), *id);
+}
+
+std::optional<ScopedBind> Ctx::try_bind(const Region& region, Access access) {
+  const auto id =
+      rt_->manager().bind(region, access, Sync::NonBlocking, pid_);
+  if (!id.has_value()) return std::nullopt;
+  return ScopedBind(rt_->manager(), *id);
+}
+
+void Ctx::set_level(std::int64_t level) { proc().set_level(level); }
+
+void Ctx::await_level(std::size_t target_pid, std::int64_t level) {
+  rt_->procs()[target_pid].await_level(level);
+}
+
+Proc& Ctx::proc() { return rt_->procs()[pid_]; }
+
+BindingRuntime::BindingRuntime(std::size_t nprocs) : group_(nprocs) {}
+
+void BindingRuntime::bfork(const std::function<void(Ctx&)>& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nprocs());
+  threads.reserve(nprocs());
+  for (std::size_t i = 0; i < nprocs(); ++i) {
+    threads.emplace_back([this, &body, &errors, i] {
+      Ctx ctx(*this, i);
+      try {
+        body(ctx);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace cfm::bind

@@ -1,0 +1,70 @@
+// The resource-binding runtime: threads + data binding + process binding.
+//
+// `BindingRuntime::bfork(n, body)` is the paper's bfork: it spawns n
+// worker threads, each owning a PROC from a shared ProcGroup, and runs
+// `body(ctx)` in every one.  `Ctx` bundles the per-worker identity with
+// the bind/unbind entry points, so paper examples translate line by line:
+//
+//   b = bind(sh[1:2][2:3], rw, blocking, );   ->  auto b = ctx.bind(region, Access::ReadWrite);
+//   bind(p[pid-1], ex, blocking, i);          ->  ctx.await_level(pid - 1, i);
+//   bind(*pp, ex, , 0:i);                     ->  ctx.set_level(i);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "binding/manager.hpp"
+#include "binding/process.hpp"
+
+namespace cfm::bind {
+
+class BindingRuntime;
+
+/// Per-worker context handed to the bfork body.
+class Ctx {
+ public:
+  Ctx(BindingRuntime& rt, std::size_t pid) : rt_(&rt), pid_(pid) {}
+
+  [[nodiscard]] std::size_t pid() const noexcept { return pid_; }
+  [[nodiscard]] std::size_t nprocs() const noexcept;
+
+  /// Blocking data bind; returns an RAII handle.
+  [[nodiscard]] ScopedBind bind(const Region& region, Access access);
+  /// Non-blocking data bind.
+  [[nodiscard]] std::optional<ScopedBind> try_bind(const Region& region,
+                                                   Access access);
+
+  /// Process binding: raise own permission / wait on another's.
+  void set_level(std::int64_t level);
+  void await_level(std::size_t target_pid, std::int64_t level);
+
+  [[nodiscard]] Proc& proc();
+  [[nodiscard]] BindingRuntime& runtime() noexcept { return *rt_; }
+
+ private:
+  BindingRuntime* rt_;
+  std::size_t pid_;
+};
+
+class BindingRuntime {
+ public:
+  explicit BindingRuntime(std::size_t nprocs);
+
+  [[nodiscard]] std::size_t nprocs() const noexcept { return group_.size(); }
+  [[nodiscard]] BindingManager& manager() noexcept { return mgr_; }
+  [[nodiscard]] ProcGroup& procs() noexcept { return group_; }
+
+  /// Spawns one thread per PROC running `body`, joins them all.
+  /// Exceptions from workers (e.g. DeadlockError) are rethrown from the
+  /// first failing worker after all threads have been joined.
+  void bfork(const std::function<void(Ctx&)>& body);
+
+ private:
+  BindingManager mgr_;
+  ProcGroup group_;
+};
+
+}  // namespace cfm::bind

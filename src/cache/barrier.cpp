@@ -1,0 +1,92 @@
+#include "cache/barrier.hpp"
+
+#include <cassert>
+
+namespace cfm::cache {
+
+void BarrierClient::arrive() {
+  assert(state_ == State::Idle);
+  state_ = State::ArrivePending;
+  pending_ = 0;
+  arrived_at_ = sim::kNeverCycle;
+}
+
+void BarrierClient::reset() {
+  assert(state_ == State::Released);
+  state_ = State::Idle;
+}
+
+void BarrierClient::tick(sim::Cycle now, CfmCacheSystem& sys) {
+  switch (state_) {
+    case State::Idle:
+    case State::Released:
+      break;
+
+    case State::ArrivePending: {
+      if (arrived_at_ == sim::kNeverCycle) arrived_at_ = now;
+      if (pending_ == 0) {
+        if (!sys.processor_idle(proc_)) break;
+        const auto parties = parties_;
+        pending_ = sys.rmw(now, proc_, block_,
+                           [parties](const std::vector<sim::Word>& in) {
+                             auto out = in;
+                             out[0] += 1;
+                             if (out[0] == parties) {
+                               out[0] = 0;  // last arriver releases the round
+                               out[1] += 1;
+                             }
+                             return out;
+                           });
+        break;
+      }
+      auto res = sys.take_result(pending_);
+      if (!res.has_value()) break;
+      pending_ = 0;
+      my_generation_ = res->data.at(1);  // generation *before* my arrival
+      // If my rmw was the releasing one, the generation already advanced.
+      if (res->data.at(0) + 1 == parties_) {
+        ++rounds_;
+        wait_.add(static_cast<double>(now - arrived_at_));
+        state_ = State::Released;
+      } else {
+        state_ = State::SpinLocal;
+      }
+      break;
+    }
+
+    case State::SpinLocal: {
+      const auto* line = sys.cache(proc_).find(block_);
+      if (line == nullptr) {
+        state_ = State::LoadPending;
+        break;
+      }
+      if (line->data.at(1) != my_generation_) {
+        ++rounds_;
+        wait_.add(static_cast<double>(now - arrived_at_));
+        state_ = State::Released;
+      }
+      break;
+    }
+
+    case State::LoadPending: {
+      if (pending_ == 0) {
+        if (!sys.processor_idle(proc_)) break;
+        pending_ = sys.load(now, proc_, block_);
+        break;
+      }
+      auto res = sys.take_result(pending_);
+      if (!res.has_value()) break;
+      pending_ = 0;
+      if (res->data.at(1) != my_generation_) {
+        ++rounds_;
+        wait_.add(static_cast<double>(now - arrived_at_));
+        state_ = State::Released;
+      } else {
+        state_ = State::SpinLocal;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace cfm::cache

@@ -1,0 +1,50 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+
+namespace cfm::cache {
+
+DirectCache::DirectCache(std::uint32_t lines, std::uint32_t words_per_line)
+    : words_(words_per_line) {
+  assert(lines > 0 && words_per_line > 0);
+  lines_.resize(lines);
+  for (auto& line : lines_) line.data.assign(words_, 0);
+}
+
+CacheLine* DirectCache::find(sim::BlockAddr offset) {
+  auto& line = lines_[index_of(offset)];
+  if (line.state != LineState::Invalid && line.tag == offset) return &line;
+  return nullptr;
+}
+
+const CacheLine* DirectCache::find(sim::BlockAddr offset) const {
+  const auto& line = lines_[index_of(offset)];
+  if (line.state != LineState::Invalid && line.tag == offset) return &line;
+  return nullptr;
+}
+
+LineState DirectCache::state_of(sim::BlockAddr offset) const {
+  const auto* line = find(offset);
+  return line ? line->state : LineState::Invalid;
+}
+
+CacheLine& DirectCache::fill(sim::BlockAddr offset, std::vector<sim::Word> data,
+                             LineState state) {
+  assert(data.size() == words_);
+  auto& line = lines_[index_of(offset)];
+  line.state = state;
+  line.tag = offset;
+  line.data = std::move(data);
+  line.wb_locked = false;
+  return line;
+}
+
+bool DirectCache::invalidate(sim::BlockAddr offset) {
+  auto* line = find(offset);
+  if (line == nullptr) return false;
+  line->state = LineState::Invalid;
+  line->wb_locked = false;
+  return true;
+}
+
+}  // namespace cfm::cache

@@ -1,0 +1,87 @@
+// Direct-mapped processor cache (§5.2.1: "All the CFM caches are assumed
+// to be direct-mapped throughout this dissertation").
+//
+// Line states follow the invalidation-based write-back protocol (Fig 5.2):
+// Invalid / Valid (shared, clean) / Dirty (exclusive, modified).  The
+// directory of processor i's cache is *shared* with memory bank i through
+// the wrap-around control connection (Fig 5.1), which is what lets a
+// touring block operation snoop every cache without a broadcast bus —
+// the protocol layer reads these states bank by bank.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cfm::cache {
+
+enum class LineState : std::uint8_t { Invalid, Valid, Dirty };
+
+[[nodiscard]] constexpr const char* to_string(LineState s) noexcept {
+  switch (s) {
+    case LineState::Invalid: return "invalid";
+    case LineState::Valid: return "valid";
+    case LineState::Dirty: return "dirty";
+  }
+  return "?";
+}
+
+struct CacheLine {
+  LineState state = LineState::Invalid;
+  sim::BlockAddr tag = 0;
+  std::vector<sim::Word> data;
+  /// Remotely triggered write-back disabled (atomic modification phase,
+  /// §5.3.1: "Remotely triggered write-back of this data block is disabled
+  /// during the modification phase to prevent premature write-back").
+  bool wb_locked = false;
+};
+
+class DirectCache {
+ public:
+  DirectCache(std::uint32_t lines, std::uint32_t words_per_line);
+
+  [[nodiscard]] std::uint32_t line_count() const noexcept {
+    return static_cast<std::uint32_t>(lines_.size());
+  }
+  [[nodiscard]] std::uint32_t words_per_line() const noexcept { return words_; }
+
+  /// The set this block maps to (direct-mapped: offset mod lines).
+  [[nodiscard]] std::uint32_t index_of(sim::BlockAddr offset) const noexcept {
+    return static_cast<std::uint32_t>(offset % lines_.size());
+  }
+
+  /// The line currently caching `offset`, or nullptr (miss / other tag).
+  [[nodiscard]] CacheLine* find(sim::BlockAddr offset);
+  [[nodiscard]] const CacheLine* find(sim::BlockAddr offset) const;
+
+  /// State of `offset` in this cache (Invalid on tag mismatch).
+  [[nodiscard]] LineState state_of(sim::BlockAddr offset) const;
+
+  /// The line slot `offset` maps to regardless of its current tag —
+  /// used for victim inspection before a fill.
+  [[nodiscard]] CacheLine& slot_for(sim::BlockAddr offset) {
+    return lines_[index_of(offset)];
+  }
+
+  /// Installs `offset` with `data` in `state`, replacing the victim.
+  CacheLine& fill(sim::BlockAddr offset, std::vector<sim::Word> data,
+                  LineState state);
+
+  /// Invalidates `offset` if present; returns true if a copy was dropped.
+  bool invalidate(sim::BlockAddr offset);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  void count_hit() noexcept { ++hits_; }
+  void count_miss() noexcept { ++misses_; }
+
+ private:
+  std::uint32_t words_;
+  std::vector<CacheLine> lines_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cfm::cache

@@ -1,0 +1,524 @@
+#include "cache/hierarchical.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cfm::cache {
+
+using core::BlockOpKind;
+using core::CfmMemory;
+
+HierarchicalCfm::HierarchicalCfm(const Params& params)
+    : params_(params),
+      l2_(params.clusters),
+      proc_busy_(params.clusters * params.procs_per_cluster, false) {
+  const auto cluster_cfg = core::CfmConfig::make(
+      params.procs_per_cluster, params.bank_cycle, params.word_bits);
+  cluster_mem_.reserve(params.clusters);
+  for (std::uint32_t c = 0; c < params.clusters; ++c) {
+    cluster_mem_.push_back(std::make_unique<CfmMemory>(cluster_cfg));
+  }
+  // One global port per network controller; same bank cycle, and the line
+  // size must match the cluster's so blocks move 1:1 between levels, so
+  // the global word width scales with the cluster/controller ratio.
+  if ((params.procs_per_cluster * params.word_bits) % params.clusters != 0) {
+    throw std::invalid_argument(
+        "clusters must divide the cluster block width for 1:1 line movement");
+  }
+  core::CfmConfig gcfg = core::CfmConfig::make(
+      params.clusters, params.bank_cycle,
+      params.procs_per_cluster * params.word_bits / params.clusters);
+  global_mem_ = std::make_unique<CfmMemory>(gcfg);
+  l1_.reserve(processor_count());
+  const auto words = cluster_cfg.banks;
+  for (std::uint32_t p = 0; p < processor_count(); ++p) {
+    l1_.push_back(std::make_unique<DirectCache>(params.l1_lines, words));
+  }
+  (void)words;
+}
+
+std::uint32_t HierarchicalCfm::beta_cluster() const noexcept {
+  return cluster_mem_[0]->config().block_access_time();
+}
+std::uint32_t HierarchicalCfm::beta_global() const noexcept {
+  return global_mem_->config().block_access_time();
+}
+
+bool HierarchicalCfm::processor_idle(sim::ProcessorId p) const {
+  return !proc_busy_.at(p);
+}
+
+HierarchicalCfm::ReqId HierarchicalCfm::read(sim::Cycle now, sim::ProcessorId p,
+                                             sim::BlockAddr offset) {
+  if (!processor_idle(p)) throw std::logic_error("processor busy");
+  Pending q;
+  q.id = next_req_++;
+  q.proc = p;
+  q.offset = offset;
+  q.issued = now;
+  proc_busy_.at(p) = true;
+  auto& cache = *l1_[p];
+  if (const auto* line = cache.find(offset)) {
+    cache.count_hit();
+    counters_.inc("l1_hits");
+    q.phase = Phase::L1Hit;
+    q.phase_until = now + 1;
+    q.cls = AccessClass::L1Hit;
+    q.block = line->data;
+  } else {
+    cache.count_miss();
+    auto& victim = cache.slot_for(offset);
+    q.phase = (victim.state == LineState::Dirty && victim.tag != offset)
+                  ? Phase::VictimWb
+                  : Phase::ClusterOp;  // resolved further in try-issue
+    q.cls = AccessClass::LocalCluster;
+  }
+  pending_.push_back(std::move(q));
+  return next_req_ - 1;
+}
+
+HierarchicalCfm::ReqId HierarchicalCfm::write(sim::Cycle now, sim::ProcessorId p,
+                                              sim::BlockAddr offset,
+                                              std::uint32_t word_index,
+                                              sim::Word value) {
+  if (!processor_idle(p)) throw std::logic_error("processor busy");
+  Pending q;
+  q.id = next_req_++;
+  q.proc = p;
+  q.offset = offset;
+  q.is_write = true;
+  q.word_index = word_index;
+  q.value = value;
+  q.issued = now;
+  proc_busy_.at(p) = true;
+  auto& cache = *l1_[p];
+  auto* line = cache.find(offset);
+  if (line != nullptr && line->state == LineState::Dirty) {
+    cache.count_hit();
+    counters_.inc("l1_hits");
+    line->data.at(word_index) = value;
+    q.phase = Phase::L1Hit;
+    q.phase_until = now + 1;
+    q.cls = AccessClass::L1Hit;
+  } else {
+    if (line == nullptr) cache.count_miss(); else cache.count_hit();
+    auto& victim = cache.slot_for(offset);
+    q.phase = (victim.state == LineState::Dirty && victim.tag != offset)
+                  ? Phase::VictimWb
+                  : Phase::ClusterOp;
+    q.cls = AccessClass::LocalCluster;
+  }
+  pending_.push_back(std::move(q));
+  return next_req_ - 1;
+}
+
+std::optional<sim::ProcessorId> HierarchicalCfm::l1_dirty_owner(
+    std::uint32_t cluster, sim::BlockAddr offset,
+    sim::ProcessorId except) const {
+  const auto base = cluster * params_.procs_per_cluster;
+  for (std::uint32_t i = 0; i < params_.procs_per_cluster; ++i) {
+    const auto q = base + i;
+    if (q == except) continue;
+    if (l1_[q]->state_of(offset) == LineState::Dirty) return q;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::ProcessorId> HierarchicalCfm::borrow_cluster_port(
+    std::uint32_t cluster) const {
+  // The network controller has no dedicated AT-space slot; it borrows an
+  // idle processor port ("stealing time slots", §5.4.1).
+  const auto& mem = *cluster_mem_[cluster];
+  for (std::uint32_t i = 0; i < params_.procs_per_cluster; ++i) {
+    if (mem.idle(i)) return i;
+  }
+  return std::nullopt;
+}
+
+void HierarchicalCfm::finish(sim::Cycle now, Pending& p) {
+  if (p.holds_block_lock) {
+    global_dir_[p.offset].busy = false;
+    p.holds_block_lock = false;
+  }
+  Outcome out;
+  out.cls = p.cls;
+  out.is_write = p.is_write;
+  out.issued = p.issued;
+  out.completed = now;
+  out.invalidations = p.invalidations;
+  results_.emplace(p.id, out);
+  proc_busy_.at(p.proc) = false;
+  counters_.inc(p.cls == AccessClass::L1Hit          ? "class_l1_hit"
+                : p.cls == AccessClass::LocalCluster ? "class_local"
+                : p.cls == AccessClass::Global       ? "class_global"
+                                                     : "class_dirty_remote");
+}
+
+void HierarchicalCfm::enter_cluster_fill(sim::Cycle now, Pending& p) {
+  (void)now;
+  p.phase = Phase::ClusterOp;
+  p.op = CfmMemory::kNoOp;
+}
+
+void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
+  const auto cluster = cluster_of(p.proc);
+  auto& cmem = *cluster_mem_[cluster];
+  auto& l2 = l2_[cluster];
+
+  if (p.phase == Phase::L1Hit) {
+    if (now >= p.phase_until) finish(now, p);
+    return;
+  }
+
+  // ---- Issue the op for the current phase if not yet in flight. ----
+  if (p.op == CfmMemory::kNoOp) {
+    switch (p.phase) {
+      case Phase::VictimWb: {
+        const auto port = local_index(p.proc);
+        if (!cmem.idle(port)) return;
+        auto& victim = l1_[p.proc]->slot_for(p.offset);
+        assert(victim.state == LineState::Dirty);
+        p.op = cmem.issue(now, port, BlockOpKind::Write, victim.tag,
+                          victim.data);
+        p.op_is_global = false;
+        p.op_port = port;
+        counters_.inc("victim_wbs");
+        break;
+      }
+      case Phase::ClusterOp: {
+        // Entry point after accept / fills.  Same-block transactions are
+        // serialized machine-wide: acquire the block's transaction lock
+        // before consulting any state, hold it until retirement.  This
+        // keeps the global directory and the two cache levels from ever
+        // being observed mid-transition (Table 5.3 coupling).
+        if (!p.holds_block_lock) {
+          auto& g = global_dir_[p.offset];
+          if (g.busy) return;
+          g.busy = true;
+          p.holds_block_lock = true;
+        }
+        const auto it = l2.find(p.offset);
+        const auto l2s = it == l2.end() ? LineState::Invalid : it->second.state;
+        if (l2s == LineState::Invalid) {
+          // L2 miss: the controller must fetch from global memory.
+          p.phase = Phase::GlobalAttempt;
+          p.cls = AccessClass::Global;
+          return;  // issue on the next advance call path below
+        }
+        if (p.is_write && l2s != LineState::Dirty) {
+          // Ownership upgrade at the global level before any processor in
+          // the cluster may own the block (Table 5.3).
+          p.phase = Phase::GlobalAttempt;
+          p.cls = AccessClass::Global;
+          return;
+        }
+        // Intra-cluster dirty owner? trigger its write-back first.
+        if (const auto owner = l1_dirty_owner(cluster, p.offset, p.proc)) {
+          p.remote_owner = *owner;
+          p.phase = Phase::LocalL1Wb;
+          return;
+        }
+        const auto port = local_index(p.proc);
+        if (!cmem.idle(port)) return;
+        p.op = cmem.issue(now, port, BlockOpKind::Read, p.offset);
+        p.op_is_global = false;
+        p.op_port = port;
+        break;
+      }
+      case Phase::LocalL1Wb: {
+        const auto port = local_index(p.remote_owner);
+        if (!cmem.idle(port)) return;
+        auto* line = l1_[p.remote_owner]->find(p.offset);
+        if (line == nullptr || line->state != LineState::Dirty) {
+          // Flushed meanwhile; go read it.
+          p.phase = Phase::ClusterOp;
+          return;
+        }
+        p.op = cmem.issue(now, port, BlockOpKind::Write, p.offset, line->data);
+        p.op_is_global = false;
+        p.op_port = port;
+        counters_.inc("local_l1_wbs");
+        break;
+      }
+      case Phase::GlobalAttempt:
+      case Phase::GlobalRetry: {
+        const auto port = cluster;  // controller's global AT-space slot
+        if (!global_mem_->idle(port)) return;
+        p.op = global_mem_->issue(now, port, BlockOpKind::Read, p.offset);
+        p.op_is_global = true;
+        p.op_port = port;
+        counters_.inc("global_reads");
+        break;
+      }
+      case Phase::RemoteL1Wb: {
+        auto& rmem = *cluster_mem_[p.remote_cluster];
+        const auto port = local_index(p.remote_owner);
+        if (!rmem.idle(port)) return;
+        auto* line = l1_[p.remote_owner]->find(p.offset);
+        if (line == nullptr || line->state != LineState::Dirty) {
+          p.phase = Phase::RemoteL2Wb;
+          return;
+        }
+        p.op = rmem.issue(now, port, BlockOpKind::Write, p.offset, line->data);
+        p.op_is_global = false;
+        p.op_port = port;
+        counters_.inc("remote_l1_wbs");
+        break;
+      }
+      case Phase::RemoteL2Wb: {
+        // An L1 owner may have appeared (a local write that was already in
+        // flight when the chain started): flush it first.
+        if (const auto owner = l1_dirty_owner(p.remote_cluster, p.offset,
+                                              /*except=*/UINT32_MAX)) {
+          p.remote_owner = *owner;
+          p.phase = Phase::RemoteL1Wb;
+          return;
+        }
+        const auto port = p.remote_cluster;
+        if (!global_mem_->idle(port)) return;
+        const auto data = cluster_mem_[p.remote_cluster]->peek_block(p.offset);
+        p.op = global_mem_->issue(now, port, BlockOpKind::Write, p.offset, data);
+        p.op_is_global = true;
+        p.op_port = port;
+        counters_.inc("remote_l2_wbs");
+        break;
+      }
+      case Phase::L2Fill: {
+        const auto port = borrow_cluster_port(cluster);
+        if (!port.has_value()) return;
+        p.op = cmem.issue(now, *port, BlockOpKind::Write, p.offset, p.block);
+        p.op_is_global = false;
+        p.op_port = *port;
+        counters_.inc("l2_fills");
+        break;
+      }
+      default:
+        break;
+    }
+    return;
+  }
+
+  // ---- Poll the in-flight op. ----
+  auto& mem = p.op_is_global ? *global_mem_ : (p.phase == Phase::RemoteL1Wb
+                                                   ? *cluster_mem_[p.remote_cluster]
+                                                   : cmem);
+  auto result = mem.take_result(p.op);
+  if (!result.has_value()) return;
+  p.op = CfmMemory::kNoOp;
+  if (result->status == core::OpStatus::Aborted) {
+    // A write lost a same-address race (possible only under heavy sharing);
+    // reissue the phase.
+    counters_.inc("phase_retries");
+    return;
+  }
+
+  switch (p.phase) {
+    case Phase::VictimWb: {
+      auto& victim = l1_[p.proc]->slot_for(p.offset);
+      victim.state = LineState::Valid;
+      p.phase = Phase::ClusterOp;
+      break;
+    }
+    case Phase::LocalL1Wb: {
+      if (auto* line = l1_[p.remote_owner]->find(p.offset)) {
+        line->state = LineState::Valid;
+      }
+      p.phase = Phase::ClusterOp;
+      break;
+    }
+    case Phase::GlobalAttempt: {
+      auto& g = global_dir_[p.offset];
+      if (g.dirty_cluster.has_value() && *g.dirty_cluster != cluster) {
+        // Dirty in a remote cluster: run the write-back chain (§5.4.2).
+        p.cls = AccessClass::DirtyRemote;
+        p.remote_cluster = *g.dirty_cluster;
+        const auto owner =
+            l1_dirty_owner(p.remote_cluster, p.offset, /*except=*/UINT32_MAX);
+        if (owner.has_value()) {
+          p.remote_owner = *owner;
+          p.phase = Phase::RemoteL1Wb;
+        } else {
+          p.phase = Phase::RemoteL2Wb;
+        }
+        break;
+      }
+      p.block = std::move(result->data);
+      if (p.is_write) {
+        // Invalidate every other cluster's copies (L2 and the L1s above).
+        for (std::uint32_t rc = 0; rc < params_.clusters; ++rc) {
+          if (rc == cluster) continue;
+          auto it = l2_[rc].find(p.offset);
+          if (it != l2_[rc].end() && it->second.state != LineState::Invalid) {
+            it->second.state = LineState::Invalid;
+            ++p.invalidations;
+            const auto base = rc * params_.procs_per_cluster;
+            for (std::uint32_t i = 0; i < params_.procs_per_cluster; ++i) {
+              if (l1_[base + i]->invalidate(p.offset)) ++p.invalidations;
+            }
+          }
+        }
+        g.valid_clusters.clear();
+        g.dirty_cluster = cluster;
+      } else {
+        g.valid_clusters.insert(cluster);
+      }
+      const auto l2s = l2_[cluster].find(p.offset);
+      const bool have_data_in_l2 =
+          l2s != l2_[cluster].end() && l2s->second.state != LineState::Invalid;
+      if (have_data_in_l2) {
+        // Upgrade: the line is already in L2; just adjust its state.
+        l2_[cluster][p.offset].state =
+            p.is_write ? LineState::Dirty : LineState::Valid;
+        enter_cluster_fill(now, p);
+      } else {
+        p.phase = Phase::L2Fill;
+      }
+      break;
+    }
+    case Phase::RemoteL1Wb: {
+      if (auto* line = l1_[p.remote_owner]->find(p.offset)) {
+        line->state = LineState::Valid;
+      }
+      p.phase = Phase::RemoteL2Wb;
+      break;
+    }
+    case Phase::RemoteL2Wb: {
+      if (const auto owner = l1_dirty_owner(p.remote_cluster, p.offset,
+                                            /*except=*/UINT32_MAX)) {
+        // A dirty L1 copy slipped in while we flushed: flush it and redo
+        // the L2 write-back so memory gets the newest data.
+        p.remote_owner = *owner;
+        p.phase = Phase::RemoteL1Wb;
+        break;
+      }
+      l2_[p.remote_cluster][p.offset].state = LineState::Valid;
+      auto& g = global_dir_[p.offset];
+      g.dirty_cluster.reset();
+      g.valid_clusters.insert(p.remote_cluster);
+      p.phase = Phase::GlobalRetry;
+      break;
+    }
+    case Phase::GlobalRetry: {
+      p.block = std::move(result->data);
+      auto& g = global_dir_[p.offset];
+      if (p.is_write) {
+        for (std::uint32_t rc = 0; rc < params_.clusters; ++rc) {
+          if (rc == cluster) continue;
+          auto it = l2_[rc].find(p.offset);
+          if (it != l2_[rc].end() && it->second.state != LineState::Invalid) {
+            it->second.state = LineState::Invalid;
+            ++p.invalidations;
+            const auto base = rc * params_.procs_per_cluster;
+            for (std::uint32_t i = 0; i < params_.procs_per_cluster; ++i) {
+              if (l1_[base + i]->invalidate(p.offset)) ++p.invalidations;
+            }
+          }
+        }
+        g.valid_clusters.clear();
+        g.dirty_cluster = cluster;
+      } else {
+        g.valid_clusters.insert(cluster);
+      }
+      p.phase = Phase::L2Fill;
+      break;
+    }
+    case Phase::L2Fill: {
+      l2_[cluster][p.offset].state =
+          p.is_write ? LineState::Dirty : LineState::Valid;
+      enter_cluster_fill(now, p);
+      break;
+    }
+    case Phase::ClusterOp: {
+      // A remote writer may have invalidated this cluster's L2 copy while
+      // our tour was in flight; filling L1 now would violate the Table 5.3
+      // coupling.  Re-run the decision phase (it will fetch globally).
+      const auto it2 = l2.find(p.offset);
+      const auto l2s =
+          it2 == l2.end() ? LineState::Invalid : it2->second.state;
+      if (l2s == LineState::Invalid || (p.is_write && l2s != LineState::Dirty)) {
+        counters_.inc("fill_races");
+        break;  // phase stays ClusterOp; the issue path re-decides
+      }
+      auto& cache = *l1_[p.proc];
+      if (p.is_write) {
+        // Invalidate other L1 copies in the cluster before taking
+        // exclusive ownership.
+        const auto base = cluster * params_.procs_per_cluster;
+        for (std::uint32_t i = 0; i < params_.procs_per_cluster; ++i) {
+          const auto q = base + i;
+          if (q == p.proc) continue;
+          if (l1_[q]->invalidate(p.offset)) ++p.invalidations;
+        }
+        auto& line = cache.fill(p.offset, std::move(result->data),
+                                LineState::Dirty);
+        line.data.at(p.word_index) = p.value;
+        l2_[cluster][p.offset].state = LineState::Dirty;
+      } else {
+        cache.fill(p.offset, std::move(result->data), LineState::Valid);
+      }
+      finish(now, p);
+      break;
+    }
+    default:
+      assert(false);
+  }
+}
+
+void HierarchicalCfm::tick(sim::Cycle now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    // A phase completion and the next phase's issue happen in the same
+    // cycle (the controller reacts combinationally); bound the chain so a
+    // blocked issue cannot spin.
+    for (int hop = 0; hop < 3; ++hop) {
+      const auto phase_before = it->phase;
+      const auto op_before = it->op;
+      advance(now, *it);
+      if (results_.contains(it->id)) break;
+      if (it->phase == phase_before && it->op == op_before) break;
+    }
+    if (results_.contains(it->id)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& mem : cluster_mem_) mem->tick(now);
+  global_mem_->tick(now);
+}
+
+std::optional<HierarchicalCfm::Outcome> HierarchicalCfm::take_result(ReqId id) {
+  const auto it = results_.find(id);
+  if (it == results_.end()) return std::nullopt;
+  auto out = it->second;
+  results_.erase(it);
+  return out;
+}
+
+LineState HierarchicalCfm::l1_state(sim::ProcessorId p,
+                                    sim::BlockAddr offset) const {
+  return l1_.at(p)->state_of(offset);
+}
+
+LineState HierarchicalCfm::l2_state(std::uint32_t cluster,
+                                    sim::BlockAddr offset) const {
+  const auto it = l2_.at(cluster).find(offset);
+  return it == l2_.at(cluster).end() ? LineState::Invalid : it->second.state;
+}
+
+bool HierarchicalCfm::check_state_coupling() const {
+  // Table 5.3: L1 Valid requires L2 Valid or Dirty; L1 Dirty requires L2
+  // Dirty.  Probe every resident L1 line.
+  for (std::uint32_t p = 0; p < processor_count(); ++p) {
+    auto& cache = *l1_[p];
+    for (std::uint32_t i = 0; i < cache.line_count(); ++i) {
+      const auto& line = cache.slot_for(i);
+      if (line.state == LineState::Invalid) continue;
+      const auto l2s = l2_state(cluster_of(p), line.tag);
+      if (line.state == LineState::Dirty && l2s != LineState::Dirty) return false;
+      if (line.state == LineState::Valid && l2s == LineState::Invalid) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cfm::cache

@@ -1,0 +1,57 @@
+#include "cache/sync_ops.hpp"
+
+#include <cassert>
+
+namespace cfm::cache {
+
+core::ModifyFn make_swap_word(std::uint32_t index, sim::Word value) {
+  return [index, value](const std::vector<sim::Word>& block) {
+    auto out = block;
+    out.at(index) = value;
+    return out;
+  };
+}
+
+core::ModifyFn make_test_and_set(std::uint32_t index) {
+  return make_swap_word(index, 1);
+}
+
+core::ModifyFn make_fetch_and_add(std::uint32_t index, sim::Word delta) {
+  return [index, delta](const std::vector<sim::Word>& block) {
+    auto out = block;
+    out.at(index) += delta;
+    return out;
+  };
+}
+
+core::ModifyFn make_multiple_test_and_set(std::vector<sim::Word> pattern) {
+  return [pattern = std::move(pattern)](const std::vector<sim::Word>& block) {
+    assert(block.size() == pattern.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if ((block[i] & pattern[i]) != 0) return block;  // conflict: unchanged
+    }
+    auto out = block;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] |= pattern[i];
+    return out;
+  };
+}
+
+core::ModifyFn make_multiple_unlock(std::vector<sim::Word> pattern) {
+  return [pattern = std::move(pattern)](const std::vector<sim::Word>& block) {
+    assert(block.size() == pattern.size());
+    auto out = block;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] &= ~pattern[i];
+    return out;
+  };
+}
+
+bool multiple_lock_succeeded(const std::vector<sim::Word>& old_block,
+                             const std::vector<sim::Word>& pattern) {
+  assert(old_block.size() == pattern.size());
+  for (std::size_t i = 0; i < old_block.size(); ++i) {
+    if ((old_block[i] & pattern[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace cfm::cache

@@ -1,0 +1,193 @@
+// Synchronization operations over cache-coherent systems (§5.3).
+//
+// All of them are read-modify-write specializations: obtain exclusive
+// ownership, modify locally (remote-triggered write-back disabled), flush
+// with write-back.  The block-wide width of the primitives is what enables
+// the *atomic multiple lock/unlock* of Fig 5.5: related locks live in
+// different words (or bits) of one block, and a single multiple-test-and-
+// set acquires all of them or none.
+//
+// `BusyLockClient` reproduces the Fig 5.4 lock-transfer choreography and is
+// generic over the protocol engine (CfmCacheSystem or the SnoopyBus
+// baseline — anything with load/rmw/take_result/processor_idle/cache/
+// block_words): waiters spin on their *local* cached copy (zero memory
+// traffic — the anti-hot-spot property), get invalidated when the holder
+// releases, race with read + ownership acquisition, and exactly one wins;
+// a full transfer costs about three memory accesses (write-back + read +
+// read-invalidate).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "cache/cfm_protocol.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::cache {
+
+/// Builds a ModifyFn that atomically sets word `index` to `value`
+/// (swap on one word) — the §5.3.1 swap special case.
+[[nodiscard]] core::ModifyFn make_swap_word(std::uint32_t index, sim::Word value);
+
+/// test-and-set on word `index` (sets it to 1).
+[[nodiscard]] core::ModifyFn make_test_and_set(std::uint32_t index);
+
+/// fetch-and-add on word `index`.
+[[nodiscard]] core::ModifyFn make_fetch_and_add(std::uint32_t index, sim::Word delta);
+
+/// Multiple test-and-set (Fig 5.5): if (block & pattern) == 0 across every
+/// word, sets block |= pattern; otherwise leaves the block unchanged.
+/// The caller inspects the returned old block to learn which happened.
+[[nodiscard]] core::ModifyFn make_multiple_test_and_set(
+    std::vector<sim::Word> pattern);
+
+/// Multiple unlock: block &= ~pattern.
+[[nodiscard]] core::ModifyFn make_multiple_unlock(std::vector<sim::Word> pattern);
+
+/// True iff `pattern` was successfully set given the pre-image `old_block`
+/// (i.e. no requested bit position was already locked).
+[[nodiscard]] bool multiple_lock_succeeded(const std::vector<sim::Word>& old_block,
+                                           const std::vector<sim::Word>& pattern);
+
+/// Busy-waiting (multiple-)lock client (§5.3.2 / §5.3.3), generic over
+/// the coherence engine.
+template <typename Sys>
+class BusyLockClient {
+ public:
+  BusyLockClient(sim::ProcessorId proc, sim::BlockAddr lock_block,
+                 std::vector<sim::Word> pattern = {})
+      : proc_(proc), block_(lock_block), pattern_(std::move(pattern)) {}
+
+  enum class State : std::uint8_t {
+    Idle,
+    SpinLocal,      ///< read-looping on the local cached copy
+    LoadPending,    ///< refetching after invalidation / miss
+    TasPending,     ///< multiple-test-and-set rmw in flight
+    Holding,
+    UnlockPending,  ///< releasing rmw in flight
+  };
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool holding() const noexcept { return state_ == State::Holding; }
+
+  void acquire() {
+    assert(state_ == State::Idle);
+    state_ = State::LoadPending;
+    want_since_ = sim::kNeverCycle;
+    pending_ = 0;
+  }
+
+  void release() {
+    assert(state_ == State::Holding);
+    want_release_ = true;
+  }
+
+  void tick(sim::Cycle now, Sys& sys) {
+    if (pattern_.empty()) {
+      pattern_.assign(sys.block_words(), 0);
+      pattern_[0] = 1;  // default: a simple lock in word 0
+    }
+    switch (state_) {
+      case State::Idle:
+        break;
+
+      case State::SpinLocal: {
+        // while (*s); — runs against the local cached copy only.
+        const auto* line = sys.cache(proc_).find(block_);
+        if (line != nullptr) {
+          ++local_spins_;
+          if (pattern_free(line->data)) {
+            state_ = State::TasPending;
+            pending_ = sys.rmw(now, proc_, block_,
+                               make_multiple_test_and_set(pattern_));
+          }
+        } else {
+          state_ = State::LoadPending;  // invalidated by the releaser
+        }
+        break;
+      }
+
+      case State::LoadPending: {
+        if (want_since_ == sim::kNeverCycle) want_since_ = now;
+        if (pending_ == 0) {
+          if (!sys.processor_idle(proc_)) break;
+          pending_ = sys.load(now, proc_, block_);
+          break;
+        }
+        auto res = sys.take_result(pending_);
+        if (!res.has_value()) break;
+        pending_ = 0;
+        if (pattern_free(res->data)) {
+          state_ = State::TasPending;
+          pending_ = sys.rmw(now, proc_, block_,
+                             make_multiple_test_and_set(pattern_));
+        } else {
+          state_ = State::SpinLocal;
+        }
+        break;
+      }
+
+      case State::TasPending: {
+        auto res = sys.take_result(pending_);
+        if (!res.has_value()) break;
+        pending_ = 0;
+        if (multiple_lock_succeeded(res->data, pattern_)) {
+          state_ = State::Holding;
+          ++acquisitions_;
+          acquire_latency_.add(static_cast<double>(now - want_since_));
+        } else {
+          state_ = State::SpinLocal;  // lost the race: back to local spin
+        }
+        break;
+      }
+
+      case State::Holding: {
+        if (!want_release_ || !sys.processor_idle(proc_)) break;
+        pending_ = sys.rmw(now, proc_, block_, make_multiple_unlock(pattern_));
+        state_ = State::UnlockPending;
+        want_release_ = false;
+        break;
+      }
+
+      case State::UnlockPending: {
+        auto res = sys.take_result(pending_);
+        if (!res.has_value()) break;
+        pending_ = 0;
+        state_ = State::Idle;
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  [[nodiscard]] const sim::RunningStat& acquire_latency() const noexcept {
+    return acquire_latency_;
+  }
+  /// Cycles spent spinning entirely inside the local cache (no traffic).
+  [[nodiscard]] std::uint64_t local_spin_cycles() const noexcept {
+    return local_spins_;
+  }
+
+ private:
+  [[nodiscard]] bool pattern_free(const std::vector<sim::Word>& block) const {
+    return multiple_lock_succeeded(block, pattern_);
+  }
+
+  sim::ProcessorId proc_;
+  sim::BlockAddr block_;
+  std::vector<sim::Word> pattern_;
+  State state_ = State::Idle;
+  std::uint64_t pending_ = 0;
+  sim::Cycle want_since_ = 0;
+  bool want_release_ = false;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t local_spins_ = 0;
+  sim::RunningStat acquire_latency_;
+};
+
+/// The common instantiation: the CFM cache protocol client.
+using CachedLockClient = BusyLockClient<CfmCacheSystem>;
+
+}  // namespace cfm::cache

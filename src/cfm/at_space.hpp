@@ -1,0 +1,73 @@
+// The AT-space (address-time space) mapping — the heart of CFM (§3.1).
+//
+// At time slot t, processor p's address path is connected to memory bank
+//
+//     bank(t, p) = (t + c*p) mod b          (Table 3.1 for c=2, n=4, b=8)
+//
+// A block access issued at slot t0 therefore delivers its address to bank
+// (t0 + j + c*p) mod b at slot t0 + j, for j = 0..b-1, and the word from
+// that bank moves on the data path c-1 slots later (the data connections
+// are "similar but shifted", §3.1.3; Fig 3.6).  Because p appears scaled
+// by c, the n processors occupy disjoint banks at every slot — the
+// mutually exclusive AT-space partition of Fig 3.3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cfm/config.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::core {
+
+class AtSpace {
+ public:
+  explicit AtSpace(const CfmConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+
+  [[nodiscard]] const CfmConfig& config() const noexcept { return cfg_; }
+
+  /// Bank whose *address path* is connected to processor p at slot t.
+  [[nodiscard]] sim::BankId bank_at(sim::Cycle t, sim::ProcessorId p) const noexcept {
+    return static_cast<sim::BankId>((t + static_cast<sim::Cycle>(cfg_.bank_cycle) * p) %
+                                    cfg_.banks);
+  }
+
+  /// Processor connected to `bank` at slot t, if any.  With c > 1 only
+  /// n of the b banks receive a new address each slot; the rest are in
+  /// the middle of a c-cycle word access.
+  [[nodiscard]] std::optional<sim::ProcessorId> processor_at(
+      sim::Cycle t, sim::BankId bank) const noexcept;
+
+  /// The j-th bank visited by a block access issued by p at slot t0.
+  [[nodiscard]] sim::BankId visit_bank(sim::Cycle t0, sim::ProcessorId p,
+                                       std::uint32_t j) const noexcept {
+    return bank_at(t0 + j, p);
+  }
+
+  /// Slot at which word j's data crosses the data path (Fig 3.6: one bank
+  /// cycle after the address is delivered).
+  [[nodiscard]] sim::Cycle data_slot(sim::Cycle t0, std::uint32_t j) const noexcept {
+    return t0 + j + cfg_.bank_cycle - 1;
+  }
+
+  /// First cycle at which the whole block access is complete:
+  /// t0 + beta, with beta = b + c - 1.
+  [[nodiscard]] sim::Cycle completion(sim::Cycle t0) const noexcept {
+    return t0 + cfg_.block_access_time();
+  }
+
+  /// Table 3.1: for each slot of one time period (b slots), which
+  /// processor's address path is connected to each bank (nullopt = idle).
+  [[nodiscard]] std::vector<std::vector<std::optional<sim::ProcessorId>>>
+  connection_table() const;
+
+  /// True iff the schedule partitions AT-space into mutually exclusive
+  /// per-processor subsets: no slot connects two processors to one bank.
+  [[nodiscard]] bool verify_exclusive() const;
+
+ private:
+  CfmConfig cfg_;
+};
+
+}  // namespace cfm::core

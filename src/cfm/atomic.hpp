@@ -1,0 +1,71 @@
+// Busy-waiting lock/unlock over the atomic block swap (§4.2.2).
+//
+//   lock(s):   while (swap(1, s)) while (*s);     // swap + read-loop
+//   unlock(s): *s = 0;                            // plain write
+//
+// The distinctive CFM property reproduced here: the read loop of waiting
+// processors runs *every* cycle against shared memory and still causes
+// zero interference — there is no network or bank contention to create a
+// hot spot, and reads never delay the lock holder because writes and
+// swaps have priority over reads in the ATT rules.
+//
+// `LockClient` is the per-processor state machine that drives these
+// operations through CfmMemory cycle by cycle; tests and the hot-spot
+// bench use a farm of them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cfm/cfm_memory.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::core {
+
+class LockClient {
+ public:
+  /// The lock variable occupies word 0 of `lock_block`; 0 = free,
+  /// nonzero = held.
+  LockClient(sim::ProcessorId proc, sim::BlockAddr lock_block)
+      : proc_(proc), block_(lock_block) {}
+
+  enum class State : std::uint8_t {
+    Idle,          ///< neither holding nor wanting the lock
+    SwapPending,   ///< swap(1, s) in flight
+    ReadLooping,   ///< lock was held: while (*s) read loop
+    ReadPending,   ///< one read of the loop in flight
+    Holding,       ///< lock acquired
+    UnlockPending, ///< unlock write in flight
+  };
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool holding() const noexcept { return state_ == State::Holding; }
+  [[nodiscard]] sim::ProcessorId processor() const noexcept { return proc_; }
+
+  /// Requests lock acquisition; takes effect on subsequent ticks.
+  void acquire();
+  /// Requests release; valid only while holding.
+  void release();
+
+  /// Drives the protocol one cycle.  Call every cycle before mem.tick().
+  void tick(sim::Cycle now, CfmMemory& mem);
+
+  /// Number of completed acquisitions, and the cycles each took from the
+  /// acquire() request to lock ownership.
+  [[nodiscard]] std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  [[nodiscard]] const sim::RunningStat& acquire_latency() const noexcept {
+    return acquire_latency_;
+  }
+
+ private:
+  sim::ProcessorId proc_;
+  sim::BlockAddr block_;
+  State state_ = State::Idle;
+  CfmMemory::OpToken pending_ = CfmMemory::kNoOp;
+  sim::Cycle want_since_ = 0;
+  bool want_release_ = false;
+  std::uint64_t acquisitions_ = 0;
+  sim::RunningStat acquire_latency_;
+};
+
+}  // namespace cfm::core

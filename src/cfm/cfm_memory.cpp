@@ -1,0 +1,313 @@
+#include "cfm/cfm_memory.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cfm::core {
+
+CfmMemory::CfmMemory(const CfmConfig& cfg, ConsistencyPolicy policy)
+    : cfg_(cfg),
+      policy_(policy),
+      at_(cfg),
+      module_(0, cfg.banks, cfg.bank_cycle),
+      inflight_(cfg.processors) {
+  atts_.reserve(cfg_.banks);
+  for (std::uint32_t i = 0; i < cfg_.banks; ++i) {
+    atts_.emplace_back(cfg_.banks - 1);
+  }
+}
+
+bool CfmMemory::idle(sim::ProcessorId p) const {
+  return !inflight_.at(p).has_value();
+}
+
+CfmMemory::OpToken CfmMemory::issue(sim::Cycle now, sim::ProcessorId p,
+                                    BlockOpKind kind, sim::BlockAddr offset,
+                                    std::span<const sim::Word> data,
+                                    ModifyFn modify) {
+  if (!idle(p)) throw std::logic_error("processor already has an op in flight");
+  if (kind == BlockOpKind::Swap && policy_ != ConsistencyPolicy::EarliestWins) {
+    // §4.2.1: atomic operations require the first-issued-wins priority.
+    throw std::logic_error("swap requires ConsistencyPolicy::EarliestWins");
+  }
+  if (kind == BlockOpKind::ProtoRead || kind == BlockOpKind::ProtoReadInv ||
+      kind == BlockOpKind::ProtoWriteBack) {
+    throw std::logic_error(
+        "protocol primitives are driven by cache::CfmProtocol, not CfmMemory");
+  }
+  InFlight op;
+  op.token = next_token_++;
+  op.kind = kind;
+  op.offset = offset;
+  op.proc = p;
+  op.original_issue = now;
+  op.tour_start = now;
+  op.read_buf.assign(cfg_.banks, 0);
+  if (kind == BlockOpKind::Write || kind == BlockOpKind::Swap) {
+    if (!modify) {
+      if (data.size() != cfg_.banks) {
+        throw std::invalid_argument("write data must supply one word per bank");
+      }
+      op.write_buf.assign(data.begin(), data.end());
+    } else if (kind == BlockOpKind::Write) {
+      throw std::invalid_argument("modify callback is only valid for Swap");
+    }
+  }
+  op.modify = std::move(modify);
+  const OpToken token = op.token;
+  log_.lazy(now, "issue", [&](std::ostream& os) {
+    os << "op " << token << " proc " << p << " kind "
+       << static_cast<int>(kind) << " offset " << offset;
+  });
+  inflight_.at(p) = std::move(op);
+  counters_.inc("ops_issued");
+  return token;
+}
+
+void CfmMemory::tick(sim::Cycle now) {
+  for (auto& slot : inflight_) {
+    if (!slot.has_value()) continue;
+    if (slot->drain_until != sim::kNeverCycle) {
+      // Bank tour done; publish once the trailing data words have crossed.
+      if (now + 1 >= slot->drain_until) finish(now, *slot, OpStatus::Completed);
+      continue;
+    }
+    if (slot->tour_start > now) continue;  // restart back-off pending
+    step_op(now, *slot);
+  }
+}
+
+void CfmMemory::attach(sim::Engine& engine) {
+  engine.on(sim::Phase::Memory, [this](sim::Cycle now) { tick(now); });
+}
+
+OpKind CfmMemory::att_kind(const InFlight& op) const noexcept {
+  switch (op.kind) {
+    case BlockOpKind::Write:
+      return OpKind::Write;
+    case BlockOpKind::Swap:
+      return op.write_phase ? OpKind::SwapWrite : OpKind::SwapRead;
+    case BlockOpKind::Read:
+    default:
+      return OpKind::Read;
+  }
+}
+
+void CfmMemory::restart(sim::Cycle now, InFlight& op, sim::BankId bank,
+                        const char* counter) {
+  log_.lazy(now, "restart", [&](std::ostream& os) {
+    os << "op " << op.token << " proc " << op.proc << " progress "
+       << op.progress << (op.write_phase ? " (write phase)" : "");
+  });
+  const bool abandoned_writes =
+      op.progress > 0 &&
+      (op.kind == BlockOpKind::Write ||
+       (op.kind == BlockOpKind::Swap && op.write_phase));
+  if (abandoned_writes) {
+    // Mark the abandonment boundary so trailing readers restart here; the
+    // competitor that forced this restart covers the orphaned prefix
+    // before any such reader wraps around to it.
+    atts_[bank].insert(now, op.offset, OpKind::Abandon, op.token, op.proc);
+  }
+  ++op.restarts;
+  counters_.inc(counter);
+  op.tour_start = now;
+  op.progress = 0;
+  op.bank0_done = false;
+  if (op.kind == BlockOpKind::Swap) {
+    op.write_phase = false;  // the *entire* swap restarts (§4.2.1)
+  }
+}
+
+void CfmMemory::abort_write(sim::Cycle now, InFlight& op, sim::BankId bank) {
+  if (op.progress > 0) {
+    atts_[bank].insert(now, op.offset, OpKind::Abandon, op.token, op.proc);
+  }
+  finish(now, op, OpStatus::Aborted);
+}
+
+void CfmMemory::complete_or_drain(sim::Cycle now, InFlight& op) {
+  const auto done = op.tour_start + cfg_.block_access_time();
+  if (now + 1 >= done) {
+    finish(now, op, OpStatus::Completed);
+  } else {
+    op.drain_until = done;  // c > 1: data path trails the address tour
+  }
+}
+
+void CfmMemory::finish(sim::Cycle now, InFlight& op, OpStatus status) {
+  BlockOpResult result;
+  result.status = status;
+  result.issued = op.original_issue;
+  result.completed = (status == OpStatus::Completed)
+                         ? op.tour_start + cfg_.block_access_time()
+                         : now + 1;
+  result.restarts = op.restarts;
+  if (op.kind != BlockOpKind::Write && status == OpStatus::Completed) {
+    result.data = op.read_buf;
+  }
+  log_.lazy(now, status == OpStatus::Completed ? "complete" : "abort",
+            [&](std::ostream& os) {
+              os << "op " << op.token << " proc " << op.proc;
+            });
+  counters_.inc(status == OpStatus::Completed ? "ops_completed" : "ops_aborted");
+  results_.emplace(op.token, std::move(result));
+  inflight_.at(op.proc).reset();
+}
+
+bool CfmMemory::handle_write_side(sim::Cycle now, InFlight& op,
+                                  sim::BankId bank) {
+  auto& att = atts_[bank];
+  if (policy_ != ConsistencyPolicy::NoTracking && op.progress == 0) {
+    att.insert(now, op.offset, att_kind(op), op.token, op.proc);
+  }
+  // §4.1 comparing window: positions [0, progress) before updating bank 0
+  // (simultaneous ops included, bank-0 tie-break), [0, progress-1) after
+  // (strictly later ops only).  Entries in this window belong to writes
+  // that will overwrite everything we write — the safe-abort window.
+  const std::uint32_t later_hi =
+      op.bank0_done ? (op.progress == 0 ? 0 : op.progress - 1) : op.progress;
+  const auto cap = att.capacity();
+
+  if (policy_ == ConsistencyPolicy::NoTracking) {
+    // Ablation: no detection at all — same-address writes interleave and
+    // tear blocks (Fig 4.1).
+  } else if (policy_ == ConsistencyPolicy::LatestWins) {
+    if (att.find(now, op.offset, 0, later_hi, kWriteLike, op.token)) {
+      // §4.1: the later (or tie-winning) write overwrites everything we
+      // wrote; abort and let it land.
+      abort_write(now, op, bank);
+      return false;
+    }
+  } else if (op.kind == BlockOpKind::Swap) {
+    // §4.2.1: the write of a swap that meets a write issued earlier (or a
+    // simultaneous one that beat it to bank 0) restarts the whole swap,
+    // preserving atomicity; later writes defer to the swap instead.  The
+    // fresh read phase starts on this very bank this slot (same as a read
+    // restart, Fig 4.5).
+    const std::uint32_t earlier_lo =
+        op.progress == 0 ? 0
+                         : (op.bank0_done ? op.progress : op.progress - 1);
+    if (att.find(now, op.offset, earlier_lo, cap, kWriteLike, op.token)) {
+      restart(now, op, bank, "swap_restarts");
+      // "The operation retries, with or without delay" (§5.2.3): a
+      // deterministic, processor- and attempt-varied back-off breaks the
+      // phase-locked livelock of symmetric competing swaps.
+      op.tour_start = now + 1 + (op.restarts * 7 + op.proc * 3) % cfg_.banks;
+      return false;
+    }
+  } else {
+    // Plain write in the atomic regime.  §4.2.1: meeting a swap's write
+    // (at any age) restarts — our value must land *after* the atomic
+    // operation completes.  The new tour begins at the NEXT slot;
+    // retrying this bank immediately would re-detect the same entry.
+    if (att.find(now, op.offset, 0, cap, kind_bit(OpKind::SwapWrite),
+                 op.token)) {
+      restart(now, op, bank, "write_restarts");
+      op.tour_start = now + 1;
+      return false;
+    }
+    // Among plain writes we keep the §4.1 ordering (later wins, earlier
+    // aborts; simultaneous ties broken at bank 0 — Fig 4.6f).  The §4.2
+    // text flips the priority for writes too, but taken literally that
+    // lets an *older* writer force a later one to abandon a partial tour
+    // after its own ATT entry expires, leaving trailing readers with a
+    // torn block; with later-wins the winner is always fresher, so its
+    // live entry re-captures every trailing reader.  See DESIGN.md.
+    if (att.find(now, op.offset, 0, later_hi, kWriteLike, op.token)) {
+      abort_write(now, op, bank);
+      return false;
+    }
+  }
+  log_.lazy(now, "write", [&](std::ostream& os) {
+    os << "op " << op.token << " proc " << op.proc << " bank " << bank
+       << " value " << op.write_buf[bank];
+  });
+  module_.bank(bank).access(now, mem::WordOp::Write, op.offset,
+                            op.write_buf[bank]);
+  if (bank == 0) op.bank0_done = true;
+  ++op.progress;
+  if (op.progress == cfg_.banks) {
+    complete_or_drain(now, op);
+  }
+  return true;
+}
+
+bool CfmMemory::handle_read_side(sim::Cycle now, InFlight& op,
+                                 sim::BankId bank) {
+  auto& att = atts_[bank];
+  // §4.1.2: a read compares against *all* live entries; any same-address
+  // write forces a restart from the current bank so the block assembled
+  // is a single version.
+  const auto hit =
+      policy_ == ConsistencyPolicy::NoTracking
+          ? std::nullopt
+          : att.find(now, op.offset, 0, att.capacity(), kReadSensitive,
+                     op.token);
+  if (hit.has_value()) {
+    restart(now, op, bank,
+            op.kind == BlockOpKind::Swap ? "swap_restarts" : "read_restarts");
+    // The triggering write has already updated this bank (its entry is at
+    // position >= 0), so reading it right now starts the fresh tour on
+    // the new version.
+  }
+  op.read_buf[bank] =
+      module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+  log_.lazy(now, "read", [&](std::ostream& os) {
+    os << "op " << op.token << " proc " << op.proc << " bank " << bank
+       << " value " << op.read_buf[bank];
+  });
+  ++op.progress;
+  if (op.progress == cfg_.banks) {
+    if (op.kind == BlockOpKind::Swap && !op.write_phase) {
+      // Read phase done: compute the write block and start the write tour
+      // at the next slot (which lands on the same starting bank).
+      op.write_phase = true;
+      if (op.modify) op.write_buf = op.modify(op.read_buf);
+      assert(op.write_buf.size() == cfg_.banks);
+      op.tour_start = now + 1;
+      op.progress = 0;
+      op.bank0_done = false;
+    } else {
+      complete_or_drain(now, op);
+    }
+  }
+  return true;
+}
+
+void CfmMemory::step_op(sim::Cycle now, InFlight& op) {
+  const auto bank = at_.bank_at(now, op.proc);
+  assert(bank == at_.visit_bank(op.tour_start, op.proc, op.progress));
+  const bool writing =
+      op.kind == BlockOpKind::Write ||
+      (op.kind == BlockOpKind::Swap && op.write_phase);
+  if (writing) {
+    handle_write_side(now, op, bank);
+  } else {
+    handle_read_side(now, op, bank);
+  }
+}
+
+const BlockOpResult* CfmMemory::result(OpToken token) const {
+  const auto it = results_.find(token);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+std::optional<BlockOpResult> CfmMemory::take_result(OpToken token) {
+  const auto it = results_.find(token);
+  if (it == results_.end()) return std::nullopt;
+  auto out = std::move(it->second);
+  results_.erase(it);
+  return out;
+}
+
+std::vector<sim::Word> CfmMemory::peek_block(sim::BlockAddr offset) const {
+  return module_.store().read_block(offset);
+}
+
+void CfmMemory::poke_block(sim::BlockAddr offset,
+                           std::span<const sim::Word> words) {
+  module_.store().write_block(offset, words);
+}
+
+}  // namespace cfm::core

@@ -1,0 +1,136 @@
+// CfmMemory — the conflict-free memory module, cycle-accurate.
+//
+// Wires together the AT-space schedule (synchronous switch + demuxes),
+// b memory banks over one backing store, and one ATT per bank, and runs
+// the per-slot lifecycle of block operations:
+//
+//   * any processor may have one block operation in flight;
+//   * the op touches bank (t + c*p) mod b at every slot t of its tour;
+//   * writes insert an ATT entry at their first bank and consult the
+//     position windows described in att.hpp at every later bank, aborting
+//     or restarting per the ConsistencyPolicy (§4.1 / §4.2);
+//   * reads consult the whole ATT at every bank and restart their tour
+//     from the current bank when a same-address write is detected, which
+//     guarantees the block returned is a single consistent version;
+//   * swaps run a read tour immediately followed by a write tour and
+//     restart wholesale when they meet a competing write (§4.2.1), which
+//     makes them atomic;
+//   * completion: a tour that started at slot s finishes at s + beta.
+//
+// The class never arbitrates banks — it *asserts* conflict freedom (the
+// schedule makes collisions impossible) via mem::Bank.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cfm/at_space.hpp"
+#include "cfm/att.hpp"
+#include "cfm/block_engine.hpp"
+#include "cfm/config.hpp"
+#include "mem/module.hpp"
+#include "sim/engine.hpp"
+#include "sim/log.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::core {
+
+class CfmMemory {
+ public:
+  using OpToken = std::uint64_t;
+  static constexpr OpToken kNoOp = 0;
+
+  explicit CfmMemory(const CfmConfig& cfg,
+                     ConsistencyPolicy policy = ConsistencyPolicy::EarliestWins);
+
+  [[nodiscard]] const CfmConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const AtSpace& at_space() const noexcept { return at_; }
+  [[nodiscard]] mem::Module& module() noexcept { return module_; }
+  [[nodiscard]] ConsistencyPolicy policy() const noexcept { return policy_; }
+
+  /// True iff processor p can issue a new operation at this moment.
+  [[nodiscard]] bool idle(sim::ProcessorId p) const;
+
+  /// Issues a block operation for processor p at slot `now` (its first
+  /// bank is touched during this same slot's tick).  `data` supplies the
+  /// block for Write and the swap-in block for Swap; `modify`, if given,
+  /// overrides `data` for Swap by computing the write block from the read
+  /// block (read-modify-write).  Returns the op token.
+  /// Precondition: idle(p).
+  OpToken issue(sim::Cycle now, sim::ProcessorId p, BlockOpKind kind,
+                sim::BlockAddr offset, std::span<const sim::Word> data = {},
+                ModifyFn modify = nullptr);
+
+  /// Advances every in-flight operation by one slot.  Call exactly once
+  /// per cycle (sim::Phase::Memory).
+  void tick(sim::Cycle now);
+
+  /// Registers tick() with an engine.
+  void attach(sim::Engine& engine);
+
+  /// Non-destructive result lookup; nullptr while still in flight or if
+  /// the token is unknown.
+  [[nodiscard]] const BlockOpResult* result(OpToken token) const;
+
+  /// Destructive result retrieval (erases the stored result).
+  std::optional<BlockOpResult> take_result(OpToken token);
+
+  /// Functional (zero-time) accessors for test setup and checkers.
+  [[nodiscard]] std::vector<sim::Word> peek_block(sim::BlockAddr offset) const;
+  void poke_block(sim::BlockAddr offset, std::span<const sim::Word> words);
+
+  [[nodiscard]] const sim::CounterSet& counters() const noexcept { return counters_; }
+
+  /// Installs a per-event trace sink (issue / restart / abort / complete /
+  /// bank access), the textual analogue of the paper's timing diagrams.
+  void set_trace(sim::TraceLog::Sink sink) { log_.set_sink(std::move(sink)); }
+
+ private:
+  struct InFlight {
+    OpToken token = kNoOp;
+    BlockOpKind kind = BlockOpKind::Read;
+    sim::BlockAddr offset = 0;
+    sim::ProcessorId proc = 0;
+    sim::Cycle original_issue = 0;
+    sim::Cycle tour_start = 0;      ///< restarts reset this
+    std::uint32_t progress = 0;     ///< banks touched in the current tour
+    bool bank0_done = false;        ///< current tour updated bank 0 yet?
+    bool write_phase = false;       ///< swap: in the write tour?
+    std::uint32_t restarts = 0;
+    std::vector<sim::Word> read_buf;
+    std::vector<sim::Word> write_buf;
+    ModifyFn modify;
+    /// Set when the bank tour is done but the data path is still draining
+    /// (the last word crosses at tour_start + beta - 1); the result is
+    /// published at tour_start + beta.
+    sim::Cycle drain_until = sim::kNeverCycle;
+  };
+
+  [[nodiscard]] OpKind att_kind(const InFlight& op) const noexcept;
+  void step_op(sim::Cycle now, InFlight& op);
+  bool handle_write_side(sim::Cycle now, InFlight& op, sim::BankId bank);
+  bool handle_read_side(sim::Cycle now, InFlight& op, sim::BankId bank);
+  void restart(sim::Cycle now, InFlight& op, sim::BankId bank,
+               const char* counter);
+  void abort_write(sim::Cycle now, InFlight& op, sim::BankId bank);
+  void complete_or_drain(sim::Cycle now, InFlight& op);
+  void finish(sim::Cycle now, InFlight& op, OpStatus status);
+
+  CfmConfig cfg_;
+  ConsistencyPolicy policy_;
+  AtSpace at_;
+  mem::Module module_;
+  std::vector<Att> atts_;                       ///< one per bank
+  std::vector<std::optional<InFlight>> inflight_;  ///< one slot per processor
+  std::unordered_map<OpToken, BlockOpResult> results_;
+  sim::CounterSet counters_;
+  sim::TraceLog log_;
+  OpToken next_token_ = 1;
+};
+
+}  // namespace cfm::core

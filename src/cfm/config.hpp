@@ -1,0 +1,61 @@
+// CFM machine configuration (§3.1.4, Tables 3.2 / 3.3).
+//
+// Notation follows the paper exactly:
+//   n  processors             b  memory banks (per module)
+//   m  memory modules         w  memory word width (bits)
+//   c  memory bank cycle      l = b*w   block (cache line) size in bits
+//   beta = b + c - 1          block access time in CPU cycles
+//
+// Conflict freedom requires b = c * n: with banks c times the processors,
+// the 1-to-c demultiplexers give every processor its own AT-space slice
+// even though each bank needs c cycles per word (Fig 3.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfm::core {
+
+struct CfmConfig {
+  std::uint32_t processors = 4;  ///< n
+  std::uint32_t banks = 4;       ///< b
+  std::uint32_t word_bits = 32;  ///< w
+  std::uint32_t bank_cycle = 1;  ///< c
+
+  [[nodiscard]] std::uint32_t block_bits() const noexcept {
+    return banks * word_bits;  // l = b*w
+  }
+  [[nodiscard]] std::uint32_t block_bytes() const noexcept {
+    return block_bits() / 8;
+  }
+  [[nodiscard]] std::uint32_t block_access_time() const noexcept {
+    return banks + bank_cycle - 1;  // beta = b + c - 1
+  }
+  /// Conflict freedom needs b == c*n (§3.1.4).
+  [[nodiscard]] bool conflict_free() const noexcept {
+    return banks == bank_cycle * processors;
+  }
+  /// Throws std::invalid_argument if any field is inconsistent.
+  void validate() const;
+
+  /// Canonical conflict-free machine: derives b = c*n.
+  [[nodiscard]] static CfmConfig make(std::uint32_t processors,
+                                      std::uint32_t bank_cycle = 1,
+                                      std::uint32_t word_bits = 32);
+};
+
+/// One row of Table 3.3: for fixed block size l and bank cycle c, the
+/// trade-off between bank count / word width / latency / processor count.
+struct ConfigTradeoff {
+  std::uint32_t banks = 0;
+  std::uint32_t word_bits = 0;
+  std::uint32_t memory_latency = 0;  ///< beta = b + c - 1
+  std::uint32_t processors = 0;      ///< n = b / c
+};
+
+/// Enumerates the Table 3.3 rows: all power-of-two bank counts from
+/// `block_bits` down to `bank_cycle` banks (n = b/c >= 1, w = l/b >= 1).
+[[nodiscard]] std::vector<ConfigTradeoff> enumerate_tradeoffs(
+    std::uint32_t block_bits, std::uint32_t bank_cycle);
+
+}  // namespace cfm::core

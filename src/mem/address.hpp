@@ -1,0 +1,50 @@
+// Memory address decomposition helpers.
+//
+// The paper uses three address shapes (§3.1.1, §3.2.2, Fig 3.10):
+//
+//   conventional : address = (module, offset)        module routed, offset used in module
+//   fully CFM    : address = (offset, bank)          bank chosen by the clock, not sent
+//   partial CFM  : address = (module, offset, bank)  module routed, bank by clock
+//
+// We store block-granular addresses as (module, block_offset); the bank a
+// word lives in is `word_index` within the block and is *never* part of a
+// request header in CFM mode — which is exactly the header-size saving
+// quantified by `net::header_bits` (Fig 3.9/3.10).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace cfm::mem {
+
+/// Identifies one block in the machine: which module and which block
+/// offset within that module's address space.
+struct BlockId {
+  sim::ModuleId module = 0;
+  sim::BlockAddr offset = 0;
+
+  friend auto operator<=>(const BlockId&, const BlockId&) = default;
+};
+
+/// A flat word address, useful for conventional-memory bookkeeping:
+/// word = block * words_per_block + word_index.
+struct WordAddr {
+  BlockId block;
+  std::uint32_t word_index = 0;
+
+  friend auto operator<=>(const WordAddr&, const WordAddr&) = default;
+};
+
+struct BlockIdHash {
+  [[nodiscard]] std::size_t operator()(const BlockId& b) const noexcept {
+    // Fibonacci mix of the two fields.
+    std::uint64_t x = (static_cast<std::uint64_t>(b.module) << 48) ^ b.offset;
+    x *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(x ^ (x >> 29));
+  }
+};
+
+}  // namespace cfm::mem

@@ -1,0 +1,23 @@
+#include "mem/bank.hpp"
+
+namespace cfm::mem {
+
+Bank::Bank(sim::BankId index, std::uint32_t cycle_time, BackingStore& store)
+    : index_(index), cycle_time_(cycle_time), store_(store) {
+  assert(cycle_time_ > 0);
+}
+
+sim::Word Bank::access(sim::Cycle now, WordOp op, sim::BlockAddr block,
+                       sim::Word value) {
+  // The AT-space partitioning must keep banks conflict-free; a violation
+  // here is a scheduling bug in the caller, not a runtime condition.
+  assert(!busy(now) && "bank conflict: AT-space schedule violated");
+  busy_until_ = now + cycle_time_;
+  ++accesses_;
+  busy_cycles_ += cycle_time_;
+  if (op == WordOp::Read) return store_.read_word(block, index_);
+  store_.write_word(block, index_, value);
+  return value;
+}
+
+}  // namespace cfm::mem

@@ -1,0 +1,53 @@
+// A single memory bank.
+//
+// Bank k of a module stores word k of every block (interleaving at the
+// word level, §3.1.1).  A word access occupies the bank for `cycle_time`
+// CPU cycles; in a conflict-free machine no two accesses ever overlap in
+// one bank, and this class *checks* that invariant rather than arbitrating
+// — overlap would mean the AT-space schedule is broken.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "mem/backing_store.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::mem {
+
+enum class WordOp : std::uint8_t { Read, Write };
+
+class Bank {
+ public:
+  /// `index` is this bank's position within its module; `cycle_time` is c.
+  Bank(sim::BankId index, std::uint32_t cycle_time, BackingStore& store);
+
+  [[nodiscard]] sim::BankId index() const noexcept { return index_; }
+  [[nodiscard]] std::uint32_t cycle_time() const noexcept { return cycle_time_; }
+
+  /// True if an access started earlier is still holding the bank at `now`.
+  [[nodiscard]] bool busy(sim::Cycle now) const noexcept {
+    return now < busy_until_;
+  }
+
+  /// Performs one word access starting at `now`.  For reads, returns the
+  /// stored word (architecturally available to the requester at
+  /// `now + cycle_time`, the engine accounts for the transfer slot).
+  /// Requires the bank to be idle — the CFM schedule guarantees it.
+  sim::Word access(sim::Cycle now, WordOp op, sim::BlockAddr block,
+                   sim::Word value = 0);
+
+  /// Total word accesses served (for utilization accounting, §3.4).
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
+
+ private:
+  sim::BankId index_;
+  std::uint32_t cycle_time_;
+  BackingStore& store_;
+  sim::Cycle busy_until_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace cfm::mem

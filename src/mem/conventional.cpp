@@ -1,0 +1,24 @@
+#include "mem/conventional.hpp"
+
+#include <cassert>
+
+namespace cfm::mem {
+
+ConventionalMemory::ConventionalMemory(std::uint32_t modules,
+                                       std::uint32_t block_access_time)
+    : beta_(block_access_time), busy_until_(modules, 0) {
+  assert(modules > 0 && beta_ > 0);
+}
+
+sim::Cycle ConventionalMemory::try_start(sim::ModuleId module, sim::Cycle now) {
+  auto& until = busy_until_.at(module);
+  if (now < until) {
+    ++conflicts_;
+    return sim::kNeverCycle;
+  }
+  until = now + beta_;
+  ++started_;
+  return until;
+}
+
+}  // namespace cfm::mem

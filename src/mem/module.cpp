@@ -1,0 +1,22 @@
+#include "mem/module.hpp"
+
+namespace cfm::mem {
+
+Module::Module(sim::ModuleId id, std::uint32_t banks,
+               std::uint32_t bank_cycle_time)
+    : id_(id), store_(banks) {
+  banks_.reserve(banks);
+  for (std::uint32_t i = 0; i < banks; ++i) {
+    banks_.emplace_back(i, bank_cycle_time, store_);
+  }
+}
+
+double Module::utilization(sim::Cycle elapsed) const {
+  if (elapsed == 0 || banks_.empty()) return 0.0;
+  std::uint64_t busy = 0;
+  for (const auto& b : banks_) busy += b.busy_cycles();
+  return static_cast<double>(busy) /
+         (static_cast<double>(elapsed) * static_cast<double>(banks_.size()));
+}
+
+}  // namespace cfm::mem

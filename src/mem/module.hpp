@@ -1,0 +1,41 @@
+// A memory module: b banks over one shared backing store.
+//
+// In a fully conflict-free machine there is exactly one module; the
+// partially conflict-free extension (§3.2.2) groups banks into m modules,
+// each of which is a conflict-free unit with smaller blocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/bank.hpp"
+#include "mem/backing_store.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::mem {
+
+class Module {
+ public:
+  /// `banks` words per block, each bank with `bank_cycle_time` == c.
+  Module(sim::ModuleId id, std::uint32_t banks, std::uint32_t bank_cycle_time);
+
+  [[nodiscard]] sim::ModuleId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t bank_count() const noexcept {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  [[nodiscard]] Bank& bank(sim::BankId i) { return banks_.at(i); }
+  [[nodiscard]] const Bank& bank(sim::BankId i) const { return banks_.at(i); }
+  [[nodiscard]] BackingStore& store() noexcept { return store_; }
+  [[nodiscard]] const BackingStore& store() const noexcept { return store_; }
+
+  /// Aggregate utilization across banks (busy cycles / (banks * elapsed)).
+  [[nodiscard]] double utilization(sim::Cycle elapsed) const;
+
+ private:
+  sim::ModuleId id_;
+  BackingStore store_;
+  std::vector<Bank> banks_;
+};
+
+}  // namespace cfm::mem

@@ -1,0 +1,20 @@
+#include "mem/phase_aligned.hpp"
+
+#include <cassert>
+
+namespace cfm::mem {
+
+PhaseAlignedMemory::PhaseAlignedMemory(std::uint32_t period,
+                                       std::uint32_t phase,
+                                       std::uint32_t access_time)
+    : period_(period), phase_(phase % period), access_(access_time) {
+  assert(period_ > 0 && access_ > 0);
+}
+
+sim::Cycle PhaseAlignedMemory::stall_for(sim::Cycle now) const noexcept {
+  const auto pos = static_cast<std::uint32_t>(now % period_);
+  if (pos == phase_) return 0;
+  return (phase_ + period_ - pos) % period_;
+}
+
+}  // namespace cfm::mem

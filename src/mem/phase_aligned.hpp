@@ -1,0 +1,50 @@
+// Phase-aligned synchronous memories — the Monarch / OMP baselines
+// (§2.1.2, §2.1.3) that the CFM's non-stall block access improves on.
+//
+//   Monarch: "all memory accesses execute synchronously ... when a memory
+//   access is issued in a wrong cycle, a stall is required."
+//   OMP: row/column modes alternate; "long delays when a processor
+//   attempts a row or column access during a column or row mode."
+//
+// `PhaseAlignedMemory` models the shared behaviour: accesses may only
+// *start* at slots where (slot mod period) == phase; anything else stalls
+// until the next aligned slot.  The CFM, by contrast, starts a block tour
+// at any slot (§3.1.1) — `expected_stall()` quantifies the gap.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace cfm::mem {
+
+class PhaseAlignedMemory {
+ public:
+  /// Accesses may start only at slots congruent to `phase` mod `period`;
+  /// each access then takes `access_time` cycles.
+  PhaseAlignedMemory(std::uint32_t period, std::uint32_t phase,
+                     std::uint32_t access_time);
+
+  [[nodiscard]] std::uint32_t period() const noexcept { return period_; }
+  [[nodiscard]] std::uint32_t access_time() const noexcept { return access_; }
+
+  /// Cycles an access arriving at `now` must stall before it may start.
+  [[nodiscard]] sim::Cycle stall_for(sim::Cycle now) const noexcept;
+
+  /// Completion cycle of an access arriving at `now` (stall + access).
+  [[nodiscard]] sim::Cycle completion(sim::Cycle now) const noexcept {
+    return now + stall_for(now) + access_;
+  }
+
+  /// Mean stall over uniformly random arrival phases: (period - 1) / 2.
+  [[nodiscard]] double expected_stall() const noexcept {
+    return (period_ - 1) / 2.0;
+  }
+
+ private:
+  std::uint32_t period_;
+  std::uint32_t phase_;
+  std::uint32_t access_;
+};
+
+}  // namespace cfm::mem

@@ -1,0 +1,52 @@
+#include "net/message.hpp"
+
+#include "net/permutation.hpp"
+
+namespace cfm::net {
+namespace {
+
+[[nodiscard]] std::uint32_t bits_for(std::uint32_t values) noexcept {
+  if (values <= 1) return 0;
+  const auto k = log2_exact(values);
+  if (k != UINT32_MAX) return k;
+  std::uint32_t b = 0;
+  while ((1u << b) < values) ++b;
+  return b;
+}
+
+}  // namespace
+
+HeaderLayout header_layout(NetworkKind kind, std::uint32_t modules,
+                           std::uint32_t banks_per_module,
+                           std::uint32_t offset_bits) noexcept {
+  HeaderLayout h;
+  h.offset_bits = offset_bits;
+  switch (kind) {
+    case NetworkKind::CircuitSwitched:
+      h.module_bits = bits_for(modules);
+      h.bank_bits = bits_for(banks_per_module);
+      break;
+    case NetworkKind::FullySynchronous:
+      // Bank selected by the system clock; with one module nothing to route.
+      break;
+    case NetworkKind::PartiallySynchronous:
+      h.module_bits = bits_for(modules);
+      break;
+  }
+  return h;
+}
+
+std::uint32_t setup_delay_cycles(NetworkKind kind, std::uint32_t circuit_stages,
+                                 std::uint32_t per_stage_delay) noexcept {
+  switch (kind) {
+    case NetworkKind::CircuitSwitched:
+      return circuit_stages * per_stage_delay;
+    case NetworkKind::FullySynchronous:
+      return 0;
+    case NetworkKind::PartiallySynchronous:
+      return circuit_stages * per_stage_delay;
+  }
+  return 0;
+}
+
+}  // namespace cfm::net

@@ -1,0 +1,43 @@
+// Message-header size accounting (Figs 3.9 / 3.10, §3.4.3).
+//
+// In a circuit-switched MIN every request header carries the module number
+// (routing), the offset, and the bank number.  A synchronous omega selects
+// the bank by the clock, so the header shrinks to the offset alone; the
+// partially synchronous omega keeps the module number but still drops the
+// bank number.  Smaller headers mean less data moved per access — one of
+// the overheads §3.4.3 quantifies against the Butterfly/RP3.
+#pragma once
+
+#include <cstdint>
+
+namespace cfm::net {
+
+enum class NetworkKind : std::uint8_t {
+  CircuitSwitched,       ///< conventional MIN: module + offset + bank
+  FullySynchronous,      ///< CFM: offset only
+  PartiallySynchronous,  ///< partial CFM: module + offset
+};
+
+struct HeaderLayout {
+  std::uint32_t module_bits = 0;
+  std::uint32_t offset_bits = 0;
+  std::uint32_t bank_bits = 0;
+  [[nodiscard]] std::uint32_t total_bits() const noexcept {
+    return module_bits + offset_bits + bank_bits;
+  }
+};
+
+/// Header layout for a machine with `modules` modules of `banks_per_module`
+/// banks, offsets of `offset_bits` bits, under network `kind`.
+[[nodiscard]] HeaderLayout header_layout(NetworkKind kind, std::uint32_t modules,
+                                         std::uint32_t banks_per_module,
+                                         std::uint32_t offset_bits) noexcept;
+
+/// Per-switch setup/propagation delay in cycles: circuit-switched MINs pay
+/// routing-decision time per stage; clock-driven switches pay none (§3.2.1,
+/// "There is neither setup time nor propagation delay required").
+[[nodiscard]] std::uint32_t setup_delay_cycles(NetworkKind kind,
+                                               std::uint32_t circuit_stages,
+                                               std::uint32_t per_stage_delay) noexcept;
+
+}  // namespace cfm::net

@@ -1,0 +1,29 @@
+#include "net/permutation.hpp"
+
+#include <algorithm>
+
+namespace cfm::net {
+
+std::vector<Port> shift_permutation(std::uint64_t t, std::uint32_t n) {
+  std::vector<Port> perm(n);
+  for (Port i = 0; i < n; ++i) perm[i] = shift_output(t, i, n);
+  return perm;
+}
+
+bool is_permutation(const std::vector<Port>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const Port p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+std::uint32_t log2_exact(std::uint32_t n) noexcept {
+  if (n == 0 || (n & (n - 1)) != 0) return UINT32_MAX;
+  std::uint32_t k = 0;
+  while ((1u << k) < n) ++k;
+  return k;
+}
+
+}  // namespace cfm::net

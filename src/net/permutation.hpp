@@ -1,0 +1,37 @@
+// Permutations over network ports.
+//
+// The CFM interconnect realizes one specific family: the uniform shifts
+// sigma_t(i) = (t + i) mod N, one per time slot (§3.1.2, §3.2.1).  Lawrie
+// showed an omega network passes every uniform shift without conflict,
+// which is what makes a *clock-driven* (routing-free) omega possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfm::net {
+
+using Port = std::uint32_t;
+
+/// sigma_t(i) = (t + i) mod n.
+[[nodiscard]] constexpr Port shift_output(std::uint64_t t, Port input,
+                                          std::uint32_t n) noexcept {
+  return static_cast<Port>((t + input) % n);
+}
+
+/// Inverse: which input drives `output` at slot t.
+[[nodiscard]] constexpr Port shift_input(std::uint64_t t, Port output,
+                                         std::uint32_t n) noexcept {
+  return static_cast<Port>((output + n - (t % n)) % n);
+}
+
+/// Returns sigma_t as an explicit vector: result[i] = (t + i) mod n.
+[[nodiscard]] std::vector<Port> shift_permutation(std::uint64_t t, std::uint32_t n);
+
+/// True iff `perm` is a bijection on [0, perm.size()).
+[[nodiscard]] bool is_permutation(const std::vector<Port>& perm);
+
+/// log2 of a power of two; returns UINT32_MAX if n is not a power of two.
+[[nodiscard]] std::uint32_t log2_exact(std::uint32_t n) noexcept;
+
+}  // namespace cfm::net

@@ -1,0 +1,43 @@
+// The synchronous switch box (Fig 3.4).
+//
+// An n x n crossbar whose state is a pure function of the system clock:
+// at time slot t, input port i is connected to output port (t + i) mod n.
+// It needs "neither address decoding nor setup delay for routing
+// decisions" — connectivity queries are O(1) and there is no arbitration,
+// which is the whole point of the design.
+#pragma once
+
+#include <cstdint>
+
+#include "net/permutation.hpp"
+#include "sim/types.hpp"
+
+namespace cfm::net {
+
+class SyncSwitch {
+ public:
+  explicit SyncSwitch(std::uint32_t ports) : ports_(ports) {}
+
+  [[nodiscard]] std::uint32_t ports() const noexcept { return ports_; }
+
+  /// The switch's state index at slot t (Fig 3.4 shows the n states of the
+  /// 4x4 box; state s realizes sigma_s).
+  [[nodiscard]] std::uint32_t state(sim::Cycle t) const noexcept {
+    return static_cast<std::uint32_t>(t % ports_);
+  }
+
+  /// Output port connected to `input` at slot t.
+  [[nodiscard]] Port output_for(sim::Cycle t, Port input) const noexcept {
+    return shift_output(t, input, ports_);
+  }
+
+  /// Input port connected to `output` at slot t.
+  [[nodiscard]] Port input_for(sim::Cycle t, Port output) const noexcept {
+    return shift_input(t, output, ports_);
+  }
+
+ private:
+  std::uint32_t ports_;
+};
+
+}  // namespace cfm::net

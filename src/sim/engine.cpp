@@ -1,0 +1,29 @@
+#include "sim/engine.hpp"
+
+namespace cfm::sim {
+
+void Engine::on(Phase phase, TickFn fn) {
+  phases_[static_cast<std::size_t>(phase)].push_back(std::move(fn));
+}
+
+void Engine::step() {
+  for (auto& phase : phases_) {
+    for (auto& fn : phase) fn(now_);
+  }
+  ++now_;
+}
+
+void Engine::run_for(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+bool Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  while (now_ < deadline) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace cfm::sim

@@ -1,0 +1,55 @@
+// Clock-stepped simulation engine.
+//
+// The CFM design is *fully synchronous* — every switch state, demultiplexer
+// state and bank action is a pure function of the global cycle counter — so
+// the natural simulation style is a lock-step tick loop rather than a
+// discrete-event queue.  Components register tick callbacks in phases:
+//
+//   Phase::Issue    processors decide what to inject this slot
+//   Phase::Network  switches move addresses/data
+//   Phase::Memory   banks perform word accesses, ATTs shift
+//   Phase::Commit   completions retire, statistics update
+//
+// Within a phase, callbacks run in registration order; across phases the
+// order above is fixed.  This gives deterministic intra-cycle sequencing
+// that mirrors the hardware pipeline (address out -> switch -> bank -> data
+// back) without per-component wiring boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cfm::sim {
+
+enum class Phase : std::uint8_t { Issue = 0, Network, Memory, Commit };
+inline constexpr std::size_t kPhaseCount = 4;
+
+class Engine {
+ public:
+  using TickFn = std::function<void(Cycle)>;
+
+  /// Registers `fn` to run every cycle during `phase`.
+  void on(Phase phase, TickFn fn);
+
+  /// Advances the simulation by exactly one cycle.
+  void step();
+
+  /// Runs `cycles` more cycles.
+  void run_for(Cycle cycles);
+
+  /// Runs until `done()` returns true (checked after each full cycle) or
+  /// `max_cycles` elapse.  Returns true iff `done()` fired.
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+ private:
+  Cycle now_ = 0;
+  std::vector<TickFn> phases_[kPhaseCount];
+};
+
+}  // namespace cfm::sim

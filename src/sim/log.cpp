@@ -1,0 +1,13 @@
+#include "sim/log.hpp"
+
+namespace cfm::sim {
+
+void TraceLog::emit(Cycle cycle, const std::string& tag,
+                    const std::string& message) const {
+  if (!sink_) return;
+  std::ostringstream os;
+  os << "cycle " << cycle << " [" << tag << "] " << message;
+  sink_(os.str());
+}
+
+}  // namespace cfm::sim

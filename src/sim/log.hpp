@@ -1,0 +1,40 @@
+// Minimal per-cycle trace facility.
+//
+// Disabled by default; experiments enable it to dump slot-by-slot activity
+// (the textual analogue of the paper's timing diagrams, e.g. Fig 3.6).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace cfm::sim {
+
+class TraceLog {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  /// Installs a sink (e.g. writing to std::cout or collecting into a
+  /// vector for tests).  A null sink disables tracing.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool enabled() const noexcept { return static_cast<bool>(sink_); }
+
+  /// Emits "cycle <c> [<tag>] <message>" if tracing is enabled.
+  void emit(Cycle cycle, const std::string& tag, const std::string& message) const;
+
+  /// Convenience: stream-style formatting, evaluated only when enabled.
+  template <typename Fn>
+  void lazy(Cycle cycle, const std::string& tag, Fn&& fn) const {
+    if (!sink_) return;
+    std::ostringstream os;
+    fn(os);
+    emit(cycle, tag, os.str());
+  }
+
+ private:
+  Sink sink_;
+};
+
+}  // namespace cfm::sim

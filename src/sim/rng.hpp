@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64.  We avoid
+// std::mt19937 so that streams are cheap to split per processor and the
+// generated sequences are stable across standard-library versions —
+// reproducibility of every experiment is a hard requirement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cfm::sim {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift method.
+  /// `bound` must be nonzero.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Returns a generator whose stream is independent of this one —
+  /// used to give each simulated processor its own stream.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace cfm::sim

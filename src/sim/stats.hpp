@@ -1,0 +1,74 @@
+// Lightweight statistics containers used by every experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cfm::sim {
+
+/// Running scalar summary: count / mean / min / max / variance (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [0, bucket_width * bucket_count);
+/// values beyond the top land in an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] double bucket_width() const noexcept { return width_; }
+  /// Smallest x such that at least `q` (0..1) of samples are <= x
+  /// (bucket-upper-bound resolution).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Named counters, for protocol event accounting (invalidations issued,
+/// retries, aborted writes, restarted reads, ...).
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
+    return counters_;
+  }
+  void reset() noexcept { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace cfm::sim

@@ -1,0 +1,40 @@
+// Fundamental simulation types shared across every CFM subsystem.
+//
+// The paper's machine is fully synchronous: a single system clock drives
+// processors, switches and memory banks, and all timing is expressed in
+// CPU cycles ("time slots").  We therefore model time as a plain cycle
+// counter and identify hardware resources with small strong-ish typedefs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cfm::sim {
+
+/// Simulation time in CPU cycles (one cycle == one "time slot", §3.1.1).
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Identifiers for hardware resources.  Plain integers by design: they are
+/// used as dense array indices throughout the cycle loop.
+using ProcessorId = std::uint32_t;
+using BankId = std::uint32_t;
+using ModuleId = std::uint32_t;
+using ClusterId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+/// One memory word as stored in a bank.  The paper leaves word width
+/// abstract (1..32 bytes, §3.1.4); 64 bits comfortably holds any of them
+/// for simulation purposes, while `CfmConfig::word_bits` carries the
+/// architectural width for latency/size computations.
+using Word = std::uint64_t;
+
+/// Block-aligned address: the offset of a block within a memory module
+/// (the "address offset a" of the AT-space function d = M(a·t), §3.1.1).
+using BlockAddr = std::uint64_t;
+
+}  // namespace cfm::sim

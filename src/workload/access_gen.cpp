@@ -1,0 +1,183 @@
+#include "workload/access_gen.hpp"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "cfm/cfm_memory.hpp"
+#include "mem/conventional.hpp"
+#include "net/partial_omega.hpp"
+#include "sim/rng.hpp"
+
+namespace cfm::workload {
+namespace {
+
+struct Access {
+  sim::Cycle first_attempt = 0;
+  sim::Cycle next_try = 0;
+  std::uint32_t module = 0;
+  std::uint32_t retries = 0;
+};
+
+/// Closed-loop driver: each processor has at most one outstanding block
+/// access (it owns exactly one AT path / port), generates a fresh one
+/// with probability `rate` per idle cycle, and backs off Uniform[1, beta]
+/// after a conflict.  Matching the analytic model, conflicts can only be
+/// caused by the *other* processors.
+template <typename TryStart, typename PickModule>
+EfficiencyResult run_closed_loop(std::uint32_t processors, std::uint32_t beta,
+                                 double rate, sim::Cycle cycles,
+                                 std::uint64_t seed, TryStart&& try_start,
+                                 PickModule&& pick_module) {
+  sim::Rng rng(seed);
+
+  struct Proc {
+    std::optional<Access> access;  // in flight (retrying)
+    sim::Cycle busy_until = 0;     // completion of the started access
+    sim::Cycle done_stat_at = 0;
+    bool counting = false;
+  };
+  std::vector<Proc> procs(processors);
+  sim::RunningStat access_time;
+  sim::RunningStat retry_count;
+  std::uint64_t conflicts = 0;
+  const sim::Cycle warmup = cycles / 10;
+
+  for (sim::Cycle now = 0; now < cycles; ++now) {
+    for (std::uint32_t p = 0; p < processors; ++p) {
+      auto& st = procs[p];
+      if (st.access.has_value()) {
+        auto& a = *st.access;
+        if (a.next_try > now) continue;
+        const auto done = try_start(p, a, now);
+        if (done == sim::kNeverCycle) {
+          ++conflicts;
+          ++a.retries;
+          a.next_try = now + rng.between(1, beta);
+        } else {
+          if (a.first_attempt >= warmup) {
+            access_time.add(static_cast<double>(done - a.first_attempt));
+            retry_count.add(static_cast<double>(a.retries));
+          }
+          st.busy_until = done;
+          st.access.reset();
+        }
+        continue;
+      }
+      if (now < st.busy_until) continue;  // data still streaming
+      if (!rng.chance(rate)) continue;
+      Access a;
+      a.first_attempt = now;
+      a.next_try = now;
+      a.module = pick_module(p, rng);
+      const auto done = try_start(p, a, now);
+      if (done == sim::kNeverCycle) {
+        ++conflicts;
+        ++a.retries;
+        a.next_try = now + rng.between(1, beta);
+        st.access = a;
+      } else {
+        if (a.first_attempt >= warmup) {
+          access_time.add(static_cast<double>(done - a.first_attempt));
+          retry_count.add(0.0);
+        }
+        st.busy_until = done;
+      }
+    }
+  }
+
+  EfficiencyResult out;
+  out.completed = access_time.count();
+  out.conflicts = conflicts;
+  out.mean_access_time = access_time.mean();
+  out.mean_retries = retry_count.mean();
+  out.efficiency = access_time.count() == 0
+                       ? 1.0
+                       : static_cast<double>(beta) / access_time.mean();
+  return out;
+}
+
+}  // namespace
+
+EfficiencyResult measure_conventional(std::uint32_t processors,
+                                      std::uint32_t modules,
+                                      std::uint32_t beta, double rate,
+                                      sim::Cycle cycles, std::uint64_t seed) {
+  mem::ConventionalMemory memory(modules, beta);
+  return run_closed_loop(
+      processors, beta, rate, cycles, seed,
+      [&](std::uint32_t, const Access& a, sim::Cycle now) {
+        return memory.try_start(a.module, now);
+      },
+      [&](std::uint32_t, sim::Rng& rng) {
+        return static_cast<std::uint32_t>(rng.below(modules));
+      });
+}
+
+EfficiencyResult measure_partial_cfm(std::uint32_t processors,
+                                     std::uint32_t modules, std::uint32_t beta,
+                                     double rate, double locality,
+                                     sim::Cycle cycles, std::uint64_t seed) {
+  net::PartialCfmFabric fabric(processors, modules, beta);
+  return run_closed_loop(
+      processors, beta, rate, cycles, seed,
+      [&](std::uint32_t p, const Access& a, sim::Cycle now) {
+        return fabric.try_access(p, a.module, now);
+      },
+      [&](std::uint32_t p, sim::Rng& rng) {
+        const auto home = fabric.home_module(p);
+        if (modules == 1 || rng.chance(locality)) return home;
+        // Uniform over the other m-1 modules.
+        auto pick = static_cast<std::uint32_t>(rng.below(modules - 1));
+        return pick >= home ? pick + 1 : pick;
+      });
+}
+
+EfficiencyResult measure_cfm(std::uint32_t processors, std::uint32_t bank_cycle,
+                             double rate, sim::Cycle cycles,
+                             std::uint64_t seed) {
+  core::CfmMemory memory(core::CfmConfig::make(processors, bank_cycle));
+  sim::Rng rng(seed);
+  const auto beta = memory.config().block_access_time();
+
+  struct ProcState {
+    core::CfmMemory::OpToken op = core::CfmMemory::kNoOp;
+    sim::Cycle issued = 0;
+  };
+  std::vector<ProcState> procs(processors);
+  sim::RunningStat access_time;
+  std::uint64_t completed = 0;
+
+  for (sim::Cycle now = 0; now < cycles; ++now) {
+    for (std::uint32_t p = 0; p < processors; ++p) {
+      auto& st = procs[p];
+      if (st.op != core::CfmMemory::kNoOp) {
+        if (auto result = memory.take_result(st.op)) {
+          assert(result->status == core::OpStatus::Completed);
+          access_time.add(static_cast<double>(result->completed - st.issued));
+          ++completed;
+          st.op = core::CfmMemory::kNoOp;
+        }
+      }
+      if (st.op == core::CfmMemory::kNoOp && rng.chance(rate)) {
+        // Distinct blocks per processor: the efficiency experiment is
+        // about *bank* conflicts, not same-address races.
+        st.op = memory.issue(now, p, core::BlockOpKind::Read,
+                             1000 + p * 7919 + (now % 97));
+        st.issued = now;
+      }
+    }
+    memory.tick(now);
+  }
+
+  EfficiencyResult out;
+  out.completed = completed;
+  out.conflicts = 0;
+  out.mean_access_time = access_time.mean();
+  out.efficiency = completed == 0 ? 1.0
+                                  : static_cast<double>(beta) /
+                                        access_time.mean();
+  return out;
+}
+
+}  // namespace cfm::workload

@@ -1,0 +1,69 @@
+#include "workload/prefetch.hpp"
+
+#include "cfm/cfm_memory.hpp"
+
+namespace cfm::workload {
+
+PrefetchResult run_stream(std::uint32_t processors, std::uint32_t bank_cycle,
+                          std::uint32_t compute_cycles, std::uint64_t blocks,
+                          bool prefetch) {
+  core::CfmMemory mem(core::CfmConfig::make(processors, bank_cycle));
+
+  sim::Cycle t = 0;
+  sim::Cycle stall = 0;
+  std::uint64_t consumed = 0;
+  sim::BlockAddr next_addr = 100;
+
+  // Processor 0 streams; other processors stay idle (their slots are
+  // unused — the conflict-free guarantee makes them irrelevant here).
+  auto fetch = [&](sim::BlockAddr addr) {
+    return mem.issue(t, 0, core::BlockOpKind::Read, addr);
+  };
+  auto wait_for = [&](core::CfmMemory::OpToken op, bool counts_as_stall) {
+    while (mem.result(op) == nullptr) {
+      mem.tick(t);
+      ++t;
+      if (counts_as_stall) ++stall;
+    }
+    (void)mem.take_result(op);
+  };
+  auto compute = [&](sim::Cycle cycles) {
+    for (sim::Cycle i = 0; i < cycles; ++i) {
+      mem.tick(t);
+      ++t;
+    }
+  };
+
+  if (!prefetch) {
+    while (consumed < blocks) {
+      const auto op = fetch(next_addr++);
+      wait_for(op, /*counts_as_stall=*/true);
+      compute(compute_cycles);
+      ++consumed;
+    }
+  } else {
+    auto op = fetch(next_addr++);
+    wait_for(op, true);  // the first block cannot be hidden
+    while (consumed < blocks) {
+      core::CfmMemory::OpToken next_op = core::CfmMemory::kNoOp;
+      if (consumed + 1 < blocks) next_op = fetch(next_addr++);
+      compute(compute_cycles);  // overlap compute with the prefetch
+      ++consumed;
+      if (next_op != core::CfmMemory::kNoOp) {
+        wait_for(next_op, true);  // residual stall: max(0, beta - compute)
+      }
+    }
+  }
+
+  PrefetchResult out;
+  out.blocks = blocks;
+  out.total_cycles = t;
+  out.stall_cycles = stall;
+  out.stall_fraction =
+      t == 0 ? 0.0 : static_cast<double>(stall) / static_cast<double>(t);
+  out.cycles_per_block =
+      blocks == 0 ? 0.0 : static_cast<double>(t) / static_cast<double>(blocks);
+  return out;
+}
+
+}  // namespace cfm::workload

@@ -1,0 +1,35 @@
+// Prefetching study (§3.1.4): "cache line prefetching techniques
+// implemented in some parallel compilers can be employed to reduce the
+// effect of a long memory latency" — measured on the real CFM machine.
+//
+// A consumer streams sequential blocks, spending `compute_cycles` on each
+// block's data.  Without prefetch, every block costs a full beta stall;
+// with software prefetch (issue the next block's read as soon as the
+// current one arrives, overlap with compute) the stall shrinks to
+// max(0, beta - compute).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace cfm::workload {
+
+struct PrefetchResult {
+  std::uint64_t blocks = 0;
+  sim::Cycle total_cycles = 0;
+  sim::Cycle stall_cycles = 0;
+  double stall_fraction = 0.0;     ///< stall / total
+  double cycles_per_block = 0.0;
+};
+
+/// Streams `blocks` sequential block reads through one CFM processor.
+/// `prefetch` = false: demand fetching (read, wait beta, compute).
+/// `prefetch` = true: software prefetch of the next block overlapping the
+/// current block's compute.
+[[nodiscard]] PrefetchResult run_stream(std::uint32_t processors,
+                                        std::uint32_t bank_cycle,
+                                        std::uint32_t compute_cycles,
+                                        std::uint64_t blocks, bool prefetch);
+
+}  // namespace cfm::workload

@@ -1,0 +1,189 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "cfm/cfm_memory.hpp"
+#include "mem/conventional.hpp"
+#include "sim/rng.hpp"
+
+namespace cfm::workload {
+
+void Trace::save(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << r.issue << ' ' << r.proc << ' ' << (r.is_write ? 1 : 0) << ' '
+       << r.module << ' ' << r.offset << '\n';
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace t;
+  TraceRecord r;
+  int rw = 0;
+  while (is >> r.issue >> r.proc >> rw >> r.module >> r.offset) {
+    r.is_write = rw != 0;
+    t.add(r);
+  }
+  return t;
+}
+
+Trace Trace::uniform(std::uint32_t processors, std::uint32_t modules,
+                     sim::BlockAddr blocks, std::size_t accesses,
+                     sim::Cycle cycles, double write_fraction,
+                     std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Trace t;
+  for (std::size_t i = 0; i < accesses; ++i) {
+    TraceRecord r;
+    r.issue = rng.below(cycles);
+    r.proc = static_cast<sim::ProcessorId>(rng.below(processors));
+    r.is_write = rng.chance(write_fraction);
+    r.module = static_cast<std::uint32_t>(rng.below(modules));
+    r.offset = rng.below(blocks);
+    t.add(r);
+  }
+  auto recs = t.records_;
+  std::sort(recs.begin(), recs.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.issue < b.issue;
+            });
+  t.records_ = std::move(recs);
+  return t;
+}
+
+ReplayResult replay_on_cfm(const Trace& trace, std::uint32_t processors,
+                           std::uint32_t bank_cycle) {
+  core::CfmMemory mem(core::CfmConfig::make(processors, bank_cycle));
+  const auto banks = mem.config().banks;
+
+  struct PerProc {
+    std::vector<TraceRecord> queue;  // reversed: pop_back = next
+    core::CfmMemory::OpToken op = core::CfmMemory::kNoOp;
+    sim::Cycle issued = 0;
+  };
+  std::vector<PerProc> procs(processors);
+  for (const auto& r : trace.records()) {
+    assert(r.proc < processors);
+    procs[r.proc].queue.push_back(r);
+  }
+  for (auto& p : procs) std::reverse(p.queue.begin(), p.queue.end());
+
+  ReplayResult out;
+  sim::RunningStat latency;
+  std::size_t remaining = trace.size();
+  sim::Cycle now = 0;
+  const sim::Cycle deadline_slack = 1000 + 10ull * banks * trace.size();
+
+  while (remaining > 0 && now < deadline_slack) {
+    for (std::uint32_t p = 0; p < processors; ++p) {
+      auto& st = procs[p];
+      if (st.op != core::CfmMemory::kNoOp) {
+        if (auto result = mem.take_result(st.op)) {
+          st.op = core::CfmMemory::kNoOp;
+          --remaining;
+          if (result->status == core::OpStatus::Completed) {
+            latency.add(static_cast<double>(result->completed - st.issued));
+            out.restarts += result->restarts;
+          } else {
+            ++out.aborted_writes;
+          }
+        }
+      }
+      if (st.op == core::CfmMemory::kNoOp && !st.queue.empty() &&
+          st.queue.back().issue <= now) {
+        const auto rec = st.queue.back();
+        st.queue.pop_back();
+        if (rec.is_write) {
+          const std::vector<sim::Word> data(banks, rec.offset + 1);
+          st.op = mem.issue(now, p, core::BlockOpKind::Write, rec.offset, data);
+        } else {
+          st.op = mem.issue(now, p, core::BlockOpKind::Read, rec.offset);
+        }
+        st.issued = now;
+      }
+    }
+    mem.tick(now);
+    ++now;
+  }
+
+  out.completed = latency.count();
+  out.mean_latency = latency.mean();
+  out.makespan = now;
+  return out;
+}
+
+ReplayResult replay_on_conventional(const Trace& trace,
+                                    std::uint32_t processors,
+                                    std::uint32_t modules, std::uint32_t beta,
+                                    std::uint64_t seed) {
+  mem::ConventionalMemory memory(modules, beta);
+  sim::Rng rng(seed);
+
+  struct PerProc {
+    std::vector<TraceRecord> queue;  // reversed: pop_back = next
+    std::optional<TraceRecord> current;
+    sim::Cycle retry_at = 0;
+    sim::Cycle started = 0;
+    sim::Cycle busy_until = 0;
+  };
+  std::vector<PerProc> procs(processors);
+  for (const auto& r : trace.records()) {
+    assert(r.proc < processors);
+    procs[r.proc].queue.push_back(r);
+  }
+  for (auto& p : procs) std::reverse(p.queue.begin(), p.queue.end());
+
+  ReplayResult out;
+  sim::RunningStat latency;
+  std::size_t remaining = trace.size();
+  sim::Cycle now = 0;
+  const sim::Cycle limit = 1000 + 50ull * beta * trace.size();
+
+  while (remaining > 0 && now < limit) {
+    for (std::uint32_t p = 0; p < processors; ++p) {
+      auto& st = procs[p];
+      if (st.current.has_value()) {
+        if (st.retry_at > now) continue;
+        const auto done = memory.try_start(st.current->module, now);
+        if (done == sim::kNeverCycle) {
+          st.retry_at = now + rng.between(1, beta);
+          ++out.restarts;  // conventional: retries, not restarts
+        } else {
+          latency.add(static_cast<double>(done - st.started));
+          st.busy_until = done;
+          st.current.reset();
+          --remaining;
+        }
+        continue;
+      }
+      if (now < st.busy_until || st.queue.empty() ||
+          st.queue.back().issue > now) {
+        continue;
+      }
+      auto rec = st.queue.back();
+      st.queue.pop_back();
+      st.started = now;
+      const auto done = memory.try_start(rec.module, now);
+      if (done == sim::kNeverCycle) {
+        st.current = rec;
+        st.retry_at = now + rng.between(1, beta);
+        ++out.restarts;
+      } else {
+        latency.add(static_cast<double>(done - st.started));
+        st.busy_until = done;
+        --remaining;
+      }
+    }
+    ++now;
+  }
+
+  out.completed = latency.count();
+  out.mean_latency = latency.mean();
+  out.makespan = now;
+  return out;
+}
+
+}  // namespace cfm::workload

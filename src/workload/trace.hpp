@@ -1,0 +1,73 @@
+// Block-access trace record / replay.
+//
+// Traces decouple workload generation from machine evaluation: the same
+// access stream can be replayed against the CFM machine and against the
+// conventional baseline, which is how the ablation benches hold the
+// workload constant while swapping the memory system.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cfm::workload {
+
+struct TraceRecord {
+  sim::Cycle issue = 0;           ///< earliest cycle the access may start
+  sim::ProcessorId proc = 0;
+  bool is_write = false;
+  std::uint32_t module = 0;
+  sim::BlockAddr offset = 0;
+};
+
+class Trace {
+ public:
+  void add(const TraceRecord& rec) { records_.push_back(rec); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Serialization: one "cycle proc rw module offset" line per record.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static Trace load(std::istream& is);
+
+  /// Uniform random trace: `accesses` block accesses over `cycles` cycles,
+  /// `processors` processors, `modules` modules, `blocks` distinct offsets,
+  /// `write_fraction` of them writes.
+  [[nodiscard]] static Trace uniform(std::uint32_t processors,
+                                     std::uint32_t modules,
+                                     sim::BlockAddr blocks,
+                                     std::size_t accesses, sim::Cycle cycles,
+                                     double write_fraction, std::uint64_t seed);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Replays a trace against a conflict-free memory (all records with
+/// module 0) and returns the mean access latency — always beta.
+struct ReplayResult {
+  double mean_latency = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted_writes = 0;
+  std::uint64_t restarts = 0;
+  sim::Cycle makespan = 0;
+};
+
+[[nodiscard]] ReplayResult replay_on_cfm(const Trace& trace,
+                                         std::uint32_t processors,
+                                         std::uint32_t bank_cycle);
+
+/// Replays the same trace against the conventional contended memory
+/// (module field used; conflicts retried with Uniform[1, beta] back-off).
+[[nodiscard]] ReplayResult replay_on_conventional(const Trace& trace,
+                                                  std::uint32_t processors,
+                                                  std::uint32_t modules,
+                                                  std::uint32_t beta,
+                                                  std::uint64_t seed);
+
+}  // namespace cfm::workload

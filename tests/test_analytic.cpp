@@ -1,0 +1,120 @@
+// Tests for the closed-form efficiency and latency models (§3.4, §5.4.4).
+#include <gtest/gtest.h>
+
+#include "analytic/efficiency.hpp"
+#include "analytic/latency.hpp"
+
+namespace {
+
+using namespace cfm::analytic;
+
+TEST(Conventional, ZeroRateIsPerfect) {
+  ConventionalModel m{8, 8, 17};
+  EXPECT_DOUBLE_EQ(m.conflict_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.efficiency(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.expected_access_time(0.0), 17.0);
+}
+
+TEST(Conventional, MatchesClosedForm) {
+  // E(r) = (2m - 2(n-1) r beta) / (2m - (n-1) r beta).
+  ConventionalModel m{8, 8, 17};
+  for (const double r : {0.01, 0.02, 0.03, 0.05}) {
+    const double num = 2.0 * 8 - 2.0 * 7 * r * 17;
+    const double den = 2.0 * 8 - 7.0 * r * 17;
+    EXPECT_NEAR(m.efficiency(r), num / den, 1e-12);
+  }
+}
+
+TEST(Conventional, MonotoneDecreasingInRate) {
+  ConventionalModel m{8, 8, 17};
+  double prev = 2.0;
+  for (double r = 0.0; r <= 0.06; r += 0.005) {
+    const double e = m.efficiency(r);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Conventional, MoreModulesHelp) {
+  ConventionalModel few{8, 4, 17};
+  ConventionalModel many{8, 16, 17};
+  EXPECT_GT(many.efficiency(0.03), few.efficiency(0.03));
+}
+
+TEST(Conventional, SaturationClampsToZero) {
+  ConventionalModel m{8, 8, 17};
+  EXPECT_DOUBLE_EQ(m.efficiency(10.0), 0.0);
+  EXPECT_GT(m.expected_access_time(10.0), 1e100);
+}
+
+TEST(PartialCfm, FullLocalityOnlyRemoteInterferenceVanishes) {
+  PartialCfmModel m{64, 8, 17};
+  // lambda = 1: every access is local and P1 has factor (1 - lambda) = 0,
+  // but P2 is irrelevant; combined P = ((-m + 2 + m - 2)/(m-1)) r beta = 0.
+  EXPECT_NEAR(m.conflict_probability(0.05, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(m.efficiency(0.05, 1.0), 1.0, 1e-12);
+}
+
+TEST(PartialCfm, ComponentsMatchClosedForms) {
+  PartialCfmModel m{64, 8, 17};
+  const double r = 0.03;
+  const double l = 0.7;
+  EXPECT_NEAR(m.local_block_probability(r, l), (1 - l) * r * 17, 1e-12);
+  EXPECT_NEAR(m.remote_block_probability(r, l),
+              (1 - (1 - l) / 7.0) * r * 17, 1e-12);
+  const double combined =
+      ((-8.0 * l * l + 2 * l + 8 - 2) / 7.0) * r * 17;
+  EXPECT_NEAR(m.conflict_probability(r, l), combined, 1e-12);
+  // Combined must equal the mixture P1*l + P2*(1-l).
+  EXPECT_NEAR(m.conflict_probability(r, l),
+              m.local_block_probability(r, l) * l +
+                  m.remote_block_probability(r, l) * (1 - l),
+              1e-12);
+}
+
+TEST(PartialCfm, EfficiencyOrderedByLocality) {
+  // Figs 3.14/3.15: higher locality -> higher efficiency, all rates.
+  PartialCfmModel m{64, 8, 17};
+  for (const double r : {0.01, 0.03, 0.05}) {
+    EXPECT_GT(m.efficiency(r, 0.9), m.efficiency(r, 0.7));
+    EXPECT_GT(m.efficiency(r, 0.7), m.efficiency(r, 0.5));
+    EXPECT_GT(m.efficiency(r, 0.5), m.efficiency(r, 0.3));
+  }
+}
+
+TEST(PartialCfm, BeatsConventionalAtEqualConnectivity) {
+  // Fig 3.14's comparison: 64-processor partial CFM with 8 modules vs a
+  // conventional machine with 64 modules.
+  PartialCfmModel partial{64, 8, 17};
+  ConventionalModel conventional{64, 64, 17};
+  for (const double r : {0.02, 0.04, 0.06}) {
+    for (const double l : {0.9, 0.7, 0.5, 0.3}) {
+      EXPECT_GT(partial.efficiency(r, l), conventional.efficiency(r))
+          << "r=" << r << " lambda=" << l;
+    }
+  }
+}
+
+TEST(Latency, Table55Values) {
+  HierarchicalLatencyModel m{8, 2};
+  EXPECT_EQ(m.beta(), 9u);
+  EXPECT_EQ(m.local_cluster_read(), 9u);
+  EXPECT_EQ(m.global_read(), 27u);
+  EXPECT_EQ(m.dirty_remote_read_paper(), 63u);
+  const DashLatencies dash;
+  EXPECT_LT(m.local_cluster_read(), dash.local_cluster_read);
+  EXPECT_LT(m.global_read(), dash.global_read);
+  EXPECT_LT(m.dirty_remote_read_paper(), dash.dirty_remote_read);
+}
+
+TEST(Latency, Table56Values) {
+  HierarchicalLatencyModel m{64, 2};
+  EXPECT_EQ(m.beta(), 65u);
+  EXPECT_EQ(m.local_cluster_read(), 65u);
+  EXPECT_EQ(m.global_read(), 195u);
+  const Ksr1Latencies ksr;
+  EXPECT_LT(m.local_cluster_read(), ksr.local_ring_read);
+  EXPECT_LT(m.global_read(), ksr.global_ring_read);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the swap-based busy-waiting lock (§4.2.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cfm/atomic.hpp"
+
+namespace {
+
+using namespace cfm::core;
+using cfm::sim::Cycle;
+
+TEST(LockClient, SingleClientAcquiresQuickly) {
+  CfmMemory mem(CfmConfig::make(4, 1), ConsistencyPolicy::EarliestWins);
+  LockClient client(0, 3);
+  client.acquire();
+  Cycle t = 0;
+  while (!client.holding() && t < 100) {
+    client.tick(t, mem);
+    mem.tick(t);
+    ++t;
+  }
+  EXPECT_TRUE(client.holding());
+  // One swap: 2 tours = 8 cycles, plus bookkeeping.
+  EXPECT_LE(t, 16u);
+}
+
+TEST(LockClient, ReleaseFreesTheLock) {
+  CfmMemory mem(CfmConfig::make(4, 1), ConsistencyPolicy::EarliestWins);
+  LockClient a(0, 3);
+  LockClient b(1, 3);
+  a.acquire();
+  Cycle t = 0;
+  while (!a.holding() && t < 100) {
+    a.tick(t, mem);
+    mem.tick(t);
+    ++t;
+  }
+  ASSERT_TRUE(a.holding());
+  a.release();
+  b.acquire();
+  while (!b.holding() && t < 500) {
+    a.tick(t, mem);
+    b.tick(t, mem);
+    mem.tick(t);
+    ++t;
+  }
+  EXPECT_TRUE(b.holding());
+  EXPECT_FALSE(a.holding());
+}
+
+class LockFarm : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LockFarm, MutualExclusionAndProgress) {
+  const auto n = GetParam();
+  CfmMemory mem(CfmConfig::make(n, 1), ConsistencyPolicy::EarliestWins);
+  std::vector<LockClient> clients;
+  clients.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) clients.emplace_back(p, 7);
+  for (auto& c : clients) c.acquire();
+
+  std::uint64_t acquisitions = 0;
+  for (Cycle t = 0; t < 8000; ++t) {
+    std::uint32_t holders = 0;
+    for (auto& c : clients) {
+      if (c.holding()) {
+        ++holders;
+        ++acquisitions;
+        c.release();
+      }
+    }
+    ASSERT_LE(holders, 1u) << "mutual exclusion violated at cycle " << t;
+    for (auto& c : clients) {
+      c.tick(t, mem);
+      if (c.state() == LockClient::State::Idle) c.acquire();
+    }
+    mem.tick(t);
+  }
+  EXPECT_GT(acquisitions, 8000u / (6 * mem.config().banks))
+      << "lock must keep moving";
+  // Starvation-freedom: with >= 4 contenders the AT-space phases rotate
+  // every round and nobody loses forever.  (With exactly 2 the fully
+  // deterministic protocol can phase-lock so the bank-0-priority client
+  // wins every round — a genuine property of the design; the paper's
+  // optional retry delay would break the tie.)
+  if (n >= 4) {
+    for (auto& c : clients) {
+      EXPECT_GT(c.acquisitions(), 0u) << "a contender starved";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contenders, LockFarm,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(LockClient, WaitersDoNotSlowTheHolder) {
+  // §4.2.2: "a processor repeatedly checking a lock does not delay the
+  // swap operation issued by the process holding the lock" — and in CFM
+  // the read-loop adds no memory contention at all.  Measure hand-off
+  // cycles with 1 vs 7 read-looping waiters: the next acquisition after a
+  // release must not degrade with waiter count.
+  auto handoff = [](std::uint32_t n) {
+    CfmMemory mem(CfmConfig::make(8, 1), ConsistencyPolicy::EarliestWins);
+    std::vector<LockClient> clients;
+    for (std::uint32_t p = 0; p < n; ++p) clients.emplace_back(p, 7);
+    for (auto& c : clients) c.acquire();
+    std::uint64_t acq = 0;
+    Cycle t = 0;
+    for (; t < 4000 && acq < 50; ++t) {
+      for (auto& c : clients) {
+        if (c.holding()) {
+          ++acq;
+          c.release();
+        }
+        c.tick(t, mem);
+        if (c.state() == LockClient::State::Idle) c.acquire();
+      }
+      mem.tick(t);
+    }
+    return static_cast<double>(t) / static_cast<double>(acq);
+  };
+  const double few = handoff(2);
+  const double many = handoff(8);
+  EXPECT_LT(many, few * 2.5) << "hand-off must not collapse with waiters";
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for the Address Tracking Table (§4.1.2): position algebra,
+// expiry, masks, and the comparing-set windows.
+#include <gtest/gtest.h>
+
+#include "cfm/att.hpp"
+
+namespace {
+
+using namespace cfm::core;
+
+TEST(Att, EntryInvisibleInInsertSlot) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  // Same slot: position would be -1; not findable.
+  EXPECT_FALSE(att.find(10, 42, 0, 7, kWriteLike, 99).has_value());
+}
+
+TEST(Att, PositionIsAgeMinusOne) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  for (std::uint32_t age = 1; age <= 7; ++age) {
+    const auto hit = att.find(10 + age, 42, 0, 7, kWriteLike, 99);
+    ASSERT_TRUE(hit.has_value()) << "age " << age;
+    EXPECT_EQ(hit->position, age - 1);
+  }
+}
+
+TEST(Att, ExpiresAfterCapacitySlots) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  // Age 8 -> position 7 >= capacity: gone (b-1 = 7 lifetime).
+  EXPECT_FALSE(att.find(18, 42, 0, 7, kWriteLike, 99).has_value());
+}
+
+TEST(Att, OffsetMustMatch) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  EXPECT_FALSE(att.find(12, 43, 0, 7, kWriteLike, 99).has_value());
+}
+
+TEST(Att, SelfEntriesIgnored) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  EXPECT_FALSE(att.find(12, 42, 0, 7, kWriteLike, 1).has_value());
+  EXPECT_TRUE(att.find(12, 42, 0, 7, kWriteLike, 2).has_value());
+}
+
+TEST(Att, KindMaskFilters) {
+  Att att(7);
+  att.insert(10, 42, OpKind::ProtoWriteBack, 1, 0);
+  EXPECT_FALSE(att.find(12, 42, 0, 7, kWriteLike, 99).has_value());
+  EXPECT_TRUE(att.find(12, 42, 0, 7, kProtoExclusive, 99).has_value());
+  EXPECT_TRUE(att.find(12, 42, 0, 7,
+                       kind_bit(OpKind::ProtoWriteBack), 99)
+                  .has_value());
+  EXPECT_FALSE(att.find(12, 42, 0, 7,
+                        kind_bit(OpKind::ProtoReadInv), 99)
+                   .has_value());
+}
+
+TEST(Att, PositionWindowRespected) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  // At slot 14 the entry sits at position 3.
+  EXPECT_TRUE(att.find(14, 42, 0, 7, kWriteLike, 99).has_value());
+  EXPECT_TRUE(att.find(14, 42, 3, 4, kWriteLike, 99).has_value());
+  EXPECT_FALSE(att.find(14, 42, 0, 3, kWriteLike, 99).has_value());
+  EXPECT_FALSE(att.find(14, 42, 4, 7, kWriteLike, 99).has_value());
+}
+
+TEST(Att, YoungestMatchWins) {
+  Att att(7);
+  att.insert(10, 42, OpKind::Write, 1, 0);
+  att.insert(12, 42, OpKind::SwapWrite, 2, 1);
+  const auto hit = att.find(14, 42, 0, 7, kWriteLike, 99);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->op_id, 2u);  // younger (position 1) found before older
+  EXPECT_EQ(hit->kind, OpKind::SwapWrite);
+}
+
+TEST(Att, MultipleEntriesTrackIndependently) {
+  Att att(7);
+  att.insert(10, 1, OpKind::Write, 1, 0);
+  att.insert(11, 2, OpKind::Write, 2, 1);
+  att.insert(12, 3, OpKind::Write, 3, 2);
+  EXPECT_EQ(att.find(13, 1, 0, 7, kWriteLike, 99)->position, 2u);
+  EXPECT_EQ(att.find(13, 2, 0, 7, kWriteLike, 99)->position, 1u);
+  EXPECT_EQ(att.find(13, 3, 0, 7, kWriteLike, 99)->position, 0u);
+  EXPECT_EQ(att.live_entries(13), 3u);
+}
+
+TEST(Att, PruneDropsExpired) {
+  Att att(3);
+  att.insert(0, 1, OpKind::Write, 1, 0);
+  att.insert(1, 2, OpKind::Write, 2, 0);
+  att.insert(10, 3, OpKind::Write, 3, 0);
+  att.prune(11);
+  EXPECT_EQ(att.live_entries(11), 1u);
+  EXPECT_FALSE(att.find(11, 1, 0, 3, kWriteLike, 99).has_value());
+  EXPECT_TRUE(att.find(11, 3, 0, 3, kWriteLike, 99).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the sense-reversing barrier on the CFM cache protocol.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/barrier.hpp"
+
+namespace {
+
+using namespace cfm::cache;
+using cfm::sim::Cycle;
+
+CfmCacheSystem::Params params(std::uint32_t n) {
+  CfmCacheSystem::Params p;
+  p.mem = cfm::core::CfmConfig::make(n);
+  return p;
+}
+
+TEST(Barrier, AllPartiesReleasedTogether) {
+  constexpr std::uint32_t kParties = 4;
+  CfmCacheSystem sys(params(kParties));
+  std::vector<BarrierClient> clients;
+  for (std::uint32_t p = 0; p < kParties; ++p) {
+    clients.emplace_back(p, 9, kParties);
+  }
+  for (auto& c : clients) c.arrive();
+  Cycle t = 0;
+  bool all = false;
+  while (!all && t < 3000) {
+    for (auto& c : clients) c.tick(t, sys);
+    sys.tick(t);
+    ++t;
+    all = true;
+    for (auto& c : clients) {
+      if (!c.released()) all = false;
+    }
+  }
+  EXPECT_TRUE(all) << "barrier never released";
+}
+
+TEST(Barrier, NobodyPassesEarly) {
+  constexpr std::uint32_t kParties = 4;
+  CfmCacheSystem sys(params(kParties));
+  std::vector<BarrierClient> clients;
+  for (std::uint32_t p = 0; p < kParties; ++p) {
+    clients.emplace_back(p, 9, kParties);
+  }
+  // Only three of four arrive.
+  clients[0].arrive();
+  clients[1].arrive();
+  clients[2].arrive();
+  Cycle t = 0;
+  for (; t < 1500; ++t) {
+    for (auto& c : clients) c.tick(t, sys);
+    sys.tick(t);
+    ASSERT_FALSE(clients[0].released() || clients[1].released() ||
+                 clients[2].released())
+        << "released before the last arriver at t=" << t;
+  }
+  // The straggler arrives; everyone must release.
+  clients[3].arrive();
+  bool all = false;
+  while (!all && t < 4000) {
+    for (auto& c : clients) c.tick(t, sys);
+    sys.tick(t);
+    ++t;
+    all = clients[0].released() && clients[1].released() &&
+          clients[2].released() && clients[3].released();
+  }
+  EXPECT_TRUE(all);
+}
+
+TEST(Barrier, ReusableAcrossRounds) {
+  constexpr std::uint32_t kParties = 4;
+  constexpr int kRounds = 10;
+  CfmCacheSystem sys(params(kParties));
+  std::vector<BarrierClient> clients;
+  for (std::uint32_t p = 0; p < kParties; ++p) {
+    clients.emplace_back(p, 9, kParties);
+  }
+  Cycle t = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& c : clients) c.arrive();
+    bool all = false;
+    const Cycle deadline = t + 5000;
+    while (!all && t < deadline) {
+      for (auto& c : clients) c.tick(t, sys);
+      sys.tick(t);
+      ++t;
+      all = true;
+      for (auto& c : clients) {
+        if (!c.released()) all = false;
+      }
+    }
+    ASSERT_TRUE(all) << "round " << round << " stuck";
+    for (auto& c : clients) c.reset();
+  }
+  for (auto& c : clients) {
+    EXPECT_EQ(c.rounds(), static_cast<std::uint64_t>(kRounds));
+  }
+}
+
+TEST(Barrier, StaggeredArrivalsStillAlign) {
+  constexpr std::uint32_t kParties = 8;
+  CfmCacheSystem sys(params(kParties));
+  std::vector<BarrierClient> clients;
+  for (std::uint32_t p = 0; p < kParties; ++p) {
+    clients.emplace_back(p, 9, kParties);
+  }
+  Cycle t = 0;
+  // Arrivals spread 40 cycles apart.
+  for (std::uint32_t p = 0; p < kParties; ++p) {
+    clients[p].arrive();
+    for (int i = 0; i < 40; ++i) {
+      for (auto& c : clients) c.tick(t, sys);
+      sys.tick(t);
+      ++t;
+    }
+  }
+  bool all = false;
+  while (!all && t < 10000) {
+    for (auto& c : clients) c.tick(t, sys);
+    sys.tick(t);
+    ++t;
+    all = true;
+    for (auto& c : clients) {
+      if (!c.released()) all = false;
+    }
+  }
+  EXPECT_TRUE(all);
+  // Early arrivers waited longer than the last one.
+  EXPECT_GT(clients[0].wait_cycles().mean(), clients[7].wait_cycles().mean());
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Tests for the direct-mapped cache container.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+
+namespace {
+
+using namespace cfm::cache;
+using cfm::sim::Word;
+
+TEST(DirectCache, MissOnEmpty) {
+  DirectCache cache(8, 4);
+  EXPECT_EQ(cache.find(3), nullptr);
+  EXPECT_EQ(cache.state_of(3), LineState::Invalid);
+}
+
+TEST(DirectCache, FillAndFind) {
+  DirectCache cache(8, 4);
+  cache.fill(3, {1, 2, 3, 4}, LineState::Valid);
+  auto* line = cache.find(3);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->state, LineState::Valid);
+  EXPECT_EQ(line->data, (std::vector<Word>{1, 2, 3, 4}));
+  EXPECT_EQ(cache.state_of(3), LineState::Valid);
+}
+
+TEST(DirectCache, DirectMappedConflictEvicts) {
+  DirectCache cache(8, 4);
+  cache.fill(3, {1, 1, 1, 1}, LineState::Valid);
+  cache.fill(11, {2, 2, 2, 2}, LineState::Dirty);  // 11 mod 8 == 3
+  EXPECT_EQ(cache.find(3), nullptr);
+  ASSERT_NE(cache.find(11), nullptr);
+  EXPECT_EQ(cache.state_of(11), LineState::Dirty);
+}
+
+TEST(DirectCache, TagMismatchIsInvisible) {
+  DirectCache cache(8, 4);
+  cache.fill(3, {1, 1, 1, 1}, LineState::Valid);
+  EXPECT_EQ(cache.find(11), nullptr);  // same slot, different tag
+  EXPECT_EQ(cache.state_of(11), LineState::Invalid);
+  // But the victim is inspectable through slot_for.
+  EXPECT_EQ(cache.slot_for(11).tag, 3u);
+}
+
+TEST(DirectCache, InvalidateDropsCopy) {
+  DirectCache cache(8, 4);
+  cache.fill(3, {1, 1, 1, 1}, LineState::Dirty);
+  EXPECT_TRUE(cache.invalidate(3));
+  EXPECT_EQ(cache.find(3), nullptr);
+  EXPECT_FALSE(cache.invalidate(3));  // idempotent
+}
+
+TEST(DirectCache, FillResetsWbLock) {
+  DirectCache cache(8, 4);
+  auto& line = cache.fill(3, {0, 0, 0, 0}, LineState::Dirty);
+  line.wb_locked = true;
+  cache.fill(3, {1, 1, 1, 1}, LineState::Valid);
+  EXPECT_FALSE(cache.find(3)->wb_locked);
+}
+
+TEST(DirectCache, HitMissCounters) {
+  DirectCache cache(8, 4);
+  cache.count_hit();
+  cache.count_hit();
+  cache.count_miss();
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LineState, Names) {
+  EXPECT_STREQ(to_string(LineState::Invalid), "invalid");
+  EXPECT_STREQ(to_string(LineState::Valid), "valid");
+  EXPECT_STREQ(to_string(LineState::Dirty), "dirty");
+}
+
+}  // namespace

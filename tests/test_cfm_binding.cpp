@@ -1,0 +1,87 @@
+// Tests for resource binding on the CFM architecture (§6.5.1): component
+// patterns and the atomic-multiple-lock binding farm, including the
+// dining philosophers (Fig 6.5) with no deadlock and no starvation.
+#include <gtest/gtest.h>
+
+#include "binding/cfm_binding.hpp"
+
+namespace {
+
+using namespace cfm::bind;
+using cfm::sim::Word;
+
+TEST(Patterns, SingleComponent) {
+  const auto p = pattern_for_range({5, 5, 1}, 2);
+  EXPECT_EQ(p, (std::vector<Word>{0b100000, 0}));
+}
+
+TEST(Patterns, StridedComponents) {
+  const auto p = pattern_for_range({0, 6, 2}, 1);
+  EXPECT_EQ(p[0], 0b1010101u);
+}
+
+TEST(Patterns, CrossWordComponents) {
+  const auto p = pattern_for_range({63, 64, 1}, 2);
+  EXPECT_EQ(p[0], Word{1} << 63);
+  EXPECT_EQ(p[1], 1u);
+}
+
+TEST(Patterns, MultipleRangesUnion) {
+  const auto p = pattern_for_ranges({{0, 0, 1}, {3, 3, 1}}, 1);
+  EXPECT_EQ(p[0], 0b1001u);
+}
+
+TEST(Patterns, OutOfRangeThrows) {
+  EXPECT_THROW(pattern_for_range({0, 64, 1}, 1), std::invalid_argument);
+  EXPECT_THROW(pattern_for_range({-1, 3, 1}, 1), std::invalid_argument);
+}
+
+TEST(DiningRegions, NeighborsOverlapNonNeighborsDoNot) {
+  const auto regions = dining_philosopher_regions(5);
+  ASSERT_EQ(regions.size(), 5u);
+  const auto p0 = pattern_for_ranges(regions[0], 1);  // chopsticks 0,1
+  const auto p1 = pattern_for_ranges(regions[1], 1);  // chopsticks 1,2
+  const auto p2 = pattern_for_ranges(regions[2], 1);  // chopsticks 2,3
+  EXPECT_NE(p0[0] & p1[0], 0u);
+  EXPECT_EQ(p0[0] & p2[0], 0u);
+  // The last philosopher wraps around to chopstick 0.
+  const auto p4 = pattern_for_ranges(regions[4], 1);
+  EXPECT_NE(p4[0] & p0[0], 0u);
+}
+
+TEST(BindingFarm, DiningPhilosophersNoDeadlockNoStarvation) {
+  // Fig 6.5: atomic multiple lock acquires both chopsticks or neither, so
+  // the classic deadlock cannot occur and everyone eventually eats.
+  const std::uint32_t n = 4;
+  const auto result =
+      run_cfm_binding_farm(n, dining_philosopher_regions(n), 10, 30000);
+  EXPECT_GT(result.binds, 40u) << "philosophers must keep eating";
+  EXPECT_GT(result.min_per_proc, 0.0) << "a philosopher starved";
+}
+
+TEST(BindingFarm, DisjointRegionsBindFreely) {
+  const std::uint32_t n = 4;
+  std::vector<std::vector<IndexRange>> regions(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    regions[p] = {IndexRange{p, p, 1}};  // private component each
+  }
+  const auto result = run_cfm_binding_farm(n, regions, 5, 10000);
+  EXPECT_GT(result.binds, 100u);
+  EXPECT_GT(result.min_per_proc, 10.0);
+}
+
+TEST(BindingFarm, FullOverlapSerializes) {
+  const std::uint32_t n = 4;
+  std::vector<std::vector<IndexRange>> regions(
+      n, {IndexRange{0, 3, 1}});  // everyone wants all four components
+  const auto result = run_cfm_binding_farm(n, regions, 5, 15000);
+  EXPECT_GT(result.binds, 10u);
+  EXPECT_GT(result.min_per_proc, 0.0);
+}
+
+TEST(BindingFarm, ShapeValidation) {
+  EXPECT_THROW((void)run_cfm_binding_farm(4, {}, 5, 100),
+               std::invalid_argument);
+}
+
+}  // namespace

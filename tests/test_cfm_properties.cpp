@@ -1,0 +1,229 @@
+// Randomized property tests for the CFM consistency machinery (§4.1/§4.2):
+// whatever the interleaving of same-block operations,
+//   * every completed read returns ONE version (no torn blocks),
+//   * the final memory content equals some completed write's data,
+//   * concurrent swaps and writes serialize (atomicity),
+//   * distinct-block traffic never aborts, restarts, or stretches beyond
+//     beta (the conflict-freedom guarantee).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cfm/cfm_memory.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace cfm::core;
+using cfm::sim::Cycle;
+using cfm::sim::Word;
+
+struct Shape {
+  std::uint32_t processors;
+  std::uint32_t bank_cycle;
+  ConsistencyPolicy policy;
+};
+
+class CfmRandomOps : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CfmRandomOps, SameBlockChaosStaysConsistent) {
+  const auto shape = GetParam();
+  CfmMemory mem(CfmConfig::make(shape.processors, shape.bank_cycle),
+                shape.policy);
+  const auto banks = mem.config().banks;
+  cfm::sim::Rng rng(1234 + shape.processors + shape.bank_cycle);
+  const cfm::sim::BlockAddr target = 42;
+  mem.poke_block(target, std::vector<Word>(banks, 0));
+
+  // Every write/swap uses a unique uniform fill value so a torn block is
+  // detectable as a mixed-value read.
+  Word next_value = 1;
+  std::set<Word> write_values{0};
+  std::map<CfmMemory::OpToken, BlockOpKind> kinds;
+  std::vector<CfmMemory::OpToken> live(shape.processors, CfmMemory::kNoOp);
+  std::uint64_t completed_reads = 0;
+
+  Cycle t = 0;
+  for (; t < 6000; ++t) {
+    for (std::uint32_t p = 0; p < shape.processors; ++p) {
+      auto& token = live[p];
+      if (token != CfmMemory::kNoOp) {
+        if (auto r = mem.take_result(token)) {
+          const auto kind = kinds[token];
+          if (kind != BlockOpKind::Write &&
+              r->status == OpStatus::Completed) {
+            ASSERT_FALSE(r->data.empty());
+            const Word v = r->data[0];
+            for (const Word w : r->data) {
+              ASSERT_EQ(w, v) << "torn block read";
+            }
+            ASSERT_TRUE(write_values.count(v)) << "phantom value";
+            ++completed_reads;
+          }
+          token = CfmMemory::kNoOp;
+        }
+      }
+      if (token == CfmMemory::kNoOp && rng.chance(0.25)) {
+        const double pick = rng.uniform();
+        if (pick < 0.4) {
+          token = mem.issue(t, p, BlockOpKind::Read, target);
+          kinds[token] = BlockOpKind::Read;
+        } else if (pick < 0.8 ||
+                   shape.policy == ConsistencyPolicy::LatestWins) {
+          const Word v = next_value++;
+          write_values.insert(v);
+          token = mem.issue(t, p, BlockOpKind::Write, target,
+                            std::vector<Word>(banks, v));
+          kinds[token] = BlockOpKind::Write;
+        } else {
+          const Word v = next_value++;
+          write_values.insert(v);
+          token = mem.issue(t, p, BlockOpKind::Swap, target,
+                            std::vector<Word>(banks, v));
+          kinds[token] = BlockOpKind::Swap;
+        }
+      }
+    }
+    mem.tick(t);
+  }
+  // Drain.
+  for (Cycle extra = 0; extra < 10 * banks; ++extra) mem.tick(t++);
+
+  EXPECT_GT(completed_reads, 20u);
+  const auto final_block = mem.peek_block(target);
+  const Word v = final_block[0];
+  for (const Word w : final_block) {
+    EXPECT_EQ(w, v) << "final memory torn";
+  }
+  EXPECT_TRUE(write_values.count(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CfmRandomOps,
+    ::testing::Values(Shape{4, 1, ConsistencyPolicy::LatestWins},
+                      Shape{8, 1, ConsistencyPolicy::LatestWins},
+                      Shape{16, 1, ConsistencyPolicy::LatestWins},
+                      Shape{4, 1, ConsistencyPolicy::EarliestWins},
+                      Shape{8, 1, ConsistencyPolicy::EarliestWins},
+                      Shape{16, 1, ConsistencyPolicy::EarliestWins},
+                      Shape{4, 2, ConsistencyPolicy::EarliestWins},
+                      Shape{8, 2, ConsistencyPolicy::LatestWins}));
+
+class CfmDistinctBlocks : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CfmDistinctBlocks, NeverConflictsNeverStretches) {
+  const auto shape = GetParam();
+  CfmMemory mem(CfmConfig::make(shape.processors, shape.bank_cycle),
+                shape.policy);
+  const auto banks = mem.config().banks;
+  const auto beta = mem.config().block_access_time();
+  cfm::sim::Rng rng(99 + shape.processors);
+  std::vector<CfmMemory::OpToken> live(shape.processors, CfmMemory::kNoOp);
+  std::vector<Cycle> issued(shape.processors, 0);
+  std::uint64_t completed = 0;
+
+  Cycle t = 0;
+  for (; t < 3000; ++t) {
+    for (std::uint32_t p = 0; p < shape.processors; ++p) {
+      auto& token = live[p];
+      if (token != CfmMemory::kNoOp) {
+        if (auto r = mem.take_result(token)) {
+          ASSERT_EQ(r->status, OpStatus::Completed);
+          ASSERT_EQ(r->restarts, 0u);
+          // Each op takes exactly its nominal time (swap = 2 tours).
+          const auto elapsed = r->completed - issued[p];
+          ASSERT_TRUE(elapsed == beta || elapsed == beta + banks)
+              << "conflict-free op stretched to " << elapsed;
+          ++completed;
+          token = CfmMemory::kNoOp;
+        }
+      }
+      if (token == CfmMemory::kNoOp && rng.chance(0.5)) {
+        // Per-processor private block: no sharing.
+        const cfm::sim::BlockAddr addr = 1000 + p;
+        const double pick = rng.uniform();
+        if (pick < 0.5) {
+          token = mem.issue(t, p, BlockOpKind::Read, addr);
+        } else if (pick < 0.9 ||
+                   shape.policy == ConsistencyPolicy::LatestWins) {
+          token = mem.issue(t, p, BlockOpKind::Write, addr,
+                            std::vector<Word>(banks, t));
+        } else {
+          token = mem.issue(t, p, BlockOpKind::Swap, addr,
+                            std::vector<Word>(banks, t));
+        }
+        issued[p] = t;
+      }
+    }
+    mem.tick(t);
+  }
+  EXPECT_GT(completed, 100u);
+  EXPECT_EQ(mem.counters().get("read_restarts"), 0u);
+  EXPECT_EQ(mem.counters().get("ops_aborted"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CfmDistinctBlocks,
+    ::testing::Values(Shape{2, 1, ConsistencyPolicy::LatestWins},
+                      Shape{4, 1, ConsistencyPolicy::EarliestWins},
+                      Shape{8, 2, ConsistencyPolicy::EarliestWins},
+                      Shape{16, 1, ConsistencyPolicy::EarliestWins},
+                      Shape{16, 4, ConsistencyPolicy::EarliestWins}));
+
+TEST(CfmSwapAtomicity, ConcurrentCountersNeverLoseIncrements) {
+  // Each processor repeatedly performs read-modify-write(+1) on a shared
+  // counter block via Swap.  Atomicity means the final value equals the
+  // number of completed swaps — no lost updates.
+  CfmMemory mem(CfmConfig::make(8, 1), ConsistencyPolicy::EarliestWins);
+  const auto banks = mem.config().banks;
+  mem.poke_block(5, std::vector<Word>(banks, 0));
+  std::vector<CfmMemory::OpToken> live(8, CfmMemory::kNoOp);
+  std::uint64_t completed_swaps = 0;
+
+  const auto inc = [](const std::vector<Word>& in) {
+    auto out = in;
+    for (auto& w : out) w += 1;
+    return out;
+  };
+
+  Cycle t = 0;
+  for (; t < 5000; ++t) {
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      auto& token = live[p];
+      if (token != CfmMemory::kNoOp) {
+        if (auto r = mem.take_result(token)) {
+          ASSERT_EQ(r->status, OpStatus::Completed);
+          ++completed_swaps;
+          token = CfmMemory::kNoOp;
+        }
+      }
+      if (token == CfmMemory::kNoOp && completed_swaps + 16 < 400) {
+        token = mem.issue(t, p, BlockOpKind::Swap, 5, {}, inc);
+      }
+    }
+    mem.tick(t);
+  }
+  // Drain every in-flight swap (restart back-off can stretch the tail).
+  std::uint64_t drained = 0;
+  for (Cycle extra = 0; extra < 2000; ++extra) {
+    bool any = false;
+    for (auto& token : live) {
+      if (token == CfmMemory::kNoOp) continue;
+      if (mem.take_result(token)) {
+        ++drained;
+        token = CfmMemory::kNoOp;
+      } else {
+        any = true;
+      }
+    }
+    if (!any) break;
+    mem.tick(t++);
+  }
+  const auto final_block = mem.peek_block(5);
+  EXPECT_EQ(final_block[0], completed_swaps + drained);
+  for (const Word w : final_block) EXPECT_EQ(w, final_block[0]);
+}
+
+}  // namespace

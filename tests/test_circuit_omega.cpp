@@ -1,0 +1,210 @@
+// Tests for the contended baselines: buffered omega (tree saturation) and
+// circuit-switched omega (abort-and-retry).
+#include <gtest/gtest.h>
+
+#include "net/circuit_omega.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace cfm::net;
+using cfm::sim::Cycle;
+
+TEST(BufferedOmega, DeliversASinglePacket) {
+  BufferedOmega net(8, 4);
+  ASSERT_TRUE(net.try_inject(0, 3, 6));
+  bool delivered = false;
+  for (Cycle t = 0; t < 20 && !delivered; ++t) {
+    net.tick(t);
+    for (const auto& p : net.delivered_last_tick()) {
+      EXPECT_EQ(p.src, 3u);
+      EXPECT_EQ(p.dst, 6u);
+      delivered = true;
+    }
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(BufferedOmega, LatencyIsStageCountUnderNoLoad) {
+  BufferedOmega net(8, 4);
+  ASSERT_TRUE(net.try_inject(0, 0, 5));
+  Cycle delivered_at = 0;
+  for (Cycle t = 0; t < 20 && delivered_at == 0; ++t) {
+    net.tick(t);
+    if (!net.delivered_last_tick().empty()) delivered_at = t;
+  }
+  // 3 stages + delivery step: a handful of cycles, deterministic.
+  EXPECT_GT(delivered_at, 0u);
+  EXPECT_LE(delivered_at, 5u);
+}
+
+TEST(BufferedOmega, InjectionSlotBackpressure) {
+  BufferedOmega net(4, 1);
+  EXPECT_TRUE(net.try_inject(0, 0, 1));
+  // Same source, no tick in between: slot still occupied.
+  EXPECT_FALSE(net.try_inject(0, 0, 2));
+  EXPECT_EQ(net.rejected_count(), 1u);
+}
+
+TEST(BufferedOmega, AllPairsEventuallyDelivered) {
+  BufferedOmega net(8, 2);
+  cfm::sim::Rng rng(5);
+  std::uint64_t wanted = 0;
+  std::uint64_t got = 0;
+  Cycle t = 0;
+  for (; t < 500; ++t) {
+    if (wanted < 100) {
+      const auto src = static_cast<Port>(rng.below(8));
+      const auto dst = static_cast<Port>(rng.below(8));
+      if (net.try_inject(t, src, dst)) ++wanted;
+    }
+    net.tick(t);
+    got += net.delivered_last_tick().size();
+  }
+  EXPECT_EQ(wanted, 100u);
+  EXPECT_EQ(got, wanted);
+}
+
+TEST(BufferedOmega, HotSpotSaturatesTreeAndHurtsBackground) {
+  // Fig 2.1: a hot sink backs queues up toward the sources, and the
+  // *background* traffic (different sinks) slows down as a result.
+  const std::uint32_t ports = 16;
+  auto run = [&](double hot_fraction) {
+    BufferedOmega net(ports, 2);
+    cfm::sim::Rng rng(17);
+    double background_latency = 0;
+    std::uint64_t background_n = 0;
+    for (Cycle t = 0; t < 4000; ++t) {
+      for (Port s = 0; s < ports; ++s) {
+        if (!rng.chance(0.4)) continue;
+        const bool hot = rng.chance(hot_fraction);
+        const auto dst =
+            hot ? Port{0} : static_cast<Port>(rng.below(ports));
+        net.try_inject(t, s, dst, hot);
+      }
+      net.tick(t);
+      if (t < 500) continue;  // warm-up
+      for (const auto& p : net.delivered_last_tick()) {
+        if (!p.hot) {
+          background_latency += static_cast<double>(p.delivered - p.injected);
+          ++background_n;
+        }
+      }
+    }
+    return background_latency / static_cast<double>(background_n);
+  };
+  const double cold = run(0.0);
+  const double hot = run(0.5);
+  EXPECT_GT(hot, 2.0 * cold)
+      << "tree saturation should degrade unrelated traffic";
+}
+
+TEST(BufferedOmega, CombiningMergesHotTraffic) {
+  // §2.1.1: fetch-and-add combining — hot packets meeting in a switch
+  // queue merge, and the delivered representatives account for every
+  // absorbed request.  A slow sink forces queueing.
+  BufferedOmega net(8, 4, /*sink_service=*/6, /*combining=*/true);
+  std::uint32_t injected = 0;
+  std::uint32_t served_requests = 0;
+  for (Cycle t = 0; t < 200; ++t) {
+    if (t < 48) {
+      for (Port src = 0; src < 8; ++src) {
+        if (net.try_inject(t, src, 0, /*hot=*/true)) ++injected;
+      }
+    }
+    net.tick(t);
+    for (const auto& p : net.delivered_last_tick()) {
+      served_requests += p.combined;
+    }
+  }
+  EXPECT_EQ(served_requests, injected) << "combined requests lost";
+  EXPECT_GE(net.combined_count(), 1u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(BufferedOmega, CombiningDisabledNeverMerges) {
+  BufferedOmega net(8, 4, 4, /*combining=*/false);
+  ASSERT_TRUE(net.try_inject(0, 1, 0, true));
+  ASSERT_TRUE(net.try_inject(0, 5, 0, true));
+  for (Cycle t = 0; t < 40; ++t) net.tick(t);
+  EXPECT_EQ(net.combined_count(), 0u);
+}
+
+TEST(BufferedOmega, CombiningRelievesTreeSaturation) {
+  // The Ultracomputer argument: with combining, hot-spot back-pressure on
+  // *background* traffic shrinks substantially.
+  auto run = [&](bool combining) {
+    BufferedOmega net(16, 2, 1, combining);
+    cfm::sim::Rng rng(23);
+    double background_latency = 0;
+    std::uint64_t n = 0;
+    for (Cycle t = 0; t < 6000; ++t) {
+      for (Port s = 0; s < 16; ++s) {
+        if (!rng.chance(0.4)) continue;
+        const bool hot = rng.chance(0.5);
+        const auto dst = hot ? Port{0} : static_cast<Port>(rng.below(16));
+        net.try_inject(t, s, dst, hot);
+      }
+      net.tick(t);
+      if (t < 600) continue;
+      for (const auto& p : net.delivered_last_tick()) {
+        if (!p.hot) {
+          background_latency += static_cast<double>(p.delivered - p.injected);
+          ++n;
+        }
+      }
+    }
+    return background_latency / static_cast<double>(n);
+  };
+  const double plain = run(false);
+  const double combined = run(true);
+  EXPECT_LT(combined, 0.7 * plain)
+      << "combining should relieve background traffic";
+}
+
+TEST(CircuitOmega, GrantsAndHoldsPath) {
+  CircuitOmega net(8);
+  const auto done = net.try_circuit(0, 1, 5, 10);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, 10u);
+  // Same path again while held: conflict.
+  EXPECT_FALSE(net.try_circuit(3, 1, 5, 10).has_value());
+  EXPECT_EQ(net.conflicts(), 1u);
+  // After release it is grantable again.
+  EXPECT_TRUE(net.try_circuit(10, 1, 5, 10).has_value());
+}
+
+TEST(CircuitOmega, DisjointPathsCoexist) {
+  CircuitOmega net(8);
+  // 0 -> 0 and 7 -> 7 share no line in an omega.
+  ASSERT_TRUE(net.try_circuit(0, 0, 0, 10).has_value());
+  EXPECT_TRUE(net.try_circuit(0, 7, 7, 10).has_value());
+}
+
+TEST(CircuitOmega, SinkConflictDetected) {
+  CircuitOmega net(8);
+  ASSERT_TRUE(net.try_circuit(0, 0, 3, 10).has_value());
+  // Different source, same sink: blocked while the sink is held.
+  EXPECT_FALSE(net.try_circuit(2, 4, 3, 10).has_value());
+}
+
+TEST(CircuitOmega, PathHoldingIncreasesConflictProbability) {
+  // §2.1.2: circuit switching holds whole paths, so longer holds mean
+  // more conflicts at equal load.
+  auto conflict_rate = [&](std::uint32_t hold) {
+    CircuitOmega net(16);
+    cfm::sim::Rng rng(11);
+    std::uint64_t tries = 0;
+    for (Cycle t = 0; t < 4000; ++t) {
+      const auto src = static_cast<Port>(rng.below(16));
+      const auto dst = static_cast<Port>(rng.below(16));
+      (void)net.try_circuit(t, src, dst, hold);
+      ++tries;
+    }
+    return static_cast<double>(net.conflicts()) / static_cast<double>(tries);
+  };
+  EXPECT_LT(conflict_rate(2), conflict_rate(20));
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Tests for CfmConfig and the Table 3.3 trade-off enumeration.
+#include <gtest/gtest.h>
+
+#include "cfm/config.hpp"
+
+namespace {
+
+using namespace cfm::core;
+
+TEST(Config, DerivedQuantities) {
+  const auto cfg = CfmConfig::make(4, 2, 16);
+  EXPECT_EQ(cfg.banks, 8u);
+  EXPECT_EQ(cfg.block_bits(), 128u);
+  EXPECT_EQ(cfg.block_bytes(), 16u);
+  EXPECT_EQ(cfg.block_access_time(), 9u);  // beta = b + c - 1
+  EXPECT_TRUE(cfg.conflict_free());
+}
+
+TEST(Config, ValidateRejectsNonConflictFree) {
+  CfmConfig cfg;
+  cfg.processors = 4;
+  cfg.banks = 6;  // != c*n
+  cfg.bank_cycle = 1;
+  cfg.word_bits = 32;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.banks = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, PaperExamples) {
+  // Table 5.5 machine: 8 banks, c=2 -> beta 9; Table 5.6: 64 banks -> 65.
+  EXPECT_EQ(CfmConfig::make(4, 2).block_access_time(), 9u);
+  EXPECT_EQ(CfmConfig::make(32, 2).block_access_time(), 65u);
+  // Figs 3.13-3.15 use beta=17: 16 banks, c=2.
+  EXPECT_EQ(CfmConfig::make(8, 2).block_access_time(), 17u);
+}
+
+TEST(Tradeoffs, Table33Exact) {
+  // Table 3.3: l = 256 bits, c = 2.
+  const auto rows = enumerate_tradeoffs(256, 2);
+  ASSERT_EQ(rows.size(), 8u);
+  const std::uint32_t expect[8][4] = {
+      // banks, word width, memory latency, processors
+      {256, 1, 257, 128}, {128, 2, 129, 64}, {64, 4, 65, 32},
+      {32, 8, 33, 16},    {16, 16, 17, 8},   {8, 32, 9, 4},
+      {4, 64, 5, 2},      {2, 128, 3, 1},
+  };
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].banks, expect[i][0]) << "row " << i;
+    EXPECT_EQ(rows[i].word_bits, expect[i][1]) << "row " << i;
+    EXPECT_EQ(rows[i].memory_latency, expect[i][2]) << "row " << i;
+    EXPECT_EQ(rows[i].processors, expect[i][3]) << "row " << i;
+  }
+}
+
+TEST(Tradeoffs, InvariantsHoldForAllRows) {
+  for (const std::uint32_t block : {64u, 256u, 1024u}) {
+    for (const std::uint32_t c : {1u, 2u, 4u}) {
+      for (const auto& row : enumerate_tradeoffs(block, c)) {
+        EXPECT_EQ(row.banks * row.word_bits, block);
+        EXPECT_EQ(row.memory_latency, row.banks + c - 1);
+        EXPECT_EQ(row.processors, row.banks / c);
+        EXPECT_GE(row.processors, 1u);
+      }
+    }
+  }
+}
+
+TEST(Tradeoffs, MoreBanksMoreProcessorsMoreLatency) {
+  const auto rows = enumerate_tradeoffs(256, 2);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i - 1].processors, rows[i].processors);
+    EXPECT_GT(rows[i - 1].memory_latency, rows[i].memory_latency);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for the directory (DASH-style) baseline (§5.1.2).
+#include <gtest/gtest.h>
+
+#include "cache/directory.hpp"
+
+namespace {
+
+using namespace cfm::cache;
+using cfm::sim::Cycle;
+
+DirectoryProtocol::Outcome run_one(DirectoryProtocol& sys, Cycle& t,
+                                   DirectoryProtocol::ReqId id) {
+  for (int i = 0; i < 5000; ++i) {
+    sys.tick(t);
+    ++t;
+    if (auto r = sys.take_result(id)) return *r;
+  }
+  ADD_FAILURE() << "request timed out";
+  return {};
+}
+
+TEST(Directory, ClusterAndHomeMapping) {
+  DirectoryProtocol sys({});
+  EXPECT_EQ(sys.cluster_of(0), 0u);
+  EXPECT_EQ(sys.cluster_of(5), 1u);
+  EXPECT_EQ(sys.cluster_of(15), 3u);
+  EXPECT_EQ(sys.home_of(6), 2u);
+}
+
+TEST(Directory, LocalReadCostsLocalMiss) {
+  DirectoryProtocol sys({});
+  Cycle t = 0;
+  // Processor 0 (cluster 0) reading a block homed at cluster 0.
+  const auto r = run_one(sys, t, sys.read(t, 0, 4));
+  EXPECT_FALSE(r.remote);
+  EXPECT_EQ(r.completed - r.issued, 29u);
+}
+
+TEST(Directory, RemoteCleanReadCosts100) {
+  DirectoryProtocol sys({});
+  Cycle t = 0;
+  const auto r = run_one(sys, t, sys.read(t, 0, 1));  // home = cluster 1
+  EXPECT_TRUE(r.remote);
+  EXPECT_FALSE(r.dirty_third_party);
+  EXPECT_EQ(r.completed - r.issued, 100u);
+}
+
+TEST(Directory, DirtyRemoteReadCosts130) {
+  DirectoryProtocol sys({});
+  Cycle t = 0;
+  (void)run_one(sys, t, sys.write(t, 4, 1));  // proc 4 (cluster 1) owns
+  const auto r = run_one(sys, t, sys.read(t, 0, 1));
+  EXPECT_TRUE(r.dirty_third_party);
+  EXPECT_EQ(r.completed - r.issued, 130u);
+}
+
+TEST(Directory, WritePaysInvalidationsAndAcks) {
+  DirectoryProtocol sys({});
+  Cycle t = 0;
+  (void)run_one(sys, t, sys.read(t, 1, 1));
+  (void)run_one(sys, t, sys.read(t, 2, 1));
+  (void)run_one(sys, t, sys.read(t, 3, 1));
+  const auto acks_before = sys.acks();
+  const auto r = run_one(sys, t, sys.write(t, 0, 1));
+  EXPECT_EQ(r.invalidations, 3u);
+  EXPECT_EQ(sys.acks(), acks_before + 3);
+  // Invalidation+ack round adds latency on top of the remote miss.
+  EXPECT_EQ(r.completed - r.issued, 100u + 40u);
+}
+
+TEST(Directory, HomeSerializesSameBlock) {
+  DirectoryProtocol sys({});
+  Cycle t = 0;
+  const auto a = sys.read(t, 0, 2);
+  const auto b = sys.read(t, 1, 2);
+  Cycle done_a = 0;
+  Cycle done_b = 0;
+  for (int i = 0; i < 2000 && (done_a == 0 || done_b == 0); ++i) {
+    sys.tick(t);
+    ++t;
+    if (auto r = sys.take_result(a)) done_a = r->completed;
+    if (auto r = sys.take_result(b)) done_b = r->completed;
+  }
+  ASSERT_NE(done_a, 0u);
+  ASSERT_NE(done_b, 0u);
+  EXPECT_NE(done_a, done_b) << "same-block transactions must serialize";
+}
+
+TEST(Directory, MessageCountGrowsWithSharers) {
+  DirectoryProtocol::Params params;
+  params.processors = 16;
+  params.clusters = 4;
+  DirectoryProtocol sys(params);
+  Cycle t = 0;
+  for (std::uint32_t p = 1; p < 9; ++p) {
+    (void)run_one(sys, t, sys.read(t, p, 1));
+  }
+  const auto msgs_before = sys.messages();
+  (void)run_one(sys, t, sys.write(t, 0, 1));
+  // 8 sharers -> 8 invalidations + 8 acks + request/reply.
+  EXPECT_EQ(sys.messages() - msgs_before, 2u + 16u);
+}
+
+}  // namespace

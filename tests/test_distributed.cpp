@@ -1,0 +1,146 @@
+// Tests for the distributed-memory binding runtime (§6.5.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "binding/distributed.hpp"
+
+namespace {
+
+using namespace cfm::bind;
+
+DistributedBindingRuntime::Params fast_params(std::size_t nodes = 4) {
+  DistributedBindingRuntime::Params p;
+  p.nodes = nodes;
+  p.hop_delay = std::chrono::microseconds(0);
+  return p;
+}
+
+TEST(Distributed, HomeAssignmentByObject) {
+  DistributedBindingRuntime rt(fast_params(4));
+  EXPECT_EQ(rt.home_of(0), 0u);
+  EXPECT_EQ(rt.home_of(5), 1u);
+  EXPECT_EQ(rt.home_of(11), 3u);
+}
+
+TEST(Distributed, GrantAndRelease) {
+  DistributedBindingRuntime rt(fast_params());
+  const auto t = rt.bind(Region(1).dim(0, 9), Access::ReadWrite,
+                         Sync::NonBlocking, 1);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->home, 1u);
+  rt.unbind(*t);
+}
+
+TEST(Distributed, NonBlockingConflictReturnsNullopt) {
+  DistributedBindingRuntime rt(fast_params());
+  const auto a = rt.bind(Region(1).dim(0, 9), Access::ReadWrite,
+                         Sync::NonBlocking, 1);
+  ASSERT_TRUE(a.has_value());
+  const auto b = rt.bind(Region(1).dim(5, 15), Access::ReadWrite,
+                         Sync::NonBlocking, 2);
+  EXPECT_FALSE(b.has_value());
+  rt.unbind(*a);
+  const auto c = rt.bind(Region(1).dim(5, 15), Access::ReadWrite,
+                         Sync::NonBlocking, 2);
+  EXPECT_TRUE(c.has_value());
+  rt.unbind(*c);
+}
+
+TEST(Distributed, BlockingBindParksUntilRelease) {
+  DistributedBindingRuntime rt(fast_params());
+  const auto held = rt.bind(Region(1).dim(0, 9), Access::ReadWrite,
+                            Sync::NonBlocking, 1);
+  ASSERT_TRUE(held.has_value());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    const auto t = rt.bind(Region(1).dim(0, 9), Access::ReadWrite,
+                           Sync::Blocking, 2);
+    granted = t.has_value();
+    rt.unbind(*t);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted);
+  rt.unbind(*held);
+  waiter.join();
+  EXPECT_TRUE(granted);
+}
+
+TEST(Distributed, ReadersShareAcrossNodes) {
+  DistributedBindingRuntime rt(fast_params());
+  const auto a = rt.bind(Region(2).dim(0, 99), Access::ReadOnly,
+                         Sync::NonBlocking, 1);
+  const auto b = rt.bind(Region(2).dim(0, 99), Access::ReadOnly,
+                         Sync::NonBlocking, 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  rt.unbind(*a);
+  rt.unbind(*b);
+}
+
+TEST(Distributed, DifferentObjectsOnDifferentHomesAreIndependent) {
+  DistributedBindingRuntime rt(fast_params(4));
+  const auto a = rt.bind(Region::whole(0), Access::ReadWrite,
+                         Sync::NonBlocking, 1);
+  const auto b = rt.bind(Region::whole(1), Access::ReadWrite,
+                         Sync::NonBlocking, 1);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->home, b->home);
+  rt.unbind(*a);
+  rt.unbind(*b);
+}
+
+TEST(Distributed, RwShipsDataBothWaysRoOnlyOne) {
+  DistributedBindingRuntime::Params p = fast_params();
+  p.element_bytes = 8;
+  DistributedBindingRuntime rt(p);
+  const auto region = Region(1).dim(0, 9);  // 10 elements -> 80 bytes
+
+  const auto ro = rt.bind(region, Access::ReadOnly, Sync::NonBlocking, 1);
+  ASSERT_TRUE(ro.has_value());
+  const auto after_ro_bind = rt.bytes_shipped();
+  EXPECT_EQ(after_ro_bind, 80u);
+  rt.unbind(*ro);
+  EXPECT_EQ(rt.bytes_shipped(), 80u);  // ro release ships nothing back
+
+  const auto rw = rt.bind(region, Access::ReadWrite, Sync::NonBlocking, 1);
+  ASSERT_TRUE(rw.has_value());
+  EXPECT_EQ(rt.bytes_shipped(), 160u);
+  rt.unbind(*rw);
+  EXPECT_EQ(rt.bytes_shipped(), 240u);  // release consistency: data goes home
+}
+
+TEST(Distributed, MessageAccounting) {
+  DistributedBindingRuntime rt(fast_params());
+  const auto before = rt.messages_sent();
+  const auto t = rt.bind(Region::whole(3), Access::ReadOnly,
+                         Sync::NonBlocking, 1);
+  ASSERT_TRUE(t.has_value());
+  rt.unbind(*t);
+  // bind request + grant + unbind = 3 messages.
+  EXPECT_EQ(rt.messages_sent() - before, 3u);
+}
+
+TEST(Distributed, ConcurrentCounterExclusive) {
+  DistributedBindingRuntime rt(fast_params(2));
+  int counter = 0;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 100;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < kIters; ++k) {
+        const auto t = rt.bind(Region::whole(7), Access::ReadWrite,
+                               Sync::Blocking, 100 + i);
+        ++counter;
+        rt.unbind(*t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+}  // namespace

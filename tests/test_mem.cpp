@@ -1,0 +1,111 @@
+// Unit tests for the memory substrate: backing store, banks, modules, and
+// the conventional contended baseline.
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+#include "mem/bank.hpp"
+#include "mem/conventional.hpp"
+#include "mem/module.hpp"
+
+namespace {
+
+using namespace cfm;
+using namespace cfm::mem;
+
+TEST(BackingStore, UnwrittenReadsZero) {
+  BackingStore store(4);
+  EXPECT_EQ(store.read_word(99, 0), 0u);
+  EXPECT_EQ(store.read_block(99), (std::vector<sim::Word>{0, 0, 0, 0}));
+  EXPECT_EQ(store.touched_blocks(), 0u);
+}
+
+TEST(BackingStore, WordWriteReadRoundtrip) {
+  BackingStore store(4);
+  store.write_word(5, 2, 42);
+  EXPECT_EQ(store.read_word(5, 2), 42u);
+  EXPECT_EQ(store.read_word(5, 1), 0u);
+  EXPECT_EQ(store.touched_blocks(), 1u);
+}
+
+TEST(BackingStore, BlockWriteReadRoundtrip) {
+  BackingStore store(3);
+  const std::vector<sim::Word> data{7, 8, 9};
+  store.write_block(2, data);
+  EXPECT_EQ(store.read_block(2), data);
+  EXPECT_EQ(store.read_word(2, 1), 8u);
+}
+
+TEST(BackingStore, SparseAcrossLargeAddressSpace) {
+  BackingStore store(2);
+  store.write_word(1ull << 40, 0, 1);
+  store.write_word(1ull << 50, 1, 2);
+  EXPECT_EQ(store.read_word(1ull << 40, 0), 1u);
+  EXPECT_EQ(store.read_word(1ull << 50, 1), 2u);
+  EXPECT_EQ(store.touched_blocks(), 2u);
+}
+
+TEST(Bank, AccessOccupiesForCycleTime) {
+  BackingStore store(4);
+  Bank bank(1, 3, store);
+  EXPECT_FALSE(bank.busy(0));
+  bank.access(0, WordOp::Write, 7, 99);
+  EXPECT_TRUE(bank.busy(0));
+  EXPECT_TRUE(bank.busy(2));
+  EXPECT_FALSE(bank.busy(3));
+  EXPECT_EQ(bank.access(3, WordOp::Read, 7), 99u);
+  EXPECT_EQ(bank.accesses(), 2u);
+  EXPECT_EQ(bank.busy_cycles(), 6u);
+}
+
+TEST(Bank, ReadsOwnWordIndex) {
+  BackingStore store(4);
+  store.write_block(3, std::vector<cfm::sim::Word>{10, 11, 12, 13});
+  Bank b0(0, 1, store);
+  Bank b2(2, 1, store);
+  EXPECT_EQ(b0.access(0, WordOp::Read, 3), 10u);
+  EXPECT_EQ(b2.access(0, WordOp::Read, 3), 12u);
+}
+
+TEST(Module, BankCountAndSharedStore) {
+  Module m(0, 8, 2);
+  EXPECT_EQ(m.bank_count(), 8u);
+  m.bank(3).access(0, WordOp::Write, 5, 77);
+  EXPECT_EQ(m.store().read_word(5, 3), 77u);
+}
+
+TEST(Module, UtilizationAccounting) {
+  Module m(0, 4, 2);
+  m.bank(0).access(0, WordOp::Write, 0, 1);
+  m.bank(1).access(0, WordOp::Write, 0, 1);
+  // 2 banks x 2 cycles busy over 4 banks x 2 cycles elapsed = 0.5.
+  EXPECT_DOUBLE_EQ(m.utilization(2), 0.5);
+  EXPECT_DOUBLE_EQ(m.utilization(0), 0.0);
+}
+
+TEST(Conventional, GrantsWhenIdle) {
+  ConventionalMemory mem(4, 17);
+  EXPECT_EQ(mem.try_start(2, 0), 17u);
+  EXPECT_EQ(mem.accesses_started(), 1u);
+  EXPECT_EQ(mem.conflicts(), 0u);
+}
+
+TEST(Conventional, ConflictsWhileBusy) {
+  ConventionalMemory mem(4, 17);
+  ASSERT_NE(mem.try_start(2, 0), cfm::sim::kNeverCycle);
+  EXPECT_EQ(mem.try_start(2, 5), cfm::sim::kNeverCycle);
+  EXPECT_EQ(mem.conflicts(), 1u);
+  // Free again exactly at cycle 17.
+  EXPECT_TRUE(mem.busy(2, 16));
+  EXPECT_FALSE(mem.busy(2, 17));
+  EXPECT_EQ(mem.try_start(2, 17), 34u);
+}
+
+TEST(Conventional, ModulesAreIndependent) {
+  ConventionalMemory mem(4, 17);
+  ASSERT_NE(mem.try_start(0, 0), cfm::sim::kNeverCycle);
+  EXPECT_NE(mem.try_start(1, 0), cfm::sim::kNeverCycle);
+  EXPECT_NE(mem.try_start(2, 0), cfm::sim::kNeverCycle);
+  EXPECT_EQ(mem.conflicts(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Tests for the header-size model (Figs 3.9 / 3.10, §3.4.3).
+#include <gtest/gtest.h>
+
+#include "net/message.hpp"
+
+namespace {
+
+using namespace cfm::net;
+
+TEST(Header, CircuitSwitchedCarriesEverything) {
+  // Fig 3.9a: module + offset (+ bank for a multi-bank module).
+  const auto h = header_layout(NetworkKind::CircuitSwitched, 8, 8, 20);
+  EXPECT_EQ(h.module_bits, 3u);
+  EXPECT_EQ(h.offset_bits, 20u);
+  EXPECT_EQ(h.bank_bits, 3u);
+  EXPECT_EQ(h.total_bits(), 26u);
+}
+
+TEST(Header, FullySynchronousIsOffsetOnly) {
+  // Fig 3.9b: the bank is selected by the system clock.
+  const auto h = header_layout(NetworkKind::FullySynchronous, 1, 64, 20);
+  EXPECT_EQ(h.module_bits, 0u);
+  EXPECT_EQ(h.bank_bits, 0u);
+  EXPECT_EQ(h.total_bits(), 20u);
+}
+
+TEST(Header, PartiallySynchronousDropsBankBits) {
+  // Fig 3.10a: 4 two-bank modules -> module routed, bank clocked.
+  const auto h = header_layout(NetworkKind::PartiallySynchronous, 4, 2, 20);
+  EXPECT_EQ(h.module_bits, 2u);
+  EXPECT_EQ(h.bank_bits, 0u);
+  EXPECT_EQ(h.total_bits(), 22u);
+  // Fig 3.10b: 2 four-bank modules.
+  const auto h2 = header_layout(NetworkKind::PartiallySynchronous, 2, 4, 20);
+  EXPECT_EQ(h2.module_bits, 1u);
+  EXPECT_EQ(h2.total_bits(), 21u);
+}
+
+TEST(Header, SynchronousAlwaysSmallest) {
+  for (std::uint32_t modules : {1u, 2u, 8u, 64u}) {
+    for (std::uint32_t banks : {1u, 4u, 16u}) {
+      const auto circuit =
+          header_layout(NetworkKind::CircuitSwitched, modules, banks, 24);
+      const auto partial =
+          header_layout(NetworkKind::PartiallySynchronous, modules, banks, 24);
+      const auto sync =
+          header_layout(NetworkKind::FullySynchronous, modules, banks, 24);
+      EXPECT_LE(sync.total_bits(), partial.total_bits());
+      EXPECT_LE(partial.total_bits(), circuit.total_bits());
+    }
+  }
+}
+
+TEST(SetupDelay, ClockDrivenSwitchesAreFree) {
+  // §3.2.1: "There is neither setup time nor propagation delay required".
+  EXPECT_EQ(setup_delay_cycles(NetworkKind::FullySynchronous, 6, 2), 0u);
+  EXPECT_EQ(setup_delay_cycles(NetworkKind::CircuitSwitched, 6, 2), 12u);
+  EXPECT_EQ(setup_delay_cycles(NetworkKind::PartiallySynchronous, 3, 2), 6u);
+}
+
+}  // namespace

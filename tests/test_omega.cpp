@@ -1,0 +1,136 @@
+// Tests for the omega topology and the clock-driven synchronous omega,
+// including an exact check against the paper's Table 3.4.
+#include <gtest/gtest.h>
+
+#include "net/omega.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace cfm::net;
+
+TEST(OmegaTopology, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(OmegaTopology(6), std::invalid_argument);
+  EXPECT_THROW(OmegaTopology(1), std::invalid_argument);
+}
+
+TEST(OmegaTopology, ShuffleIsRotateLeft) {
+  OmegaTopology topo(8);
+  EXPECT_EQ(topo.shuffle(0b000), 0b000u);
+  EXPECT_EQ(topo.shuffle(0b001), 0b010u);
+  EXPECT_EQ(topo.shuffle(0b100), 0b001u);
+  EXPECT_EQ(topo.shuffle(0b110), 0b101u);
+}
+
+TEST(OmegaTopology, RouteReachesDestination) {
+  OmegaTopology topo(16);
+  for (Port s = 0; s < 16; ++s) {
+    for (Port d = 0; d < 16; ++d) {
+      const auto path = topo.route(s, d);
+      ASSERT_EQ(path.size(), 4u);
+      EXPECT_EQ(path.back().line_after, d);
+    }
+  }
+}
+
+TEST(OmegaTopology, RouteStageOutputBitsFollowDestinationTag) {
+  OmegaTopology topo(8);
+  const auto path = topo.route(3, 5);  // dst = 0b101
+  EXPECT_EQ(path[0].out_port, 1);
+  EXPECT_EQ(path[1].out_port, 0);
+  EXPECT_EQ(path[2].out_port, 1);
+}
+
+TEST(SyncOmega, RealizesUniformShiftAtEverySlot) {
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    SyncOmega so(n);
+    for (cfm::sim::Cycle t = 0; t < n; ++t) {
+      for (Port i = 0; i < n; ++i) {
+        EXPECT_EQ(so.output_for(t, i), (t + i) % n)
+            << "n=" << n << " t=" << t << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SyncOmega, StateTableMatchesPaperTable34) {
+  // Table 3.4: states of the 12 switches of the 8x8 synchronous omega,
+  // 0 = straight, 1 = interchange, columns 0..2, switches 0..3.
+  const int expected[8][3][4] = {
+      {{0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}},  // slot 0
+      {{0, 0, 0, 1}, {0, 0, 1, 1}, {1, 1, 1, 1}},  // slot 1
+      {{0, 0, 1, 1}, {1, 1, 1, 1}, {0, 0, 0, 0}},  // slot 2
+      {{0, 1, 1, 1}, {1, 1, 0, 0}, {1, 1, 1, 1}},  // slot 3
+      {{1, 1, 1, 1}, {0, 0, 0, 0}, {0, 0, 0, 0}},  // slot 4
+      {{1, 1, 1, 0}, {0, 0, 1, 1}, {1, 1, 1, 1}},  // slot 5
+      {{1, 1, 0, 0}, {1, 1, 1, 1}, {0, 0, 0, 0}},  // slot 6
+      {{1, 0, 0, 0}, {1, 1, 0, 0}, {1, 1, 1, 1}},  // slot 7
+  };
+  SyncOmega so(8);
+  for (int t = 0; t < 8; ++t) {
+    for (int col = 0; col < 3; ++col) {
+      for (int sw = 0; sw < 4; ++sw) {
+        EXPECT_EQ(static_cast<int>(so.switch_state(t, col, sw)),
+                  expected[t][col][sw])
+            << "slot " << t << " column " << col << " switch " << sw;
+      }
+    }
+  }
+}
+
+TEST(SyncOmega, StatesPeriodicInN) {
+  SyncOmega so(8);
+  for (cfm::sim::Cycle t = 0; t < 8; ++t) {
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      for (std::uint32_t w = 0; w < 4; ++w) {
+        EXPECT_EQ(so.switch_state(t, s, w), so.switch_state(t + 8, s, w));
+      }
+    }
+  }
+}
+
+TEST(SyncOmega, UniformShiftsAlwaysSchedulable) {
+  OmegaTopology topo(32);
+  for (std::uint64_t t = 0; t < 32; ++t) {
+    EXPECT_TRUE(SyncOmega::schedule_for_permutation(
+                    topo, shift_permutation(t, 32))
+                    .has_value());
+  }
+}
+
+TEST(SyncOmega, MostRandomPermutationsBlock) {
+  // The reason plain MINs contend: an omega passes only a thin slice of
+  // all permutations in one pass.  Statistically confirm that random
+  // permutations usually fail where shifts never do.
+  OmegaTopology topo(16);
+  cfm::sim::Rng rng(99);
+  int blocked = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<Port> perm(16);
+    for (Port i = 0; i < 16; ++i) perm[i] = i;
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    if (!SyncOmega::schedule_for_permutation(topo, perm).has_value()) {
+      ++blocked;
+    }
+  }
+  EXPECT_GT(blocked, trials / 2);
+}
+
+class SyncOmegaSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SyncOmegaSizes, NoSwitchConflictEver) {
+  const auto n = GetParam();
+  // Constructing SyncOmega asserts internally that every shift has a
+  // conflict-free schedule; traversal equals the formula (checked above).
+  SyncOmega so(n);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, SyncOmegaSizes,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u,
+                                           256u));
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the partially synchronous omega (§3.2.2): Table 3.5
+// configurations, contention sets, conflict-free clusters, and the
+// channel-resource fabric.
+#include <gtest/gtest.h>
+
+#include "net/partial_omega.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace cfm::net;
+using cfm::sim::Cycle;
+
+TEST(PartialConfigs, Table35For64Banks) {
+  const auto rows = enumerate_partial_configs(64);
+  ASSERT_EQ(rows.size(), 7u);
+  // Table 3.5 rows: modules / banks / block / circuit cols / clock cols.
+  const std::uint32_t expect[7][5] = {
+      {1, 64, 64, 0, 6}, {2, 32, 32, 1, 5},  {4, 16, 16, 2, 4},
+      {8, 8, 8, 3, 3},   {16, 4, 4, 4, 2},   {32, 2, 2, 5, 1},
+      {64, 1, 1, 6, 0},
+  };
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].modules, expect[i][0]);
+    EXPECT_EQ(rows[i].banks_per_module, expect[i][1]);
+    EXPECT_EQ(rows[i].block_words, expect[i][2]);
+    EXPECT_EQ(rows[i].circuit_columns, expect[i][3]);
+    EXPECT_EQ(rows[i].clock_columns, expect[i][4]);
+  }
+  EXPECT_TRUE(rows.front().fully_conflict_free());
+  EXPECT_TRUE(rows.back().fully_conventional());
+}
+
+TEST(PartialOmega, ContentionSetsMatchFig311) {
+  // Fig 3.11a: 8 banks, 4 two-bank modules -> sets {0,2,4,6} / {1,3,5,7}.
+  PartialOmega a(8, 4);
+  EXPECT_EQ(a.contention_sets(), 2u);
+  EXPECT_EQ(a.contention_set(0), a.contention_set(2));
+  EXPECT_EQ(a.contention_set(0), a.contention_set(6));
+  EXPECT_NE(a.contention_set(0), a.contention_set(1));
+  // Fig 3.11b: 2 four-bank modules -> sets (0,4),(1,5),(2,6),(3,7).
+  PartialOmega b(8, 2);
+  EXPECT_EQ(b.contention_sets(), 4u);
+  EXPECT_EQ(b.contention_set(1), b.contention_set(5));
+  EXPECT_NE(b.contention_set(1), b.contention_set(2));
+}
+
+TEST(PartialOmega, BankWithinModuleFollowsClock) {
+  PartialOmega po(8, 2);  // modules of 4 banks
+  for (Cycle t = 0; t < 8; ++t) {
+    for (Port p = 0; p < 8; ++p) {
+      const auto bank = po.bank_for(t, p, 1);
+      EXPECT_GE(bank, 4u);  // module 1 owns banks 4..7
+      EXPECT_LT(bank, 8u);
+      EXPECT_EQ(bank, 4 + (t + (p % 4)) % 4);
+    }
+  }
+}
+
+TEST(PartialOmega, SameContentionSetSameModuleConflicts) {
+  PartialOmega po(8, 2);
+  // Processors 1 and 5 share a contention set.
+  EXPECT_TRUE(po.conflicts(0, 1, 0, 5, 0));
+}
+
+class ClusterConflictFreedom
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(ClusterConflictFreedom, OnePerContentionSetNeverConflicts) {
+  // §3.2.2: "Processors in the cluster do not conflict with each other in
+  // accessing the memory modules" — whatever modules they pick and at
+  // whatever slot.  Cluster k = processors {k*S .. k*S+S-1} (one member
+  // of every contention set).
+  const auto [ports, modules] = GetParam();
+  PartialOmega po(ports, modules);
+  const auto sub = po.banks_per_module();
+  cfm::sim::Rng rng(31 + ports + modules);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto cluster = static_cast<Port>(rng.below(ports / sub));
+    const Cycle t = rng.below(64);
+    std::vector<Port> members(sub);
+    std::vector<std::uint32_t> mods(sub);
+    for (std::uint32_t i = 0; i < sub; ++i) {
+      members[i] = cluster * sub + i;
+      mods[i] = static_cast<std::uint32_t>(rng.below(modules));
+    }
+    for (std::uint32_t i = 0; i < sub; ++i) {
+      for (std::uint32_t j = i + 1; j < sub; ++j) {
+        EXPECT_FALSE(po.conflicts(t, members[i], mods[i], members[j], mods[j]))
+            << "ports=" << ports << " modules=" << modules << " t=" << t
+            << " members " << members[i] << "->" << mods[i] << " vs "
+            << members[j] << "->" << mods[j];
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterConflictFreedom,
+    ::testing::Values(std::make_pair(8u, 2u), std::make_pair(8u, 4u),
+                      std::make_pair(16u, 4u), std::make_pair(32u, 8u),
+                      std::make_pair(64u, 8u), std::make_pair(64u, 16u)));
+
+TEST(PartialCfmFabric, LocalAccessesNeverConflictAcrossACluster) {
+  PartialCfmFabric fabric(16, 4, 17);
+  // All 4 processors of cluster 0 hit their home module simultaneously.
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_NE(fabric.try_access(p, 0, 0), cfm::sim::kNeverCycle);
+  }
+  EXPECT_EQ(fabric.conflicts(), 0u);
+}
+
+TEST(PartialCfmFabric, RemoteCollisionOnSameChannelConflicts) {
+  PartialCfmFabric fabric(16, 4, 17);
+  // Processors 0 and 4 share channel 0; both target module 2.
+  EXPECT_NE(fabric.try_access(0, 2, 0), cfm::sim::kNeverCycle);
+  EXPECT_EQ(fabric.try_access(4, 2, 0), cfm::sim::kNeverCycle);
+  EXPECT_EQ(fabric.conflicts(), 1u);
+  // Channel frees after beta.
+  EXPECT_NE(fabric.try_access(4, 2, 17), cfm::sim::kNeverCycle);
+}
+
+TEST(PartialCfmFabric, DifferentChannelsIndependent) {
+  PartialCfmFabric fabric(16, 4, 17);
+  EXPECT_NE(fabric.try_access(0, 2, 0), cfm::sim::kNeverCycle);
+  EXPECT_NE(fabric.try_access(1, 2, 0), cfm::sim::kNeverCycle);
+  EXPECT_NE(fabric.try_access(2, 2, 0), cfm::sim::kNeverCycle);
+  EXPECT_EQ(fabric.conflicts(), 0u);
+}
+
+TEST(PartialCfmFabric, RejectsBadShape) {
+  EXPECT_THROW(PartialCfmFabric(10, 4, 17), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Unit tests for permutation helpers.
+#include <gtest/gtest.h>
+
+#include "net/permutation.hpp"
+
+namespace {
+
+using namespace cfm::net;
+
+TEST(Shift, OutputFormula) {
+  EXPECT_EQ(shift_output(0, 0, 4), 0u);
+  EXPECT_EQ(shift_output(1, 0, 4), 1u);
+  EXPECT_EQ(shift_output(3, 2, 4), 1u);
+  EXPECT_EQ(shift_output(7, 3, 4), 2u);  // t mod n applies
+}
+
+TEST(Shift, InputInvertsOutput) {
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    for (Port i = 0; i < 8; ++i) {
+      const auto out = shift_output(t, i, 8);
+      EXPECT_EQ(shift_input(t, out, 8), i);
+    }
+  }
+}
+
+TEST(Shift, PermutationVectorIsBijective) {
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    EXPECT_TRUE(is_permutation(shift_permutation(t, 8)));
+  }
+}
+
+TEST(IsPermutation, RejectsDuplicatesAndOutOfRange) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 1, 3}));
+  EXPECT_TRUE(is_permutation({}));
+}
+
+TEST(Log2Exact, PowersOfTwo) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(64), 6u);
+  EXPECT_EQ(log2_exact(1u << 20), 20u);
+}
+
+TEST(Log2Exact, RejectsNonPowers) {
+  EXPECT_EQ(log2_exact(0), UINT32_MAX);
+  EXPECT_EQ(log2_exact(3), UINT32_MAX);
+  EXPECT_EQ(log2_exact(12), UINT32_MAX);
+}
+
+class ShiftPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ShiftPropertyTest, EveryShiftIsAPermutationWithPeriodN) {
+  const auto n = GetParam();
+  for (std::uint64_t t = 0; t < 2 * n; ++t) {
+    const auto perm = shift_permutation(t, n);
+    EXPECT_TRUE(is_permutation(perm));
+    // Period n in t.
+    EXPECT_EQ(perm, shift_permutation(t + n, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShiftPropertyTest,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u, 64u));
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Tests for the prefetching study (§3.1.4) and the multi-level latency
+// scaling model (§5.4.3).
+#include <gtest/gtest.h>
+
+#include "analytic/latency.hpp"
+#include "workload/prefetch.hpp"
+
+namespace {
+
+using namespace cfm;
+
+TEST(Prefetch, DemandFetchPaysBetaPlusCompute) {
+  // n=8, c=2 -> beta = 17.
+  const auto r = workload::run_stream(8, 2, 10, 200, /*prefetch=*/false);
+  EXPECT_NEAR(r.cycles_per_block, 27.0, 0.5);
+  EXPECT_EQ(r.stall_cycles, 17u * 200u);
+}
+
+TEST(Prefetch, PrefetchHidesLatencyUnderComputeBound) {
+  // compute > beta: stalls vanish (except the cold first block).
+  const auto r = workload::run_stream(8, 2, 25, 200, /*prefetch=*/true);
+  EXPECT_NEAR(r.cycles_per_block, 25.0, 0.5);
+  EXPECT_LE(r.stall_cycles, 17u + 5u);
+}
+
+TEST(Prefetch, PrefetchBoundedByBetaWhenComputeSmall) {
+  const auto r = workload::run_stream(8, 2, 5, 200, /*prefetch=*/true);
+  // cost per block approaches max(beta, compute) = 17.
+  EXPECT_NEAR(r.cycles_per_block, 17.0, 0.5);
+  // residual stall per block = beta - compute = 12.
+  EXPECT_NEAR(static_cast<double>(r.stall_cycles) / 200.0, 12.0, 0.5);
+}
+
+TEST(Prefetch, AlwaysAtLeastAsGoodAsDemand) {
+  for (const std::uint32_t compute : {0u, 3u, 9u, 17u, 30u}) {
+    const auto demand = workload::run_stream(4, 1, compute, 100, false);
+    const auto pre = workload::run_stream(4, 1, compute, 100, true);
+    EXPECT_LE(pre.total_cycles, demand.total_cycles) << "compute " << compute;
+  }
+}
+
+TEST(HierarchyScaling, TwoLevelReducesToTable55) {
+  const analytic::HierarchicalLatencyModel m{8, 2};
+  EXPECT_EQ(m.multi_level_read(1), 9u);
+  EXPECT_EQ(m.multi_level_read(2), 27u);
+  EXPECT_EQ(m.multi_level_read(3), 45u);
+}
+
+TEST(HierarchyScaling, LatencyLogarithmicInProcessors) {
+  const analytic::HierarchyScaling s{4, 8, 2};
+  // Processors grow geometrically, latency arithmetically.
+  for (std::uint32_t l = 1; l < 6; ++l) {
+    EXPECT_EQ(s.processors(l + 1), 4 * s.processors(l));
+    EXPECT_EQ(s.worst_read(l + 1) - s.worst_read(l), 2u * 9u);
+  }
+}
+
+TEST(HierarchyScaling, DirtyChainGrowsLinearlyInLevels) {
+  const analytic::HierarchicalLatencyModel m{8, 2};
+  EXPECT_EQ(m.multi_level_dirty_read(2), 54u);  // the measured Table 5.5 value
+  EXPECT_GT(m.multi_level_dirty_read(3), m.multi_level_dirty_read(2));
+}
+
+}  // namespace

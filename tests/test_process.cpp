@@ -1,0 +1,80 @@
+// Tests for process binding (§6.4): PROC levels and ex-binding waits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "binding/process.hpp"
+
+namespace {
+
+using namespace cfm::bind;
+
+TEST(Proc, LevelStartsUnset) {
+  Proc p;
+  EXPECT_EQ(p.level(), -1);
+  EXPECT_FALSE(p.allows(0));
+}
+
+TEST(Proc, SetLevelIsMonotone) {
+  Proc p;
+  p.set_level(5);
+  EXPECT_EQ(p.level(), 5);
+  p.set_level(3);  // lower: ignored (0:i range semantics)
+  EXPECT_EQ(p.level(), 5);
+  p.set_level(9);
+  EXPECT_EQ(p.level(), 9);
+  EXPECT_TRUE(p.allows(0));
+  EXPECT_TRUE(p.allows(9));
+  EXPECT_FALSE(p.allows(10));
+}
+
+TEST(Proc, AwaitReturnsImmediatelyWhenCovered) {
+  Proc p;
+  p.set_level(4);
+  p.await_level(2);  // must not block
+  SUCCEED();
+}
+
+TEST(Proc, AwaitBlocksUntilLevelReached) {
+  Proc p;
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    p.await_level(3);
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(released);
+  p.set_level(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(released);  // 2 < 3: still waiting
+  p.set_level(3);
+  waiter.join();
+  EXPECT_TRUE(released);
+}
+
+TEST(Proc, ManyWaitersAllReleased) {
+  Proc p;
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 8; ++i) {
+    waiters.emplace_back([&p, &released, i] {
+      p.await_level(i);
+      ++released;
+    });
+  }
+  p.set_level(7);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(released, 8);
+}
+
+TEST(ProcGroup, AssignsPids) {
+  ProcGroup g(4);
+  EXPECT_EQ(g.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(g[i].pid, static_cast<std::int64_t>(i));
+    EXPECT_EQ(g[i].level(), -1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for shared-data regions (§6.3): strided intersection (exact CRT),
+// field selectors, and the paper's Fig 6.2 / 6.3 examples.
+#include <gtest/gtest.h>
+
+#include "binding/region.hpp"
+
+namespace {
+
+using namespace cfm::bind;
+
+TEST(IndexRange, Basics) {
+  const IndexRange r{0, 9, 2};
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.count(), 5);
+  EXPECT_TRUE(r.contains(4));
+  EXPECT_FALSE(r.contains(5));
+  EXPECT_FALSE(r.contains(10));
+}
+
+TEST(RangesIntersect, PlainOverlap) {
+  EXPECT_TRUE(ranges_intersect({0, 5, 1}, {3, 8, 1}));
+  EXPECT_FALSE(ranges_intersect({0, 2, 1}, {3, 8, 1}));
+  EXPECT_TRUE(ranges_intersect({3, 3, 1}, {0, 10, 1}));
+}
+
+TEST(RangesIntersect, StridesWithDifferentPhases) {
+  // Evens vs odds: never meet.
+  EXPECT_FALSE(ranges_intersect({0, 100, 2}, {1, 99, 2}));
+  // Evens vs multiples of 3: meet at 0, 6, ...
+  EXPECT_TRUE(ranges_intersect({0, 100, 2}, {0, 99, 3}));
+  // 1 mod 4 vs 3 mod 4: disjoint.
+  EXPECT_FALSE(ranges_intersect({1, 100, 4}, {3, 100, 4}));
+  // 1 mod 2 vs 3 mod 4: 3 == 1 mod 2 -> intersect at 3.
+  EXPECT_TRUE(ranges_intersect({1, 100, 2}, {3, 100, 4}));
+}
+
+TEST(RangesIntersect, CrtSolutionOutsideWindow) {
+  // x ≡ 0 mod 6 and x ≡ 2 mod 4 -> x ∈ {6k: 6k ≡ 2 mod 4} = {6, 18, 30...}
+  // wait: 6 mod 4 == 2, so 6 qualifies; restrict windows to exclude it.
+  EXPECT_TRUE(ranges_intersect({0, 30, 6}, {2, 30, 4}));
+  EXPECT_FALSE(ranges_intersect({0, 5, 6}, {2, 5, 4}));   // only x=0 vs x=2
+  EXPECT_FALSE(ranges_intersect({12, 16, 6}, {2, 5, 4}));  // windows disjoint
+}
+
+TEST(RangesIntersect, ExhaustiveSmallCrossCheck) {
+  // Brute-force oracle over small ranges.
+  for (std::int64_t lo1 = 0; lo1 < 4; ++lo1) {
+    for (std::int64_t s1 = 1; s1 <= 4; ++s1) {
+      for (std::int64_t lo2 = 0; lo2 < 4; ++lo2) {
+        for (std::int64_t s2 = 1; s2 <= 4; ++s2) {
+          const IndexRange a{lo1, lo1 + 3 * s1, s1};
+          const IndexRange b{lo2, lo2 + 3 * s2, s2};
+          bool brute = false;
+          for (auto x = a.lo; x <= a.hi; x += a.step) {
+            if (b.contains(x)) brute = true;
+          }
+          EXPECT_EQ(ranges_intersect(a, b), brute)
+              << "a=[" << a.lo << ':' << a.hi << ':' << a.step << "] b=["
+              << b.lo << ':' << b.hi << ':' << b.step << ']';
+        }
+      }
+    }
+  }
+}
+
+TEST(Region, DifferentObjectsNeverIntersect) {
+  const auto a = Region(1).dim(0, 10);
+  const auto b = Region(2).dim(0, 10);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Region, Fig63aTwoDimensionalSlices) {
+  // sh[1:2][2:3] vs sh[2:3][3:4]: rows {1,2} ∩ {2,3} = {2}, cols
+  // {2,3} ∩ {3,4} = {3} -> intersect at (2,3).
+  const auto a = Region(1).dim(1, 2).dim(2, 3);
+  const auto b = Region(1).dim(2, 3).dim(3, 4);
+  EXPECT_TRUE(a.intersects(b));
+  // sh[0:1][...] vs sh[2:3][...]: rows disjoint.
+  const auto c = Region(1).dim(0, 1).dim(0, 9);
+  EXPECT_FALSE(c.intersects(b));
+}
+
+TEST(Region, Fig63cSteppedRegions) {
+  // sh[0:3:2][0:4:2] (even rows/cols) vs odd rows: disjoint.
+  const auto even = Region(1).dim(0, 3, 2).dim(0, 4, 2);
+  const auto odd_rows = Region(1).dim(1, 3, 2).dim(0, 4, 1);
+  EXPECT_FALSE(even.intersects(odd_rows));
+  const auto even_rows_odd_cols = Region(1).dim(0, 3, 2).dim(1, 4, 2);
+  EXPECT_FALSE(even.intersects(even_rows_odd_cols));
+  const auto overlapping = Region(1).dim(2, 3, 1).dim(2, 2, 1);
+  EXPECT_TRUE(even.intersects(overlapping));
+}
+
+TEST(Region, Fig63bFieldSelectors) {
+  // sh[1:2][2:3].c[2] vs the same slice restricted to field 0: disjoint
+  // even though the index regions coincide.
+  const auto c2 = Region(1).dim(1, 2).dim(2, 3).field(2, 2);
+  const auto f0 = Region(1).dim(1, 2).dim(2, 3).field(0, 0);
+  const auto whole = Region(1).dim(1, 2).dim(2, 3);
+  EXPECT_FALSE(c2.intersects(f0));
+  EXPECT_TRUE(c2.intersects(whole));
+  EXPECT_TRUE(whole.intersects(f0));
+}
+
+TEST(Region, RankMismatchComparesPrefix) {
+  // Binding a whole row vs an element of that row.
+  const auto row = Region(1).dim(3, 3);
+  const auto cell = Region(1).dim(3, 3).dim(5, 5);
+  const auto other_row_cell = Region(1).dim(4, 4).dim(5, 5);
+  EXPECT_TRUE(row.intersects(cell));
+  EXPECT_FALSE(row.intersects(other_row_cell));
+}
+
+TEST(Region, WholeObjectIntersectsEverything) {
+  const auto whole = Region::whole(1);
+  const auto slice = Region(1).dim(100, 200, 7);
+  EXPECT_TRUE(whole.intersects(slice));
+  EXPECT_TRUE(slice.intersects(whole));
+}
+
+TEST(Region, InvalidDimensionThrows) {
+  EXPECT_THROW(Region(1).dim(5, 4), std::invalid_argument);
+  EXPECT_THROW(Region(1).dim(0, 4, 0), std::invalid_argument);
+  EXPECT_THROW(Region(1).field(3, 2), std::invalid_argument);
+}
+
+TEST(Region, ToStringIsReadable) {
+  const auto r = Region(7).dim(0, 9, 2).field(1, 2);
+  EXPECT_EQ(r.to_string(), "obj7[0:9:2].f[1:2]");
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Tests for trace replay on both machines (the constant-workload
+// comparison used by bench_trace_replay).
+#include <gtest/gtest.h>
+
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace cfm::workload;
+
+TEST(ReplayConventional, CompletesEverything) {
+  const auto trace = Trace::uniform(8, 4, 64, 400, 2000, 0.3, 5);
+  const auto r = replay_on_conventional(trace, 8, 4, 16, 1);
+  EXPECT_EQ(r.completed, 400u);
+  EXPECT_GE(r.mean_latency, 16.0);
+}
+
+TEST(ReplayConventional, MoreModulesFewerRetries) {
+  const auto dense = Trace::uniform(16, 32, 64, 2000, 2000, 0.3, 7);
+  const auto few = replay_on_conventional(
+      Trace::uniform(16, 4, 64, 2000, 2000, 0.3, 7), 16, 4, 16, 1);
+  const auto many = replay_on_conventional(dense, 16, 32, 16, 1);
+  EXPECT_GT(few.restarts, many.restarts);
+  EXPECT_GE(few.makespan, many.makespan);
+}
+
+TEST(ReplayCfmVsConventional, CfmLatencyPinnedAtBeta) {
+  const auto cfm_trace = Trace::uniform(16, 1, 64, 1000, 1000, 0.0, 9);
+  const auto cfm = replay_on_cfm(cfm_trace, 16, 1);
+  EXPECT_EQ(cfm.completed, 1000u);
+  // Read-only distinct-ish traffic: every access is exactly beta = 16.
+  EXPECT_NEAR(cfm.mean_latency, 16.0, 2.0);
+
+  const auto conv_trace = Trace::uniform(16, 16, 64, 1000, 1000, 0.0, 9);
+  const auto conv = replay_on_conventional(conv_trace, 16, 16, 16, 1);
+  EXPECT_GT(conv.mean_latency, cfm.mean_latency);
+}
+
+TEST(ReplayConventional, DeterministicForFixedSeed) {
+  const auto trace = Trace::uniform(8, 8, 64, 500, 1500, 0.5, 11);
+  const auto a = replay_on_conventional(trace, 8, 8, 16, 42);
+  const auto b = replay_on_conventional(trace, 8, 8, 16, 42);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Unit tests for the simulation kernel: RNG, statistics, engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace cfm::sim;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = rng.below(10);
+    ASSERT_LT(x, 10u);
+    ++hist[static_cast<std::size_t>(x)];
+  }
+  for (const int h : hist) EXPECT_NEAR(h, 10000, 600);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.between(3, 5);
+    ASSERT_GE(x, 3u);
+    ASSERT_LE(x, 5u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(17);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(1.0, 4);
+  for (const double x : {0.5, 1.5, 1.7, 3.9, 10.0}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 1.0);
+}
+
+TEST(CounterSet, IncrementAndQuery) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.inc("x");
+  c.inc("x", 4);
+  c.inc("y");
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 1u);
+  EXPECT_EQ(c.all().size(), 2u);
+  c.reset();
+  EXPECT_EQ(c.get("x"), 0u);
+}
+
+TEST(Engine, PhasesRunInOrderEveryCycle) {
+  Engine e;
+  std::vector<int> order;
+  e.on(Phase::Commit, [&](Cycle) { order.push_back(3); });
+  e.on(Phase::Issue, [&](Cycle) { order.push_back(0); });
+  e.on(Phase::Memory, [&](Cycle) { order.push_back(2); });
+  e.on(Phase::Network, [&](Cycle) { order.push_back(1); });
+  e.run_for(2);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+  EXPECT_EQ(e.now(), 2u);
+}
+
+TEST(Engine, RunUntilStopsOnPredicate) {
+  Engine e;
+  int counter = 0;
+  e.on(Phase::Issue, [&](Cycle) { ++counter; });
+  const bool done = e.run_until([&] { return counter >= 5; }, 100);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(counter, 5);
+}
+
+TEST(Engine, RunUntilTimesOut) {
+  Engine e;
+  const bool done = e.run_until([] { return false; }, 10);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(e.now(), 10u);
+}
+
+TEST(TraceLog, EmitsOnlyWhenEnabled) {
+  TraceLog log;
+  int calls = 0;
+  log.lazy(1, "t", [&](std::ostream&) { ++calls; });
+  EXPECT_EQ(calls, 0);  // disabled: the formatter must not run
+  std::vector<std::string> lines;
+  log.set_sink([&](const std::string& s) { lines.push_back(s); });
+  log.emit(7, "bank", "hello");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "cycle 7 [bank] hello");
+  log.lazy(8, "x", [&](std::ostream& os) { os << "lazy"; ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(lines.back(), "cycle 8 [x] lazy");
+}
+
+}  // namespace

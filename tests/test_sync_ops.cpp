@@ -1,0 +1,239 @@
+// Tests for synchronization operations (§5.3): modify functions, the
+// Fig 5.5 atomic multiple lock/unlock scenario, lock transfer cost
+// (Fig 5.4), and the busy-lock client on the CFM protocol.
+#include <gtest/gtest.h>
+
+#include "cache/cfm_protocol.hpp"
+#include "cache/sync_ops.hpp"
+
+namespace {
+
+using namespace cfm::cache;
+using cfm::sim::Cycle;
+using cfm::sim::Word;
+
+TEST(ModifyFns, SwapWord) {
+  const auto fn = make_swap_word(1, 42);
+  EXPECT_EQ(fn({1, 2, 3}), (std::vector<Word>{1, 42, 3}));
+}
+
+TEST(ModifyFns, TestAndSet) {
+  const auto fn = make_test_and_set(0);
+  EXPECT_EQ(fn({0, 9}), (std::vector<Word>{1, 9}));
+  EXPECT_EQ(fn({1, 9}), (std::vector<Word>{1, 9}));
+}
+
+TEST(ModifyFns, FetchAndAdd) {
+  const auto fn = make_fetch_and_add(2, 5);
+  EXPECT_EQ(fn({0, 0, 10}), (std::vector<Word>{0, 0, 15}));
+}
+
+TEST(ModifyFns, MultipleTestAndSetFig55) {
+  // Fig 5.5: target 01010110, first request 10100001 succeeds and yields
+  // 11110111; second request fails (overlap) and leaves it unchanged;
+  // unlock clears the first request's bits.
+  const std::vector<Word> target{0b01010110};
+  const std::vector<Word> req1{0b10100001};
+  const std::vector<Word> req2{0b00101000};  // overlaps bit 5 of 11110111
+
+  const auto lock1 = make_multiple_test_and_set(req1);
+  const auto after1 = lock1(target);
+  EXPECT_EQ(after1[0], 0b11110111u);
+  EXPECT_TRUE(multiple_lock_succeeded(target, req1));
+
+  const auto lock2 = make_multiple_test_and_set(req2);
+  const auto after2 = lock2(after1);
+  EXPECT_EQ(after2[0], after1[0]) << "failed lock must not modify";
+  EXPECT_FALSE(multiple_lock_succeeded(after1, req2));
+
+  const auto unlock1 = make_multiple_unlock(req1);
+  EXPECT_EQ(unlock1(after1)[0], 0b01010110u);
+}
+
+TEST(ModifyFns, MultipleTasAllOrNothingAcrossWords) {
+  const std::vector<Word> pattern{0b1, 0b10};
+  const auto fn = make_multiple_test_and_set(pattern);
+  // Second word conflicts -> nothing set, including the free first word.
+  const std::vector<Word> held{0, 0b10};
+  EXPECT_EQ(fn(held), held);
+  // Both free -> both set.
+  EXPECT_EQ(fn({0, 0}), (std::vector<Word>{0b1, 0b10}));
+}
+
+CfmCacheSystem::Params params4() {
+  CfmCacheSystem::Params p;
+  p.mem = cfm::core::CfmConfig::make(4);
+  return p;
+}
+
+TEST(CachedLock, SingleAcquire) {
+  CfmCacheSystem sys(params4());
+  CachedLockClient c(0, 7);
+  c.acquire();
+  Cycle t = 0;
+  while (!c.holding() && t < 200) {
+    c.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  EXPECT_TRUE(c.holding());
+}
+
+TEST(CachedLock, MutualExclusionUnderContention) {
+  CfmCacheSystem sys(params4());
+  std::vector<CachedLockClient> clients;
+  for (std::uint32_t p = 0; p < 4; ++p) clients.emplace_back(p, 7);
+  for (auto& c : clients) c.acquire();
+  std::uint64_t acq = 0;
+  for (Cycle t = 0; t < 6000; ++t) {
+    int holders = 0;
+    for (auto& c : clients) {
+      if (c.holding()) {
+        ++holders;
+        ++acq;
+        c.release();
+      }
+    }
+    ASSERT_LE(holders, 1);
+    for (auto& c : clients) {
+      c.tick(t, sys);
+      if (c.state() == CachedLockClient::State::Idle) c.acquire();
+    }
+    sys.tick(t);
+  }
+  EXPECT_GT(acq, 50u);
+  for (auto& c : clients) EXPECT_GT(c.acquisitions(), 0u);
+}
+
+TEST(CachedLock, WaitersSpinLocallyNotInMemory) {
+  // Fig 5.4's key point: waiting processors read-loop on their LOCAL
+  // cached copy; while the lock is held and stable, they generate no
+  // protocol operations at all.
+  CfmCacheSystem sys(params4());
+  CachedLockClient holder(0, 7);
+  CachedLockClient waiter(1, 7);
+  holder.acquire();
+  Cycle t = 0;
+  while (!holder.holding() && t < 200) {
+    holder.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  ASSERT_TRUE(holder.holding());
+  waiter.acquire();
+  // Let the waiter settle into its local spin.
+  for (Cycle i = 0; i < 100; ++i) {
+    holder.tick(t, sys);
+    waiter.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  const auto ops_before = sys.counters().get("proto_reads") +
+                          sys.counters().get("proto_read_invs");
+  const auto spins_before = waiter.local_spin_cycles();
+  for (Cycle i = 0; i < 200; ++i) {
+    holder.tick(t, sys);
+    waiter.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  const auto ops_after = sys.counters().get("proto_reads") +
+                         sys.counters().get("proto_read_invs");
+  EXPECT_EQ(ops_after, ops_before) << "spinning generated memory traffic";
+  EXPECT_GT(waiter.local_spin_cycles(), spins_before + 150);
+}
+
+TEST(CachedLock, TransferCostsAboutThreeAccesses) {
+  // §5.3.2: "The entire lock transfer takes approximately the time
+  // required to complete three memory accesses" (write-back + read +
+  // read-invalidate) — measure the hand-off from release to the next
+  // holder's acquisition.
+  CfmCacheSystem sys(params4());
+  const auto beta = sys.config().block_access_time();
+  CachedLockClient a(0, 7);
+  CachedLockClient b(1, 7);
+  a.acquire();
+  Cycle t = 0;
+  while (!a.holding() && t < 300) {
+    a.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  ASSERT_TRUE(a.holding());
+  b.acquire();
+  // Let b settle into the local spin.
+  for (Cycle i = 0; i < 50; ++i) {
+    a.tick(t, sys);
+    b.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  const Cycle release_at = t;
+  a.release();
+  while (!b.holding() && t < release_at + 500) {
+    a.tick(t, sys);
+    b.tick(t, sys);
+    sys.tick(t);
+    ++t;
+  }
+  ASSERT_TRUE(b.holding());
+  const Cycle transfer = t - release_at;
+  // release rmw (readinv+wb = 2 accesses) + waiter read + waiter rmw
+  // (readinv+wb, the wb overlapping the critical section): allow
+  // 3*beta .. 7*beta + slack for retries.
+  EXPECT_GE(transfer, 3 * beta);
+  EXPECT_LE(transfer, 7 * beta + 20);
+}
+
+TEST(MultiLock, AtomicAcquisitionOfTwoResources) {
+  // Two clients with overlapping two-bit patterns (dining-philosopher
+  // style): never both holding, no partial acquisition possible.
+  CfmCacheSystem sys(params4());
+  const auto words = sys.block_words();
+  std::vector<Word> p0(words, 0);
+  std::vector<Word> p1(words, 0);
+  p0[0] = 0b011;  // resources 0,1
+  p1[0] = 0b110;  // resources 1,2 — overlaps resource 1
+  CachedLockClient c0(0, 7, p0);
+  CachedLockClient c1(1, 7, p1);
+  c0.acquire();
+  c1.acquire();
+  std::uint64_t acq = 0;
+  for (Cycle t = 0; t < 6000; ++t) {
+    ASSERT_FALSE(c0.holding() && c1.holding()) << "overlap held twice";
+    for (auto* c : {&c0, &c1}) {
+      if (c->holding()) {
+        ++acq;
+        c->release();
+      }
+      c->tick(t, sys);
+      if (c->state() == CachedLockClient::State::Idle) c->acquire();
+    }
+    sys.tick(t);
+  }
+  EXPECT_GT(c0.acquisitions(), 0u);
+  EXPECT_GT(c1.acquisitions(), 0u);
+  EXPECT_GT(acq, 20u);
+}
+
+TEST(MultiLock, DisjointPatternsProceedIndependently) {
+  CfmCacheSystem sys(params4());
+  const auto words = sys.block_words();
+  std::vector<Word> p0(words, 0);
+  std::vector<Word> p1(words, 0);
+  p0[0] = 0b0011;
+  p1[0] = 0b1100;
+  CachedLockClient c0(0, 7, p0);
+  CachedLockClient c1(1, 7, p1);
+  c0.acquire();
+  c1.acquire();
+  bool both_held_at_once = false;
+  for (Cycle t = 0; t < 2000; ++t) {
+    if (c0.holding() && c1.holding()) both_held_at_once = true;
+    for (auto* c : {&c0, &c1}) c->tick(t, sys);
+    sys.tick(t);
+  }
+  EXPECT_TRUE(both_held_at_once) << "disjoint multiple locks must coexist";
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Unit tests for the synchronous switch box (Fig 3.4).
+#include <gtest/gtest.h>
+
+#include "net/sync_switch.hpp"
+
+namespace {
+
+using namespace cfm::net;
+
+TEST(SyncSwitch, FourByFourStatesMatchFig34) {
+  // Fig 3.4: at time slot t, input i connects to output (t + i) mod 4.
+  SyncSwitch sw(4);
+  // State 0: identity.
+  for (Port i = 0; i < 4; ++i) EXPECT_EQ(sw.output_for(0, i), i);
+  // State 1: one-step rotation.
+  EXPECT_EQ(sw.output_for(1, 0), 1u);
+  EXPECT_EQ(sw.output_for(1, 3), 0u);
+  // State 3.
+  EXPECT_EQ(sw.output_for(3, 0), 3u);
+  EXPECT_EQ(sw.output_for(3, 1), 0u);
+}
+
+TEST(SyncSwitch, StateCyclesWithPeriodN) {
+  SyncSwitch sw(4);
+  for (cfm::sim::Cycle t = 0; t < 12; ++t) {
+    EXPECT_EQ(sw.state(t), t % 4);
+    for (Port i = 0; i < 4; ++i) {
+      EXPECT_EQ(sw.output_for(t, i), sw.output_for(t + 4, i));
+    }
+  }
+}
+
+TEST(SyncSwitch, InputForInvertsOutputFor) {
+  SyncSwitch sw(8);
+  for (cfm::sim::Cycle t = 0; t < 8; ++t) {
+    for (Port i = 0; i < 8; ++i) {
+      EXPECT_EQ(sw.input_for(t, sw.output_for(t, i)), i);
+    }
+  }
+}
+
+TEST(SyncSwitch, NoOutputConflictAtAnySlot) {
+  SyncSwitch sw(16);
+  for (cfm::sim::Cycle t = 0; t < 16; ++t) {
+    std::vector<bool> taken(16, false);
+    for (Port i = 0; i < 16; ++i) {
+      const auto o = sw.output_for(t, i);
+      EXPECT_FALSE(taken[o]) << "two inputs map to output " << o;
+      taken[o] = true;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Tests for inter-cluster topologies (§3.3) and their effect on remote
+// access latency.
+#include <gtest/gtest.h>
+
+#include "cfm/cluster.hpp"
+
+namespace {
+
+using namespace cfm::core;
+using cfm::sim::Cycle;
+
+TEST(ClusterHops, FullyConnected) {
+  EXPECT_EQ(cluster_hops(ClusterTopology::FullyConnected, 8, 3, 3), 0u);
+  EXPECT_EQ(cluster_hops(ClusterTopology::FullyConnected, 8, 0, 7), 1u);
+}
+
+TEST(ClusterHops, RingWrapsBothWays) {
+  EXPECT_EQ(cluster_hops(ClusterTopology::Ring, 8, 0, 1), 1u);
+  EXPECT_EQ(cluster_hops(ClusterTopology::Ring, 8, 0, 4), 4u);
+  EXPECT_EQ(cluster_hops(ClusterTopology::Ring, 8, 0, 7), 1u);  // wrap
+  EXPECT_EQ(cluster_hops(ClusterTopology::Ring, 8, 2, 6), 4u);
+  EXPECT_EQ(cluster_hops(ClusterTopology::Ring, 8, 6, 2), 4u);  // symmetric
+}
+
+TEST(ClusterHops, Mesh2DManhattan) {
+  // 3x3 mesh: cluster = row*3 + col.
+  EXPECT_EQ(cluster_hops(ClusterTopology::Mesh2D, 9, 0, 8), 4u);  // (0,0)->(2,2)
+  EXPECT_EQ(cluster_hops(ClusterTopology::Mesh2D, 9, 4, 4), 0u);
+  EXPECT_EQ(cluster_hops(ClusterTopology::Mesh2D, 9, 1, 7), 2u);  // (0,1)->(2,1)
+  EXPECT_THROW((void)cluster_hops(ClusterTopology::Mesh2D, 8, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(ClusterHops, HypercubeHamming) {
+  EXPECT_EQ(cluster_hops(ClusterTopology::Hypercube, 8, 0b000, 0b111), 3u);
+  EXPECT_EQ(cluster_hops(ClusterTopology::Hypercube, 8, 0b010, 0b011), 1u);
+  EXPECT_THROW((void)cluster_hops(ClusterTopology::Hypercube, 6, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(ClusterHops, TriangleInequalityOnRing) {
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      for (std::uint32_t c = 0; c < 8; ++c) {
+        EXPECT_LE(cluster_hops(ClusterTopology::Ring, 8, a, c),
+                  cluster_hops(ClusterTopology::Ring, 8, a, b) +
+                      cluster_hops(ClusterTopology::Ring, 8, b, c));
+      }
+    }
+  }
+}
+
+TEST(ClusterSystemTopology, RemoteLatencyScalesWithHops) {
+  ClusterConfig cfg;
+  cfg.local_processors = 3;
+  cfg.total_slots = 4;
+  cfg.link_latency = 5;
+  cfg.topology = ClusterTopology::Ring;
+  ClusterSystem sys(8, cfg);
+
+  auto run_request = [&](cfm::sim::ClusterId dst) {
+    Cycle t = 0;
+    const auto id = sys.remote_request(0, 0, dst, BlockOpKind::Read, 7);
+    for (int i = 0; i < 500; ++i) {
+      sys.tick(t);
+      for (std::uint32_t c = 0; c < sys.cluster_count(); ++c) {
+        sys.memory(c).tick(t);
+      }
+      ++t;
+      if (const auto* r = sys.result(id)) return r->completed - r->issued;
+    }
+    ADD_FAILURE() << "remote request timed out";
+    return Cycle{0};
+  };
+
+  const auto near = run_request(1);  // 1 hop
+  const auto far = run_request(4);   // 4 hops on the 8-ring
+  EXPECT_GT(far, near);
+  // Each extra hop costs 2 * link_latency (request + reply).
+  EXPECT_EQ(far - near, 2u * 3u * cfg.link_latency);
+}
+
+}  // namespace
