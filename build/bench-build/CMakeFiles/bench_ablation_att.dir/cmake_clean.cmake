@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_att"
+  "../bench/bench_ablation_att.pdb"
+  "CMakeFiles/bench_ablation_att.dir/bench_ablation_att.cpp.o"
+  "CMakeFiles/bench_ablation_att.dir/bench_ablation_att.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_att.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stall"
+  "../bench/bench_ablation_stall.pdb"
+  "CMakeFiles/bench_ablation_stall.dir/bench_ablation_stall.cpp.o"
+  "CMakeFiles/bench_ablation_stall.dir/bench_ablation_stall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

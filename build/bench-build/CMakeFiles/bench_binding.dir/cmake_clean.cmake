@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_binding"
+  "../bench/bench_binding.pdb"
+  "CMakeFiles/bench_binding.dir/bench_binding.cpp.o"
+  "CMakeFiles/bench_binding.dir/bench_binding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

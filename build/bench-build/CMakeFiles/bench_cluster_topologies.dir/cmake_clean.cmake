@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cluster_topologies"
+  "../bench/bench_cluster_topologies.pdb"
+  "CMakeFiles/bench_cluster_topologies.dir/bench_cluster_topologies.cpp.o"
+  "CMakeFiles/bench_cluster_topologies.dir/bench_cluster_topologies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

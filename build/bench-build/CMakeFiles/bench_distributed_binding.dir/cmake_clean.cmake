@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distributed_binding"
+  "../bench/bench_distributed_binding.pdb"
+  "CMakeFiles/bench_distributed_binding.dir/bench_distributed_binding.cpp.o"
+  "CMakeFiles/bench_distributed_binding.dir/bench_distributed_binding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

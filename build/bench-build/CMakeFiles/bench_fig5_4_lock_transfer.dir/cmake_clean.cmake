@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_4_lock_transfer"
+  "../bench/bench_fig5_4_lock_transfer.pdb"
+  "CMakeFiles/bench_fig5_4_lock_transfer.dir/bench_fig5_4_lock_transfer.cpp.o"
+  "CMakeFiles/bench_fig5_4_lock_transfer.dir/bench_fig5_4_lock_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_4_lock_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

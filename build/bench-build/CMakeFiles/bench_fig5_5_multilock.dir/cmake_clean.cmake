@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_5_multilock"
+  "../bench/bench_fig5_5_multilock.pdb"
+  "CMakeFiles/bench_fig5_5_multilock.dir/bench_fig5_5_multilock.cpp.o"
+  "CMakeFiles/bench_fig5_5_multilock.dir/bench_fig5_5_multilock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_5_multilock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

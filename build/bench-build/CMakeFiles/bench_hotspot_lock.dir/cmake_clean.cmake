@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hotspot_lock"
+  "../bench/bench_hotspot_lock.pdb"
+  "CMakeFiles/bench_hotspot_lock.dir/bench_hotspot_lock.cpp.o"
+  "CMakeFiles/bench_hotspot_lock.dir/bench_hotspot_lock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotspot_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_oversubscription"
+  "../bench/bench_oversubscription.pdb"
+  "CMakeFiles/bench_oversubscription.dir/bench_oversubscription.cpp.o"
+  "CMakeFiles/bench_oversubscription.dir/bench_oversubscription.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

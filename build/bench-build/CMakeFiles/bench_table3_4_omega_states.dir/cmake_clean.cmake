@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_4_omega_states"
+  "../bench/bench_table3_4_omega_states.pdb"
+  "CMakeFiles/bench_table3_4_omega_states.dir/bench_table3_4_omega_states.cpp.o"
+  "CMakeFiles/bench_table3_4_omega_states.dir/bench_table3_4_omega_states.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_4_omega_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_2_protocol"
+  "../bench/bench_table5_2_protocol.pdb"
+  "CMakeFiles/bench_table5_2_protocol.dir/bench_table5_2_protocol.cpp.o"
+  "CMakeFiles/bench_table5_2_protocol.dir/bench_table5_2_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_2_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_5_dash"
+  "../bench/bench_table5_5_dash.pdb"
+  "CMakeFiles/bench_table5_5_dash.dir/bench_table5_5_dash.cpp.o"
+  "CMakeFiles/bench_table5_5_dash.dir/bench_table5_5_dash.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_5_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

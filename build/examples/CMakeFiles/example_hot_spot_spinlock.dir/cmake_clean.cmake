@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hot_spot_spinlock.dir/hot_spot_spinlock.cpp.o"
+  "CMakeFiles/example_hot_spot_spinlock.dir/hot_spot_spinlock.cpp.o.d"
+  "hot_spot_spinlock"
+  "hot_spot_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hot_spot_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_regions.dir/matrix_regions.cpp.o"
+  "CMakeFiles/example_matrix_regions.dir/matrix_regions.cpp.o.d"
+  "matrix_regions"
+  "matrix_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

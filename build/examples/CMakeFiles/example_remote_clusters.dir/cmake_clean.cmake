@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_remote_clusters.dir/remote_clusters.cpp.o"
+  "CMakeFiles/example_remote_clusters.dir/remote_clusters.cpp.o.d"
+  "remote_clusters"
+  "remote_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_remote_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

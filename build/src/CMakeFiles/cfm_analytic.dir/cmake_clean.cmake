@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_analytic.dir/analytic/efficiency.cpp.o"
+  "CMakeFiles/cfm_analytic.dir/analytic/efficiency.cpp.o.d"
+  "CMakeFiles/cfm_analytic.dir/analytic/latency.cpp.o"
+  "CMakeFiles/cfm_analytic.dir/analytic/latency.cpp.o.d"
+  "libcfm_analytic.a"
+  "libcfm_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binding/cfm_binding.cpp" "src/CMakeFiles/cfm_binding.dir/binding/cfm_binding.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/cfm_binding.cpp.o.d"
+  "/root/repo/src/binding/distributed.cpp" "src/CMakeFiles/cfm_binding.dir/binding/distributed.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/distributed.cpp.o.d"
+  "/root/repo/src/binding/manager.cpp" "src/CMakeFiles/cfm_binding.dir/binding/manager.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/manager.cpp.o.d"
+  "/root/repo/src/binding/patterns.cpp" "src/CMakeFiles/cfm_binding.dir/binding/patterns.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/patterns.cpp.o.d"
+  "/root/repo/src/binding/process.cpp" "src/CMakeFiles/cfm_binding.dir/binding/process.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/process.cpp.o.d"
+  "/root/repo/src/binding/region.cpp" "src/CMakeFiles/cfm_binding.dir/binding/region.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/region.cpp.o.d"
+  "/root/repo/src/binding/runtime.cpp" "src/CMakeFiles/cfm_binding.dir/binding/runtime.cpp.o" "gcc" "src/CMakeFiles/cfm_binding.dir/binding/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_binding.dir/binding/cfm_binding.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/cfm_binding.cpp.o.d"
+  "CMakeFiles/cfm_binding.dir/binding/distributed.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/distributed.cpp.o.d"
+  "CMakeFiles/cfm_binding.dir/binding/manager.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/manager.cpp.o.d"
+  "CMakeFiles/cfm_binding.dir/binding/patterns.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/patterns.cpp.o.d"
+  "CMakeFiles/cfm_binding.dir/binding/process.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/process.cpp.o.d"
+  "CMakeFiles/cfm_binding.dir/binding/region.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/region.cpp.o.d"
+  "CMakeFiles/cfm_binding.dir/binding/runtime.cpp.o"
+  "CMakeFiles/cfm_binding.dir/binding/runtime.cpp.o.d"
+  "libcfm_binding.a"
+  "libcfm_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/barrier.cpp" "src/CMakeFiles/cfm_cache.dir/cache/barrier.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/barrier.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/cfm_cache.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/cfm_protocol.cpp" "src/CMakeFiles/cfm_cache.dir/cache/cfm_protocol.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/cfm_protocol.cpp.o.d"
+  "/root/repo/src/cache/directory.cpp" "src/CMakeFiles/cfm_cache.dir/cache/directory.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/directory.cpp.o.d"
+  "/root/repo/src/cache/hierarchical.cpp" "src/CMakeFiles/cfm_cache.dir/cache/hierarchical.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/hierarchical.cpp.o.d"
+  "/root/repo/src/cache/snoopy.cpp" "src/CMakeFiles/cfm_cache.dir/cache/snoopy.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/snoopy.cpp.o.d"
+  "/root/repo/src/cache/sync_ops.cpp" "src/CMakeFiles/cfm_cache.dir/cache/sync_ops.cpp.o" "gcc" "src/CMakeFiles/cfm_cache.dir/cache/sync_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

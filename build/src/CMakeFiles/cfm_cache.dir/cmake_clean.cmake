@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_cache.dir/cache/barrier.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/barrier.cpp.o.d"
+  "CMakeFiles/cfm_cache.dir/cache/cache.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/cfm_cache.dir/cache/cfm_protocol.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/cfm_protocol.cpp.o.d"
+  "CMakeFiles/cfm_cache.dir/cache/directory.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/directory.cpp.o.d"
+  "CMakeFiles/cfm_cache.dir/cache/hierarchical.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/hierarchical.cpp.o.d"
+  "CMakeFiles/cfm_cache.dir/cache/snoopy.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/snoopy.cpp.o.d"
+  "CMakeFiles/cfm_cache.dir/cache/sync_ops.cpp.o"
+  "CMakeFiles/cfm_cache.dir/cache/sync_ops.cpp.o.d"
+  "libcfm_cache.a"
+  "libcfm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfm/at_space.cpp" "src/CMakeFiles/cfm_core.dir/cfm/at_space.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/at_space.cpp.o.d"
+  "/root/repo/src/cfm/atomic.cpp" "src/CMakeFiles/cfm_core.dir/cfm/atomic.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/atomic.cpp.o.d"
+  "/root/repo/src/cfm/att.cpp" "src/CMakeFiles/cfm_core.dir/cfm/att.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/att.cpp.o.d"
+  "/root/repo/src/cfm/cfm_memory.cpp" "src/CMakeFiles/cfm_core.dir/cfm/cfm_memory.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/cfm_memory.cpp.o.d"
+  "/root/repo/src/cfm/cluster.cpp" "src/CMakeFiles/cfm_core.dir/cfm/cluster.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/cluster.cpp.o.d"
+  "/root/repo/src/cfm/config.cpp" "src/CMakeFiles/cfm_core.dir/cfm/config.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/config.cpp.o.d"
+  "/root/repo/src/cfm/shared_slot.cpp" "src/CMakeFiles/cfm_core.dir/cfm/shared_slot.cpp.o" "gcc" "src/CMakeFiles/cfm_core.dir/cfm/shared_slot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

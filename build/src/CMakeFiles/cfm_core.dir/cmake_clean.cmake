@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_core.dir/cfm/at_space.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/at_space.cpp.o.d"
+  "CMakeFiles/cfm_core.dir/cfm/atomic.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/atomic.cpp.o.d"
+  "CMakeFiles/cfm_core.dir/cfm/att.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/att.cpp.o.d"
+  "CMakeFiles/cfm_core.dir/cfm/cfm_memory.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/cfm_memory.cpp.o.d"
+  "CMakeFiles/cfm_core.dir/cfm/cluster.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/cluster.cpp.o.d"
+  "CMakeFiles/cfm_core.dir/cfm/config.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/config.cpp.o.d"
+  "CMakeFiles/cfm_core.dir/cfm/shared_slot.cpp.o"
+  "CMakeFiles/cfm_core.dir/cfm/shared_slot.cpp.o.d"
+  "libcfm_core.a"
+  "libcfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

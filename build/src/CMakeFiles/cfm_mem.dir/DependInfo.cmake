@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cpp" "src/CMakeFiles/cfm_mem.dir/mem/backing_store.cpp.o" "gcc" "src/CMakeFiles/cfm_mem.dir/mem/backing_store.cpp.o.d"
+  "/root/repo/src/mem/bank.cpp" "src/CMakeFiles/cfm_mem.dir/mem/bank.cpp.o" "gcc" "src/CMakeFiles/cfm_mem.dir/mem/bank.cpp.o.d"
+  "/root/repo/src/mem/conventional.cpp" "src/CMakeFiles/cfm_mem.dir/mem/conventional.cpp.o" "gcc" "src/CMakeFiles/cfm_mem.dir/mem/conventional.cpp.o.d"
+  "/root/repo/src/mem/module.cpp" "src/CMakeFiles/cfm_mem.dir/mem/module.cpp.o" "gcc" "src/CMakeFiles/cfm_mem.dir/mem/module.cpp.o.d"
+  "/root/repo/src/mem/phase_aligned.cpp" "src/CMakeFiles/cfm_mem.dir/mem/phase_aligned.cpp.o" "gcc" "src/CMakeFiles/cfm_mem.dir/mem/phase_aligned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

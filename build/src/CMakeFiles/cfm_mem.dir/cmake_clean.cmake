@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_mem.dir/mem/backing_store.cpp.o"
+  "CMakeFiles/cfm_mem.dir/mem/backing_store.cpp.o.d"
+  "CMakeFiles/cfm_mem.dir/mem/bank.cpp.o"
+  "CMakeFiles/cfm_mem.dir/mem/bank.cpp.o.d"
+  "CMakeFiles/cfm_mem.dir/mem/conventional.cpp.o"
+  "CMakeFiles/cfm_mem.dir/mem/conventional.cpp.o.d"
+  "CMakeFiles/cfm_mem.dir/mem/module.cpp.o"
+  "CMakeFiles/cfm_mem.dir/mem/module.cpp.o.d"
+  "CMakeFiles/cfm_mem.dir/mem/phase_aligned.cpp.o"
+  "CMakeFiles/cfm_mem.dir/mem/phase_aligned.cpp.o.d"
+  "libcfm_mem.a"
+  "libcfm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

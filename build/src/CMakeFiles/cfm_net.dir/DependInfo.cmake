@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/circuit_omega.cpp" "src/CMakeFiles/cfm_net.dir/net/circuit_omega.cpp.o" "gcc" "src/CMakeFiles/cfm_net.dir/net/circuit_omega.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/cfm_net.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/cfm_net.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/omega.cpp" "src/CMakeFiles/cfm_net.dir/net/omega.cpp.o" "gcc" "src/CMakeFiles/cfm_net.dir/net/omega.cpp.o.d"
+  "/root/repo/src/net/partial_omega.cpp" "src/CMakeFiles/cfm_net.dir/net/partial_omega.cpp.o" "gcc" "src/CMakeFiles/cfm_net.dir/net/partial_omega.cpp.o.d"
+  "/root/repo/src/net/permutation.cpp" "src/CMakeFiles/cfm_net.dir/net/permutation.cpp.o" "gcc" "src/CMakeFiles/cfm_net.dir/net/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_net.dir/net/circuit_omega.cpp.o"
+  "CMakeFiles/cfm_net.dir/net/circuit_omega.cpp.o.d"
+  "CMakeFiles/cfm_net.dir/net/message.cpp.o"
+  "CMakeFiles/cfm_net.dir/net/message.cpp.o.d"
+  "CMakeFiles/cfm_net.dir/net/omega.cpp.o"
+  "CMakeFiles/cfm_net.dir/net/omega.cpp.o.d"
+  "CMakeFiles/cfm_net.dir/net/partial_omega.cpp.o"
+  "CMakeFiles/cfm_net.dir/net/partial_omega.cpp.o.d"
+  "CMakeFiles/cfm_net.dir/net/permutation.cpp.o"
+  "CMakeFiles/cfm_net.dir/net/permutation.cpp.o.d"
+  "libcfm_net.a"
+  "libcfm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

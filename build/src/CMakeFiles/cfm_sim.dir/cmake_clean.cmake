@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/cfm_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/cfm_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/cfm_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/cfm_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/cfm_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/cfm_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/cfm_sim.dir/sim/stats.cpp.o.d"
+  "libcfm_sim.a"
+  "libcfm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfm_sim.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_gen.cpp" "src/CMakeFiles/cfm_workload.dir/workload/access_gen.cpp.o" "gcc" "src/CMakeFiles/cfm_workload.dir/workload/access_gen.cpp.o.d"
+  "/root/repo/src/workload/lock_workload.cpp" "src/CMakeFiles/cfm_workload.dir/workload/lock_workload.cpp.o" "gcc" "src/CMakeFiles/cfm_workload.dir/workload/lock_workload.cpp.o.d"
+  "/root/repo/src/workload/prefetch.cpp" "src/CMakeFiles/cfm_workload.dir/workload/prefetch.cpp.o" "gcc" "src/CMakeFiles/cfm_workload.dir/workload/prefetch.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/cfm_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/cfm_workload.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

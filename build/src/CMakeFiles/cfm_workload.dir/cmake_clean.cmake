@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_workload.dir/workload/access_gen.cpp.o"
+  "CMakeFiles/cfm_workload.dir/workload/access_gen.cpp.o.d"
+  "CMakeFiles/cfm_workload.dir/workload/lock_workload.cpp.o"
+  "CMakeFiles/cfm_workload.dir/workload/lock_workload.cpp.o.d"
+  "CMakeFiles/cfm_workload.dir/workload/prefetch.cpp.o"
+  "CMakeFiles/cfm_workload.dir/workload/prefetch.cpp.o.d"
+  "CMakeFiles/cfm_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/cfm_workload.dir/workload/trace.cpp.o.d"
+  "libcfm_workload.a"
+  "libcfm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/test_analytic.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/test_analytic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cfm_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

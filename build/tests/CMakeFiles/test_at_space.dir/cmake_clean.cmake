@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_at_space.dir/test_at_space.cpp.o"
+  "CMakeFiles/test_at_space.dir/test_at_space.cpp.o.d"
+  "test_at_space"
+  "test_at_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_at_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

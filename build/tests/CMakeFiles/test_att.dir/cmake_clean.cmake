@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_att.dir/test_att.cpp.o"
+  "CMakeFiles/test_att.dir/test_att.cpp.o.d"
+  "test_att"
+  "test_att.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_att.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

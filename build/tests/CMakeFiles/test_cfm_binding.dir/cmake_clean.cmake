@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfm_binding.dir/test_cfm_binding.cpp.o"
+  "CMakeFiles/test_cfm_binding.dir/test_cfm_binding.cpp.o.d"
+  "test_cfm_binding"
+  "test_cfm_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfm_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

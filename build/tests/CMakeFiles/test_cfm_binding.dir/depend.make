@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cfm_binding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfm_memory.dir/test_cfm_memory.cpp.o"
+  "CMakeFiles/test_cfm_memory.dir/test_cfm_memory.cpp.o.d"
+  "test_cfm_memory"
+  "test_cfm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfm_properties.dir/test_cfm_properties.cpp.o"
+  "CMakeFiles/test_cfm_properties.dir/test_cfm_properties.cpp.o.d"
+  "test_cfm_properties"
+  "test_cfm_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfm_protocol.dir/test_cfm_protocol.cpp.o"
+  "CMakeFiles/test_cfm_protocol.dir/test_cfm_protocol.cpp.o.d"
+  "test_cfm_protocol"
+  "test_cfm_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_omega.dir/test_circuit_omega.cpp.o"
+  "CMakeFiles/test_circuit_omega.dir/test_circuit_omega.cpp.o.d"
+  "test_circuit_omega"
+  "test_circuit_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

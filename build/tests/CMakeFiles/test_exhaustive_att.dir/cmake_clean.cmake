@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_att.dir/test_exhaustive_att.cpp.o"
+  "CMakeFiles/test_exhaustive_att.dir/test_exhaustive_att.cpp.o.d"
+  "test_exhaustive_att"
+  "test_exhaustive_att.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_att.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

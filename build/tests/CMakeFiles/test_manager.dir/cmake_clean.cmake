@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager.dir/test_manager.cpp.o"
+  "CMakeFiles/test_manager.dir/test_manager.cpp.o.d"
+  "test_manager"
+  "test_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_omega.dir/test_partial_omega.cpp.o"
+  "CMakeFiles/test_partial_omega.dir/test_partial_omega.cpp.o.d"
+  "test_partial_omega"
+  "test_partial_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_aligned.dir/test_phase_aligned.cpp.o"
+  "CMakeFiles/test_phase_aligned.dir/test_phase_aligned.cpp.o.d"
+  "test_phase_aligned"
+  "test_phase_aligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_aligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_extras.dir/test_protocol_extras.cpp.o"
+  "CMakeFiles/test_protocol_extras.dir/test_protocol_extras.cpp.o.d"
+  "test_protocol_extras"
+  "test_protocol_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

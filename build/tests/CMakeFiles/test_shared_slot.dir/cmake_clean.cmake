@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_slot.dir/test_shared_slot.cpp.o"
+  "CMakeFiles/test_shared_slot.dir/test_shared_slot.cpp.o.d"
+  "test_shared_slot"
+  "test_shared_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snoopy.dir/test_snoopy.cpp.o"
+  "CMakeFiles/test_snoopy.dir/test_snoopy.cpp.o.d"
+  "test_snoopy"
+  "test_snoopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snoopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_ops.dir/test_sync_ops.cpp.o"
+  "CMakeFiles/test_sync_ops.dir/test_sync_ops.cpp.o.d"
+  "test_sync_ops"
+  "test_sync_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_switch.dir/test_sync_switch.cpp.o"
+  "CMakeFiles/test_sync_switch.dir/test_sync_switch.cpp.o.d"
+  "test_sync_switch"
+  "test_sync_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
