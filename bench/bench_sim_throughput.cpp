@@ -1,12 +1,19 @@
 // google-benchmark microbenchmarks of the simulator itself: cycles/sec of
-// the CFM memory, the cache protocol, the hierarchical machine, and the
-// cost of deriving synchronous-omega schedules.  These guard against
-// performance regressions in the simulation kernel, not the paper.
+// the CFM memory, the cache protocol, the hierarchical machine, the
+// parallel tick scheduler, and the cost of deriving synchronous-omega
+// schedules.  These guard against performance regressions in the
+// simulation kernel, not the paper.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "cache/cfm_protocol.hpp"
+#include "cache/hierarchical.hpp"
 #include "cfm/cfm_memory.hpp"
 #include "net/omega.hpp"
+#include "sim/parallel_engine.hpp"
 #include "sim/rng.hpp"
 #include "workload/access_gen.hpp"
 
@@ -65,6 +72,78 @@ void BM_SyncOmegaConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyncOmegaConstruction)->Arg(8)->Arg(64)->Arg(256);
+
+// ---- parallel tick domains -------------------------------------------
+//
+// The tentpole scenario for ParallelEngine: many independent CfmMemory
+// modules, each a tick domain with its own closed-loop driver.  Reported
+// items/sec == simulated cycles/sec; compare Arg(1) (serial engine) with
+// Arg(4) for the domain-parallel speedup.
+
+struct ModuleFarm {
+  std::unique_ptr<sim::Engine> engine;
+  std::vector<std::unique_ptr<core::CfmMemory>> mems;
+  std::vector<std::unique_ptr<workload::AccessDriver>> drivers;
+
+  ModuleFarm(unsigned threads, std::uint32_t modules, std::uint32_t procs) {
+    engine = sim::Engine::make(sim::EngineConfig{threads});
+    for (std::uint32_t m = 0; m < modules; ++m) {
+      mems.push_back(
+          std::make_unique<core::CfmMemory>(core::CfmConfig::make(procs)));
+      const auto d = engine->allocate_domain();
+      mems.back()->attach(*engine, d);
+      drivers.push_back(std::make_unique<workload::AccessDriver>(
+          "bench.driver#" + std::to_string(m), d, *mems.back(), 1.0,
+          /*seed=*/7 + m, engine->shard(d)));
+      engine->add(*drivers.back());
+    }
+  }
+};
+
+void BM_ParallelModuleFarm(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  ModuleFarm farm(threads, /*modules=*/16, /*procs=*/16);
+  farm.engine->run_for(64);  // fill the pipeline of block tours
+  for (auto _ : state) farm.engine->step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParallelModuleFarm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Hierarchical machine: the cross-cluster controller and global CFM run
+// in the shared domain while every cluster memory tours concurrently.
+// Miss-heavy random reads keep all cluster ports busy.
+void BM_ParallelHierarchical(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  auto engine = sim::Engine::make(sim::EngineConfig{threads});
+  // clusters == procs_per_cluster keeps the cluster and global line
+  // shapes identical (the 1:1 block-movement requirement).
+  cache::HierarchicalCfm::Params params;
+  params.clusters = 16;
+  params.procs_per_cluster = 16;
+  cache::HierarchicalCfm sys(params);
+  sys.attach(*engine);
+
+  sim::Rng rng(99);
+  std::vector<cache::HierarchicalCfm::ReqId> pending(sys.processor_count(), 0);
+  auto driver = std::make_shared<sim::LambdaComponent>("bench.hier_driver",
+                                                       sim::kSharedDomain);
+  driver->on(sim::Phase::Issue, [&](sim::Cycle now) {
+    const auto n = static_cast<sim::ProcessorId>(pending.size());
+    for (sim::ProcessorId p = 0; p < n; ++p) {
+      if (pending[p] != 0 && sys.take_result(pending[p])) pending[p] = 0;
+      if (pending[p] == 0 && sys.processor_idle(p)) {
+        pending[p] =
+            sys.read(now, p, static_cast<sim::BlockAddr>(rng.below(4096)));
+      }
+    }
+  });
+  engine->add(std::move(driver));
+
+  engine->run_for(128);  // fill the miss pipeline
+  for (auto _ : state) engine->step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParallelHierarchical)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_EfficiencyExperiment(benchmark::State& state) {
   for (auto _ : state) {

@@ -472,6 +472,16 @@ void CfmCacheSystem::tick(sim::Cycle now) {
   }
 }
 
+void CfmCacheSystem::attach(sim::Engine& engine) {
+  attach(engine, engine.allocate_domain());
+}
+
+void CfmCacheSystem::attach(sim::Engine& engine, sim::DomainId domain) {
+  domain_ = domain;
+  engine.add(std::make_shared<sim::TickComponent<CfmCacheSystem>>(
+      "cache.cfm_protocol", domain, sim::Phase::Memory, *this));
+}
+
 std::optional<CfmCacheSystem::Outcome> CfmCacheSystem::take_result(ReqId id) {
   const auto it = results_.find(id);
   if (it == results_.end()) return std::nullopt;

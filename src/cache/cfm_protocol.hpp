@@ -42,6 +42,7 @@
 #include "cfm/block_engine.hpp"
 #include "cfm/config.hpp"
 #include "mem/module.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -103,6 +104,14 @@ class CfmCacheSystem {
 
   /// Advances controllers and primitive operations one cycle.
   void tick(sim::Cycle now);
+
+  /// Engine registration: the whole cache system is one cache partition —
+  /// caches, directory and banks are coupled through the shared tour/ATT
+  /// state — so it ticks as a single Phase::Memory component in its own
+  /// domain and runs concurrently with *other* domains.
+  void attach(sim::Engine& engine);
+  void attach(sim::Engine& engine, sim::DomainId domain);
+  [[nodiscard]] sim::DomainId domain() const noexcept { return domain_; }
 
   std::optional<Outcome> take_result(ReqId id);
   [[nodiscard]] const Outcome* result(ReqId id) const;
@@ -193,6 +202,7 @@ class CfmCacheSystem {
   std::unordered_map<ReqId, Outcome> results_;
   sim::CounterSet counters_;
   sim::Rng retry_rng_{0x5eedULL};
+  sim::DomainId domain_ = sim::kSharedDomain;
   ReqId next_req_ = 1;
   std::uint64_t next_proto_ = 1;
 };

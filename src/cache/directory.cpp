@@ -123,6 +123,16 @@ void DirectoryProtocol::tick(sim::Cycle now) {
   }
 }
 
+void DirectoryProtocol::attach(sim::Engine& engine) {
+  attach(engine, engine.allocate_domain());
+}
+
+void DirectoryProtocol::attach(sim::Engine& engine, sim::DomainId domain) {
+  domain_ = domain;
+  engine.add(std::make_shared<sim::TickComponent<DirectoryProtocol>>(
+      "cache.directory", domain, sim::Phase::Memory, *this));
+}
+
 std::optional<DirectoryProtocol::Outcome> DirectoryProtocol::take_result(
     ReqId id) {
   const auto it = results_.find(id);

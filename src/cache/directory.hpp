@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -62,6 +63,13 @@ class DirectoryProtocol {
   void tick(sim::Cycle now);
   std::optional<Outcome> take_result(ReqId id);
 
+  /// Engine registration: the directory serializes same-block transactions
+  /// at each home node, so the model ticks as one Phase::Memory component
+  /// in its own domain.
+  void attach(sim::Engine& engine);
+  void attach(sim::Engine& engine, sim::DomainId domain);
+  [[nodiscard]] sim::DomainId domain() const noexcept { return domain_; }
+
   /// Total protocol messages (requests, replies, invalidations, acks).
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
   [[nodiscard]] std::uint64_t acks() const noexcept { return acks_; }
@@ -96,6 +104,7 @@ class DirectoryProtocol {
   std::uint64_t messages_ = 0;
   std::uint64_t acks_ = 0;
   sim::CounterSet counters_;
+  sim::DomainId domain_ = sim::kSharedDomain;
   ReqId next_req_ = 1;
 };
 

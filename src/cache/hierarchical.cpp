@@ -464,7 +464,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
   }
 }
 
-void HierarchicalCfm::tick(sim::Cycle now) {
+void HierarchicalCfm::advance_pending(sim::Cycle now) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     // A phase completion and the next phase's issue happen in the same
     // cycle (the controller reacts combinationally); bound the chain so a
@@ -482,8 +482,28 @@ void HierarchicalCfm::tick(sim::Cycle now) {
       ++it;
     }
   }
+}
+
+void HierarchicalCfm::tick(sim::Cycle now) {
+  advance_pending(now);
   for (auto& mem : cluster_mem_) mem->tick(now);
   global_mem_->tick(now);
+}
+
+void HierarchicalCfm::attach(sim::Engine& engine) {
+  // The controller state machine touches L1s, L2 directories and the
+  // global directory across every cluster, so it is cross-domain and runs
+  // in the shared domain during Phase::Network — before any bank tour of
+  // the same cycle, matching the manual tick() ordering.
+  auto controller = std::make_shared<sim::LambdaComponent>("hier.controller",
+                                                           sim::kSharedDomain);
+  controller->on(sim::Phase::Network,
+                 [this](sim::Cycle now) { advance_pending(now); });
+  engine.add(std::move(controller));
+  // Each cluster's CFM is an independent AT-space — its own tick domain.
+  // The global CFM is the cross-cluster omega + banks: shared domain.
+  for (auto& mem : cluster_mem_) mem->attach(engine, engine.allocate_domain());
+  global_mem_->attach(engine, sim::kSharedDomain);
 }
 
 std::optional<HierarchicalCfm::Outcome> HierarchicalCfm::take_result(ReqId id) {

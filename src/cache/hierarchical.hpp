@@ -86,6 +86,20 @@ class HierarchicalCfm {
   void tick(sim::Cycle now);
   std::optional<Outcome> take_result(ReqId id);
 
+  /// Engine registration, decomposed by tick domain: the cross-cluster
+  /// controller and the global CFM stay in the shared domain while each
+  /// cluster's CFM gets its own domain, so a ParallelEngine tours all
+  /// cluster banks concurrently.  Drive the machine either via attach() +
+  /// engine stepping or via manual tick() calls, never both.
+  void attach(sim::Engine& engine);
+
+  /// Cluster c's second-level CFM (e.g. for installing trace sinks or
+  /// reading its tick domain after attach()).
+  [[nodiscard]] core::CfmMemory& cluster_memory(std::uint32_t c) {
+    return *cluster_mem_.at(c);
+  }
+  [[nodiscard]] core::CfmMemory& global_memory() { return *global_mem_; }
+
   [[nodiscard]] LineState l1_state(sim::ProcessorId p, sim::BlockAddr offset) const;
   [[nodiscard]] LineState l2_state(std::uint32_t cluster, sim::BlockAddr offset) const;
   /// Table 5.3 invariant: legal (L1, L2) state combinations everywhere.
@@ -137,6 +151,7 @@ class HierarchicalCfm {
     bool busy = false;  ///< serializes global transactions per block
   };
 
+  void advance_pending(sim::Cycle now);
   [[nodiscard]] bool cluster_port_idle(std::uint32_t cluster,
                                        sim::ProcessorId port) const;
   [[nodiscard]] std::optional<sim::ProcessorId> borrow_cluster_port(

@@ -252,6 +252,16 @@ void SnoopyBus::tick(sim::Cycle now) {
   }
 }
 
+void SnoopyBus::attach(sim::Engine& engine) {
+  attach(engine, engine.allocate_domain());
+}
+
+void SnoopyBus::attach(sim::Engine& engine, sim::DomainId domain) {
+  domain_ = domain;
+  engine.add(std::make_shared<sim::TickComponent<SnoopyBus>>(
+      "cache.snoopy_bus", domain, sim::Phase::Network, *this));
+}
+
 std::optional<SnoopyBus::Outcome> SnoopyBus::take_result(ReqId id) {
   const auto it = results_.find(id);
   if (it == results_.end()) return std::nullopt;

@@ -17,6 +17,7 @@
 
 #include "cache/cache.hpp"
 #include "cfm/block_engine.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -56,6 +57,13 @@ class SnoopyBus {
             core::ModifyFn fn);
   void tick(sim::Cycle now);
   std::optional<Outcome> take_result(ReqId id);
+
+  /// Engine registration: bus, caches and controllers are one serialized
+  /// unit (the bus is the contention point being modelled), so the whole
+  /// system ticks as a single Phase::Network component in its own domain.
+  void attach(sim::Engine& engine);
+  void attach(sim::Engine& engine, sim::DomainId domain);
+  [[nodiscard]] sim::DomainId domain() const noexcept { return domain_; }
 
   [[nodiscard]] LineState line_state(sim::ProcessorId p, sim::BlockAddr offset) const;
   [[nodiscard]] std::vector<sim::Word> memory_block(sim::BlockAddr offset) const;
@@ -109,6 +117,7 @@ class SnoopyBus {
   sim::RunningStat bus_wait_;
   std::unordered_map<ReqId, Outcome> results_;
   sim::CounterSet counters_;
+  sim::DomainId domain_ = sim::kSharedDomain;
   ReqId next_req_ = 1;
 };
 

@@ -78,7 +78,14 @@ void CfmMemory::tick(sim::Cycle now) {
 }
 
 void CfmMemory::attach(sim::Engine& engine) {
-  engine.on(sim::Phase::Memory, [this](sim::Cycle now) { tick(now); });
+  attach(engine, engine.allocate_domain());
+}
+
+void CfmMemory::attach(sim::Engine& engine, sim::DomainId domain) {
+  domain_ = domain;
+  engine.add(std::make_shared<sim::TickComponent<CfmMemory>>(
+      "cfm.memory/" + std::to_string(cfg_.processors) + "p", domain,
+      sim::Phase::Memory, *this));
 }
 
 OpKind CfmMemory::att_kind(const InFlight& op) const noexcept {

@@ -70,8 +70,19 @@ class CfmMemory {
   /// per cycle (sim::Phase::Memory).
   void tick(sim::Cycle now);
 
-  /// Registers tick() with an engine.
+  /// Registers tick() with an engine as a Phase::Memory component in a
+  /// freshly allocated tick domain.  A CFM module is conflict-free by
+  /// construction, so each instance is an independent domain and engines
+  /// with num_threads > 1 tick separate modules concurrently.
   void attach(sim::Engine& engine);
+
+  /// Same, but joins an existing tick domain (e.g. the shared domain for
+  /// a memory driven by cross-domain logic like HierarchicalCfm's global
+  /// level).
+  void attach(sim::Engine& engine, sim::DomainId domain);
+
+  /// Tick domain assigned by the last attach (kSharedDomain before).
+  [[nodiscard]] sim::DomainId domain() const noexcept { return domain_; }
 
   /// Non-destructive result lookup; nullptr while still in flight or if
   /// the token is unknown.
@@ -130,6 +141,7 @@ class CfmMemory {
   std::unordered_map<OpToken, BlockOpResult> results_;
   sim::CounterSet counters_;
   sim::TraceLog log_;
+  sim::DomainId domain_ = sim::kSharedDomain;
   OpToken next_token_ = 1;
 };
 

@@ -70,6 +70,20 @@ class ClusterSystem {
   /// once per cycle *before* ticking the member memories.
   void tick(sim::Cycle now);
 
+  /// Engine registration: the inter-cluster link mover is cross-domain by
+  /// nature, so it ticks in the shared domain during Phase::Network (which
+  /// precedes the member memories' Phase::Memory ticks, preserving the
+  /// manual tick-before-memories ordering); each member CfmMemory gets its
+  /// own tick domain and may tick concurrently under ParallelEngine.
+  /// Drive the system either via attach() + engine stepping or via manual
+  /// tick() calls, never both.
+  void attach(sim::Engine& engine);
+
+  /// Tick domain of cluster c's memory (valid after attach()).
+  [[nodiscard]] sim::DomainId domain_of(sim::ClusterId c) const {
+    return memories_.at(c)->domain();
+  }
+
   /// Completed remote request results (latency = completed - issued).
   [[nodiscard]] const BlockOpResult* result(RequestId id) const;
   std::optional<BlockOpResult> take_result(RequestId id);

@@ -1,5 +1,8 @@
 #include "mem/module.hpp"
 
+#include <memory>
+#include <string>
+
 namespace cfm::mem {
 
 Module::Module(sim::ModuleId id, std::uint32_t banks,
@@ -17,6 +20,24 @@ double Module::utilization(sim::Cycle elapsed) const {
   for (const auto& b : banks_) busy += b.busy_cycles();
   return static_cast<double>(busy) /
          (static_cast<double>(elapsed) * static_cast<double>(banks_.size()));
+}
+
+double Module::busy_fraction(sim::Cycle now) const {
+  if (banks_.empty()) return 0.0;
+  std::size_t busy = 0;
+  for (const auto& b : banks_) busy += b.busy(now) ? 1 : 0;
+  return static_cast<double>(busy) / static_cast<double>(banks_.size());
+}
+
+void Module::attach(sim::Engine& engine, sim::DomainId domain) {
+  auto sampler = std::make_shared<sim::LambdaComponent>(
+      "mem.module#" + std::to_string(id_), domain);
+  auto* shard = &engine.shard(domain);
+  const std::string key = "module" + std::to_string(id_) + ".occupancy";
+  sampler->on(sim::Phase::Commit, [this, shard, key](sim::Cycle now) {
+    shard->stat(key).add(busy_fraction(now));
+  });
+  engine.add(std::move(sampler));
 }
 
 }  // namespace cfm::mem

@@ -11,6 +11,7 @@
 
 #include "mem/bank.hpp"
 #include "mem/backing_store.hpp"
+#include "sim/engine.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::mem {
@@ -31,6 +32,15 @@ class Module {
 
   /// Aggregate utilization across banks (busy cycles / (banks * elapsed)).
   [[nodiscard]] double utilization(sim::Cycle elapsed) const;
+
+  /// Fraction of banks busy at `now`.
+  [[nodiscard]] double busy_fraction(sim::Cycle now) const;
+
+  /// Engine registration: a Phase::Commit component samples
+  /// busy_fraction() into `domain`'s statistics shard (running stat
+  /// "module<id>.occupancy").  A module is a conflict-free unit, so it
+  /// joins the tick domain of whatever owns it.
+  void attach(sim::Engine& engine, sim::DomainId domain);
 
  private:
   sim::ModuleId id_;

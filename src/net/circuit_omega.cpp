@@ -1,5 +1,7 @@
 #include "net/circuit_omega.hpp"
 
+#include <memory>
+
 #include <cassert>
 
 namespace cfm::net {
@@ -155,6 +157,37 @@ std::optional<sim::Cycle> CircuitOmega::try_circuit(sim::Cycle now, Port src,
   for (const auto& step : path) hold_until_[step.stage][step.line_after] = done;
   sink_until_[dst] = done;
   return done;
+}
+
+void BufferedOmega::attach(sim::Engine& engine) {
+  attach(engine, engine.allocate_domain());
+}
+
+void BufferedOmega::attach(sim::Engine& engine, sim::DomainId domain) {
+  domain_ = domain;
+  engine.add(std::make_shared<sim::TickComponent<BufferedOmega>>(
+      "net.buffered_omega", domain, sim::Phase::Network, *this));
+}
+
+double CircuitOmega::held_fraction(sim::Cycle now) const {
+  std::size_t held = 0;
+  std::size_t total = sink_until_.size();
+  for (const auto& stage : hold_until_) {
+    total += stage.size();
+    for (const auto until : stage) held += (until > now) ? 1 : 0;
+  }
+  for (const auto until : sink_until_) held += (until > now) ? 1 : 0;
+  return total == 0 ? 0.0 : static_cast<double>(held) / static_cast<double>(total);
+}
+
+void CircuitOmega::attach(sim::Engine& engine, sim::DomainId domain) {
+  auto sampler = std::make_shared<sim::LambdaComponent>("net.circuit_omega",
+                                                        domain);
+  auto* shard = &engine.shard(domain);
+  sampler->on(sim::Phase::Commit, [this, shard](sim::Cycle now) {
+    shard->stat("circuit.held_fraction").add(held_fraction(now));
+  });
+  engine.add(std::move(sampler));
 }
 
 }  // namespace cfm::net

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/omega.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -59,6 +60,14 @@ class BufferedOmega {
 
   /// Advances the network one cycle: delivery, internal hops, injection.
   void tick(sim::Cycle now);
+
+  /// Engine registration as a Phase::Network component.  A contended
+  /// network is one fabric shared by all its sources, so it is a single
+  /// component; it still gets its own tick domain so *disjoint* networks
+  /// (e.g. per-cluster fabrics) tick concurrently.
+  void attach(sim::Engine& engine);
+  void attach(sim::Engine& engine, sim::DomainId domain);
+  [[nodiscard]] sim::DomainId domain() const noexcept { return domain_; }
 
   /// Packets delivered during the most recent tick.
   [[nodiscard]] const std::vector<Packet>& delivered_last_tick() const noexcept {
@@ -103,6 +112,7 @@ class BufferedOmega {
   std::uint64_t rejected_count_ = 0;
   std::uint64_t combined_count_ = 0;
   std::uint64_t next_id_ = 0;
+  sim::DomainId domain_ = sim::kSharedDomain;
 };
 
 class CircuitOmega {
@@ -120,6 +130,15 @@ class CircuitOmega {
 
   [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
   [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
+
+  /// Fraction of switch outputs (and sinks) held by circuits at `now`.
+  [[nodiscard]] double held_fraction(sim::Cycle now) const;
+
+  /// Engine registration: a Phase::Commit component samples
+  /// held_fraction() each cycle into the domain's statistics shard
+  /// (running stat "circuit.held_fraction") — per-domain, so concurrent
+  /// fabrics never contend on a shared stats object.
+  void attach(sim::Engine& engine, sim::DomainId domain);
 
  private:
   OmegaTopology topo_;

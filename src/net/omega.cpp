@@ -1,5 +1,7 @@
 #include "net/omega.hpp"
 
+#include <memory>
+
 #include <cassert>
 #include <stdexcept>
 
@@ -94,6 +96,14 @@ Port SyncOmega::output_for(sim::Cycle t, Port input) const {
     line = (line & ~Port{1}) | out_port;
   }
   return line;
+}
+
+void SyncOmega::attach(sim::Engine& engine) {
+  auto cursor =
+      std::make_shared<sim::LambdaComponent>("net.omega", sim::kSharedDomain);
+  cursor->on(sim::Phase::Network,
+             [this](sim::Cycle now) { slot_ = now % ports(); });
+  engine.add(std::move(cursor));
 }
 
 }  // namespace cfm::net

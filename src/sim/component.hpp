@@ -1,0 +1,139 @@
+// Component model for the tick scheduler.
+//
+// The CFM design is *fully synchronous*: every switch state, demultiplexer
+// state and bank action is a pure function of the global cycle counter.
+// Each cycle runs four phases in a fixed order:
+//
+//   Phase::Issue    processors decide what to inject this slot
+//   Phase::Network  switches move addresses/data
+//   Phase::Memory   banks perform word accesses, ATTs shift
+//   Phase::Commit   completions retire, statistics update
+//
+// A `Component` is an object that ticks in one or more of those phases and
+// belongs to exactly one **tick domain**.  Domains capture the paper's
+// conflict-freedom argument structurally: the AT-space schedule makes each
+// CfmMemory module (or cluster, or cache partition) independent of every
+// other within a phase, so two components in *different* domains may tick
+// concurrently, while components in the *same* domain tick serially in
+// registration order.  Cross-domain pieces — the global omega network, the
+// hierarchical controller, inter-cluster links — live in the shared domain
+// (`kSharedDomain`), which always runs serially on the driving thread
+// before the parallel domains of each phase.
+//
+// The execution contract, identical for the serial and parallel engines:
+//
+//   for each phase (Issue, Network, Memory, Commit):
+//     1. shared-domain components, in registration order;
+//     2. every other domain, components in registration order within the
+//        domain — concurrently across domains under ParallelEngine,
+//        ascending domain id under the serial engine;
+//     3. barrier.
+//
+// Because domains are independent by construction, (2) commutes and the
+// parallel schedule is bit-exact with the serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cfm::sim {
+
+enum class Phase : std::uint8_t { Issue = 0, Network, Memory, Commit };
+inline constexpr std::size_t kPhaseCount = 4;
+
+/// Identifier of a tick domain.  Domain 0 is the shared (serial) domain;
+/// independent domains are allocated by the engine.
+using DomainId = std::uint32_t;
+inline constexpr DomainId kSharedDomain = 0;
+
+/// Bitmask over phases a component participates in.
+using PhaseMask = std::uint8_t;
+
+[[nodiscard]] constexpr PhaseMask phase_bit(Phase p) noexcept {
+  return static_cast<PhaseMask>(1u << static_cast<std::uint8_t>(p));
+}
+inline constexpr PhaseMask kAllPhases =
+    phase_bit(Phase::Issue) | phase_bit(Phase::Network) |
+    phase_bit(Phase::Memory) | phase_bit(Phase::Commit);
+
+/// A schedulable unit: declares its phases and its tick domain.
+class Component {
+ public:
+  Component(std::string name, DomainId domain, PhaseMask phases)
+      : name_(std::move(name)), domain_(domain), phases_(phases) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] DomainId domain() const noexcept { return domain_; }
+  [[nodiscard]] PhaseMask phases() const noexcept { return phases_; }
+  [[nodiscard]] bool participates_in(Phase p) const noexcept {
+    return (phases_ & phase_bit(p)) != 0;
+  }
+
+  /// Called once per cycle for every phase in `phases()`.  Must touch only
+  /// state owned by this component's domain (plus engine-provided
+  /// domain-sharded statistics); shared-domain components may touch
+  /// anything because they never run concurrently with other work.
+  virtual void tick_phase(Phase phase, Cycle now) = 0;
+
+ protected:
+  void add_phases(PhaseMask m) noexcept { phases_ |= m; }
+
+ private:
+  std::string name_;
+  DomainId domain_;
+  PhaseMask phases_;
+};
+
+/// Adapter for the classic `Engine::on(phase, fn)` registration style and
+/// for any object exposing a single-phase `tick(Cycle)`.
+class LambdaComponent final : public Component {
+ public:
+  using TickFn = std::function<void(Cycle)>;
+
+  LambdaComponent(std::string name, DomainId domain, Phase phase, TickFn fn)
+      : Component(std::move(name), domain, phase_bit(phase)),
+        fns_{{phase, std::move(fn)}} {}
+
+  /// Multi-phase variant: call `on` repeatedly before registration.
+  LambdaComponent(std::string name, DomainId domain)
+      : Component(std::move(name), domain, 0), fns_() {}
+
+  void on(Phase phase, TickFn fn) {
+    add_phases(phase_bit(phase));
+    fns_.emplace_back(phase, std::move(fn));
+  }
+
+  void tick_phase(Phase phase, Cycle now) override {
+    for (auto& [p, fn] : fns_) {
+      if (p == phase) fn(now);
+    }
+  }
+
+ private:
+  std::vector<std::pair<Phase, TickFn>> fns_;
+};
+
+/// Wraps any `T` with a `void tick(Cycle)` method as a single-phase
+/// component.  Non-owning: the target must outlive the engine run.
+template <typename T>
+class TickComponent final : public Component {
+ public:
+  TickComponent(std::string name, DomainId domain, Phase phase, T& target)
+      : Component(std::move(name), domain, phase_bit(phase)), target_(target) {}
+
+  void tick_phase(Phase, Cycle now) override { target_.tick(now); }
+
+ private:
+  T& target_;
+};
+
+}  // namespace cfm::sim

@@ -1,17 +1,82 @@
 #include "sim/engine.hpp"
 
+#include <map>
+
 namespace cfm::sim {
 
-void Engine::on(Phase phase, TickFn fn) {
-  phases_[static_cast<std::size_t>(phase)].push_back(std::move(fn));
+DomainId Engine::allocate_domain() {
+  const DomainId d = next_domain_++;
+  (void)shard(d);  // materialize the shard eagerly: stable ref, no races
+  return d;
 }
 
-void Engine::step() {
-  for (auto& phase : phases_) {
-    for (auto& fn : phase) fn(now_);
+void Engine::add(std::shared_ptr<Component> component) {
+  (void)shard(component->domain());
+  components_.push_back(std::move(component));
+  plans_dirty_ = true;
+}
+
+void Engine::add(Component& component) {
+  // Aliasing shared_ptr: shares no control block, never deletes.
+  add(std::shared_ptr<Component>(std::shared_ptr<void>(), &component));
+}
+
+void Engine::on(Phase phase, TickFn fn) {
+  add(std::make_shared<LambdaComponent>(
+      "lambda#" + std::to_string(next_lambda_++), kSharedDomain, phase,
+      std::move(fn)));
+}
+
+StatShard& Engine::shard(DomainId domain) {
+  while (shards_.size() <= domain) shards_.emplace_back();
+  if (domain >= next_domain_) next_domain_ = domain + 1;
+  return shards_[domain];
+}
+
+StatShard Engine::merged_stats() const {
+  StatShard out;
+  for (const auto& s : shards_) out.merge(s);
+  return out;
+}
+
+void Engine::rebuild_plans_if_dirty() {
+  if (!plans_dirty_) return;
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    auto& plan = plans_[pi];
+    plan.shared.clear();
+    std::map<DomainId, std::vector<Component*>> by_domain;
+    for (const auto& c : components_) {
+      if (!c->participates_in(phase)) continue;
+      if (c->domain() == kSharedDomain) {
+        plan.shared.push_back(c.get());
+      } else {
+        by_domain[c->domain()].push_back(c.get());
+      }
+    }
+    plan.groups.clear();
+    plan.groups.reserve(by_domain.size());
+    for (auto& [domain, group] : by_domain) {
+      plan.groups.push_back(std::move(group));
+    }
+  }
+  plans_dirty_ = false;
+}
+
+void Engine::step_serial() {
+  rebuild_plans_if_dirty();
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    const auto& plan = plans_[pi];
+    for (auto* c : plan.shared) c->tick_phase(phase, now_);
+    for (const auto& group : plan.groups) {
+      for (auto* c : group) c->tick_phase(phase, now_);
+    }
   }
   ++now_;
 }
+
+void Engine::step() { step_serial(); }
 
 void Engine::run_for(Cycle cycles) {
   for (Cycle i = 0; i < cycles; ++i) step();

@@ -1,42 +1,85 @@
-// Clock-stepped simulation engine.
+// Clock-stepped simulation engine over the Component/tick-domain model.
 //
 // The CFM design is *fully synchronous* — every switch state, demultiplexer
 // state and bank action is a pure function of the global cycle counter — so
 // the natural simulation style is a lock-step tick loop rather than a
-// discrete-event queue.  Components register tick callbacks in phases:
+// discrete-event queue.  Components register in phases (see component.hpp
+// for the phase order and the domain execution contract); within a phase,
+// shared-domain components run first in registration order, then every
+// independent domain runs its components in registration order.  This gives
+// deterministic intra-cycle sequencing that mirrors the hardware pipeline
+// (address out -> switch -> bank -> data back) and, because independent
+// domains never share state, the same sequencing is valid when domains are
+// evaluated concurrently (see parallel_engine.hpp).
 //
-//   Phase::Issue    processors decide what to inject this slot
-//   Phase::Network  switches move addresses/data
-//   Phase::Memory   banks perform word accesses, ATTs shift
-//   Phase::Commit   completions retire, statistics update
-//
-// Within a phase, callbacks run in registration order; across phases the
-// order above is fixed.  This gives deterministic intra-cycle sequencing
-// that mirrors the hardware pipeline (address out -> switch -> bank -> data
-// back) without per-component wiring boilerplate.
+// `Engine` is the serial scheduler.  `ParallelEngine` (same public
+// step/run_for/run_until API) dispatches domains over a worker pool;
+// `Engine::make(EngineConfig{num_threads})` selects between them.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/component.hpp"
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::sim {
 
-enum class Phase : std::uint8_t { Issue = 0, Network, Memory, Commit };
-inline constexpr std::size_t kPhaseCount = 4;
+struct EngineConfig {
+  /// 1 = serial execution (bit-exact reference path); > 1 enables the
+  /// persistent worker pool of ParallelEngine.
+  unsigned num_threads = 1;
+};
 
 class Engine {
  public:
   using TickFn = std::function<void(Cycle)>;
 
-  /// Registers `fn` to run every cycle during `phase`.
+  Engine() = default;
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Creates a serial Engine (num_threads <= 1) or a ParallelEngine.
+  [[nodiscard]] static std::unique_ptr<Engine> make(const EngineConfig& cfg);
+
+  // ---- registration -------------------------------------------------
+
+  /// Allocates a fresh independent tick domain (never kSharedDomain).
+  [[nodiscard]] DomainId allocate_domain();
+
+  /// Registers a component (shared ownership).
+  void add(std::shared_ptr<Component> component);
+
+  /// Registers a component without taking ownership; `component` must
+  /// outlive the engine.
+  void add(Component& component);
+
+  /// Legacy registration: runs `fn` every cycle during `phase`, in the
+  /// shared domain (serial, registration order).
   void on(Phase phase, TickFn fn);
 
+  // ---- per-domain statistics ----------------------------------------
+
+  /// The statistics shard of `domain`; components must only write the
+  /// shard of their own domain during ticks.
+  [[nodiscard]] StatShard& shard(DomainId domain);
+
+  /// All shards merged in ascending domain order (deterministic for
+  /// RunningStat rounding).  Evaluated after the commit barrier — never
+  /// call while a step is in flight.
+  [[nodiscard]] StatShard merged_stats() const;
+
+  // ---- execution ----------------------------------------------------
+
   /// Advances the simulation by exactly one cycle.
-  void step();
+  virtual void step();
 
   /// Runs `cycles` more cycles.
   void run_for(Cycle cycles);
@@ -46,10 +89,31 @@ class Engine {
   bool run_until(const std::function<bool()>& done, Cycle max_cycles);
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+  /// Count of allocated domains, including the shared domain.
+  [[nodiscard]] DomainId domain_count() const noexcept { return next_domain_; }
 
- private:
+ protected:
+  /// Execution plan for one phase, derived from the registry.
+  struct PhasePlan {
+    std::vector<Component*> shared;               ///< registration order
+    std::vector<std::vector<Component*>> groups;  ///< ascending domain id
+  };
+
+  void rebuild_plans_if_dirty();
+  /// The canonical serial schedule; ParallelEngine falls back to this for
+  /// num_threads == 1.
+  void step_serial();
+
   Cycle now_ = 0;
-  std::vector<TickFn> phases_[kPhaseCount];
+  std::vector<std::shared_ptr<Component>> components_;
+  std::deque<StatShard> shards_;  ///< deque: stable references on growth
+  DomainId next_domain_ = 1;      ///< 0 is kSharedDomain
+  std::array<PhasePlan, kPhaseCount> plans_;
+  bool plans_dirty_ = true;
+  std::uint64_t next_lambda_ = 0;
 };
 
 }  // namespace cfm::sim

@@ -1,0 +1,146 @@
+#include "sim/parallel_engine.hpp"
+
+namespace cfm::sim {
+namespace {
+
+// Spin budget before falling back to a condvar sleep.  Hot simulation
+// loops re-dispatch within nanoseconds, so sleeps are rare; the budget
+// keeps idle pools from burning a core between runs.
+constexpr int kSpinBudget = 1 << 14;
+
+}  // namespace
+
+WorkerPool::WorkerPool(unsigned workers) {
+  // Spinning only helps when every pool thread owns a core; an
+  // oversubscribed pool must sleep immediately or it burns the timeslice
+  // the thread holding the work needs.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_budget_ = (hw != 0 && workers + 1 > hw) ? 1 : kSpinBudget;
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(mx_);
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::wake_sleepers() {
+  // seq_cst pairing with the sleeper's registration (Dekker pattern): the
+  // sleeper increments sleepers_ and then re-checks the condition; the
+  // signaller updates the condition and then reads sleepers_.  At least
+  // one side observes the other, so no wakeup is lost.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(mx_);
+    cv_.notify_all();
+  }
+}
+
+void WorkerPool::drain() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs_) return;
+    job_(ctx_, i);
+    // Release so the barrier's acquire load sees the job's writes;
+    // seq_cst so the sleepers_ check cannot pass a parked barrier.
+    if (done_.fetch_add(1, std::memory_order_seq_cst) + 1 == jobs_) {
+      wake_sleepers();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (e == seen && ++spins < spin_budget_) {
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    if (e == seen) {
+      std::unique_lock<std::mutex> lk(mx_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      cv_.wait(lk, [&] {
+        e = epoch_.load(std::memory_order_seq_cst);
+        return e != seen || stop_.load(std::memory_order_seq_cst);
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = e;
+    drain();
+  }
+}
+
+void WorkerPool::run_raw(std::size_t jobs, JobFn fn, void* ctx) {
+  if (jobs == 0) return;
+  job_ = fn;
+  ctx_ = ctx;
+  jobs_ = jobs;
+  next_.store(0, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  wake_sleepers();
+  drain();
+  // Barrier: the acquire pairs with each job's done_ increment, so every
+  // domain's writes are visible once the count reaches `jobs`.
+  std::size_t d = done_.load(std::memory_order_acquire);
+  int spins = 0;
+  while (d != jobs) {
+    if (++spins >= spin_budget_) {
+      std::unique_lock<std::mutex> lk(mx_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      cv_.wait(lk, [&] {
+        return done_.load(std::memory_order_seq_cst) == jobs;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      spins = 0;
+    }
+    d = done_.load(std::memory_order_acquire);
+  }
+}
+
+ParallelEngine::ParallelEngine(EngineConfig cfg) {
+  if (cfg.num_threads > 1) {
+    pool_ = std::make_unique<WorkerPool>(cfg.num_threads - 1);
+  }
+}
+
+void ParallelEngine::step() {
+  if (!pool_) {
+    step_serial();
+    return;
+  }
+  rebuild_plans_if_dirty();
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    const auto& plan = plans_[pi];
+    for (auto* c : plan.shared) c->tick_phase(phase, now_);
+    const auto& groups = plan.groups;
+    if (groups.size() <= 1) {
+      for (const auto& group : groups) {
+        for (auto* c : group) c->tick_phase(phase, now_);
+      }
+    } else {
+      const Cycle now = now_;
+      pool_->run(groups.size(), [&groups, phase, now](std::size_t i) {
+        for (auto* c : groups[i]) c->tick_phase(phase, now);
+      });
+    }
+  }
+  ++now_;
+}
+
+std::unique_ptr<Engine> Engine::make(const EngineConfig& cfg) {
+  if (cfg.num_threads <= 1) return std::make_unique<Engine>();
+  return std::make_unique<ParallelEngine>(cfg);
+}
+
+}  // namespace cfm::sim

@@ -57,9 +57,13 @@ void Histogram::add(double x) noexcept {
 }
 
 double Histogram::quantile(double q) const noexcept {
-  if (total_ == 0) return 0.0;
-  const auto target =
-      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  if (total_ == 0 || q <= 0.0) return 0.0;
+  // "At least q of the samples" needs a strictly positive sample count:
+  // rounding q * total down to zero would let leading empty buckets (seen
+  // == 0) satisfy the target.
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(std::min(q, 1.0) * static_cast<double>(total_)));
+  if (target == 0) target = 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
@@ -71,6 +75,15 @@ double Histogram::quantile(double q) const noexcept {
 std::uint64_t CounterSet::get(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+void StatShard::merge(const StatShard& other) {
+  counters.merge(other.counters);
+  for (const auto& [name, stat] : other.running) running[name].merge(stat);
 }
 
 }  // namespace cfm::sim

@@ -65,10 +65,32 @@ class CounterSet {
   [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
     return counters_;
   }
+  /// Adds every counter of `other` into this set (counters are additive,
+  /// so merging is order-independent).
+  void merge(const CounterSet& other);
   void reset() noexcept { counters_.clear(); }
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+};
+
+/// One tick domain's statistics shard: a CounterSet plus named running
+/// stats.  Each domain writes only its own shard during the cycle — the
+/// hot path has no shared mutable state — and the engine merges shards
+/// (ascending domain id, so RunningStat::merge rounding is deterministic)
+/// at the commit barrier.
+struct StatShard {
+  CounterSet counters;
+  std::map<std::string, RunningStat> running;
+
+  [[nodiscard]] RunningStat& stat(const std::string& name) {
+    return running[name];
+  }
+  void merge(const StatShard& other);
+  void reset() noexcept {
+    counters.reset();
+    running.clear();
+  }
 };
 
 }  // namespace cfm::sim

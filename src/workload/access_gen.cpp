@@ -133,50 +133,67 @@ EfficiencyResult measure_partial_cfm(std::uint32_t processors,
       });
 }
 
+AccessDriver::AccessDriver(std::string name, sim::DomainId domain,
+                           core::CfmMemory& memory, double rate,
+                           std::uint64_t seed, sim::StatShard& shard)
+    : sim::Component(std::move(name), domain, sim::phase_bit(sim::Phase::Issue)),
+      mem_(memory),
+      rate_(rate),
+      rng_(seed),
+      procs_(memory.config().processors),
+      shard_(shard) {}
+
+void AccessDriver::tick_phase(sim::Phase, sim::Cycle now) {
+  auto& access_time = shard_.stat("access_time");
+  for (std::uint32_t p = 0; p < procs_.size(); ++p) {
+    auto& st = procs_[p];
+    if (st.op != core::CfmMemory::kNoOp) {
+      if (auto result = mem_.take_result(st.op)) {
+        assert(result->status == core::OpStatus::Completed);
+        access_time.add(static_cast<double>(result->completed - st.issued));
+        ++completed_;
+        shard_.counters.inc("ops_completed");
+        st.op = core::CfmMemory::kNoOp;
+      }
+    }
+    if (st.op == core::CfmMemory::kNoOp && rng_.chance(rate_)) {
+      // Distinct blocks per processor: the efficiency experiment is
+      // about *bank* conflicts, not same-address races.
+      st.op = mem_.issue(now, p, core::BlockOpKind::Read,
+                         1000 + p * 7919 + (now % 97));
+      st.issued = now;
+    }
+  }
+}
+
 EfficiencyResult measure_cfm(std::uint32_t processors, std::uint32_t bank_cycle,
                              double rate, sim::Cycle cycles,
                              std::uint64_t seed) {
+  // Runs on the component scheduler: the memory ticks in its own domain
+  // (Phase::Memory) and the driver issues in the same domain
+  // (Phase::Issue), reproducing the classic issue-then-tick cycle order.
+  sim::Engine engine;
   core::CfmMemory memory(core::CfmConfig::make(processors, bank_cycle));
-  sim::Rng rng(seed);
   const auto beta = memory.config().block_access_time();
+  const auto domain = engine.allocate_domain();
+  memory.attach(engine, domain);
+  AccessDriver driver("workload.cfm_driver", domain, memory, rate, seed,
+                      engine.shard(domain));
+  engine.add(driver);
+  engine.run_for(cycles);
 
-  struct ProcState {
-    core::CfmMemory::OpToken op = core::CfmMemory::kNoOp;
-    sim::Cycle issued = 0;
-  };
-  std::vector<ProcState> procs(processors);
-  sim::RunningStat access_time;
-  std::uint64_t completed = 0;
-
-  for (sim::Cycle now = 0; now < cycles; ++now) {
-    for (std::uint32_t p = 0; p < processors; ++p) {
-      auto& st = procs[p];
-      if (st.op != core::CfmMemory::kNoOp) {
-        if (auto result = memory.take_result(st.op)) {
-          assert(result->status == core::OpStatus::Completed);
-          access_time.add(static_cast<double>(result->completed - st.issued));
-          ++completed;
-          st.op = core::CfmMemory::kNoOp;
-        }
-      }
-      if (st.op == core::CfmMemory::kNoOp && rng.chance(rate)) {
-        // Distinct blocks per processor: the efficiency experiment is
-        // about *bank* conflicts, not same-address races.
-        st.op = memory.issue(now, p, core::BlockOpKind::Read,
-                             1000 + p * 7919 + (now % 97));
-        st.issued = now;
-      }
-    }
-    memory.tick(now);
-  }
+  const auto& shard = engine.shard(domain);
+  const auto it = shard.running.find("access_time");
+  const auto completed = driver.completed();
+  const double mean_time =
+      it == shard.running.end() ? 0.0 : it->second.mean();
 
   EfficiencyResult out;
   out.completed = completed;
   out.conflicts = 0;
-  out.mean_access_time = access_time.mean();
-  out.efficiency = completed == 0 ? 1.0
-                                  : static_cast<double>(beta) /
-                                        access_time.mean();
+  out.mean_access_time = mean_time;
+  out.efficiency =
+      completed == 0 ? 1.0 : static_cast<double>(beta) / mean_time;
   return out;
 }
 

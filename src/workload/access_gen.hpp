@@ -10,11 +10,47 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "cfm/cfm_memory.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::workload {
+
+/// Closed-loop random-read driver for one CfmMemory, as a scheduler
+/// component: every Phase::Issue it harvests completed block operations
+/// and issues a fresh read per idle processor with probability `rate`.
+/// The driver lives in the *same tick domain* as its memory, so a
+/// ParallelEngine runs many (driver, module) pairs concurrently with no
+/// shared mutable state: completions and access times are recorded in the
+/// domain's statistics shard ("ops_completed" counter, "access_time"
+/// running stat) and merged at the commit barrier.
+class AccessDriver final : public sim::Component {
+ public:
+  AccessDriver(std::string name, sim::DomainId domain, core::CfmMemory& memory,
+               double rate, std::uint64_t seed, sim::StatShard& shard);
+
+  void tick_phase(sim::Phase phase, sim::Cycle now) override;
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  struct ProcState {
+    core::CfmMemory::OpToken op = core::CfmMemory::kNoOp;
+    sim::Cycle issued = 0;
+  };
+
+  core::CfmMemory& mem_;
+  double rate_;
+  sim::Rng rng_;
+  std::vector<ProcState> procs_;
+  sim::StatShard& shard_;
+  std::uint64_t completed_ = 0;
+};
 
 struct EfficiencyResult {
   double efficiency = 1.0;        ///< beta / mean access time

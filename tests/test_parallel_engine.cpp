@@ -1,0 +1,307 @@
+// Tests for the parallel tick scheduler: WorkerPool semantics, the phase
+// barrier contract, and the headline determinism guarantee — a
+// ParallelEngine run is bit-exact with the serial Engine because tick
+// domains share no mutable state (see component.hpp / DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cache/hierarchical.hpp"
+#include "cfm/cfm_memory.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/rng.hpp"
+#include "workload/access_gen.hpp"
+
+namespace {
+
+using namespace cfm;
+using sim::Cycle;
+using sim::DomainId;
+using sim::Engine;
+using sim::EngineConfig;
+using sim::ParallelEngine;
+using sim::Phase;
+using sim::StatShard;
+using sim::WorkerPool;
+
+// ---------------------------------------------------------------- pool --
+
+TEST(WorkerPool, RunsEveryJobExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  constexpr std::size_t kJobs = 1000;
+  std::vector<std::atomic<std::uint32_t>> hits(kJobs);
+  pool.run(kJobs, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1u);
+}
+
+TEST(WorkerPool, IsReusableAcrossManyDispatches) {
+  WorkerPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  constexpr std::size_t kJobs = 64;
+  constexpr int kRounds = 200;
+  for (int r = 0; r < kRounds; ++r) {
+    pool.run(kJobs, [&total](std::size_t i) {
+      total.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), kRounds * (kJobs * (kJobs + 1) / 2));
+}
+
+TEST(WorkerPool, HandlesZeroAndOneJob) {
+  WorkerPool pool(4);
+  std::atomic<int> n{0};
+  pool.run(0, [&n](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 0);
+  pool.run(1, [&n](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 1);
+}
+
+// -------------------------------------------------------------- engine --
+
+TEST(ParallelEngine, MakeSelectsEngineByThreadCount) {
+  auto serial = Engine::make(EngineConfig{1});
+  auto parallel = Engine::make(EngineConfig{4});
+  EXPECT_EQ(dynamic_cast<ParallelEngine*>(serial.get()), nullptr);
+  auto* pe = dynamic_cast<ParallelEngine*>(parallel.get());
+  ASSERT_NE(pe, nullptr);
+  EXPECT_EQ(pe->num_threads(), 4u);
+}
+
+TEST(ParallelEngine, SingleThreadConfigStaysSerial) {
+  ParallelEngine engine(EngineConfig{1});
+  EXPECT_EQ(engine.num_threads(), 1u);
+  int ticks = 0;
+  engine.on(Phase::Memory, [&ticks](Cycle) { ++ticks; });
+  engine.run_for(5);
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(engine.now(), 5u);
+}
+
+// Every phase ends with a barrier: work done by the independent domains
+// of phase k must be visible to the shared-domain components of phase
+// k+1, every cycle, whatever the thread interleaving.
+TEST(ParallelEngine, PhaseBarrierMakesDomainWritesVisible) {
+  constexpr std::size_t kDomains = 32;
+  ParallelEngine engine(EngineConfig{8});
+  std::vector<std::uint64_t> slots(kDomains, 0);
+  for (std::size_t i = 0; i < kDomains; ++i) {
+    const auto d = engine.allocate_domain();
+    engine.add(std::make_shared<sim::LambdaComponent>(
+        "writer#" + std::to_string(i), d, Phase::Issue,
+        [&slots, i](Cycle now) { slots[i] = now + 1; }));
+  }
+  std::uint64_t mismatches = 0;
+  engine.on(Phase::Network, [&slots, &mismatches](Cycle now) {
+    for (auto v : slots) {
+      if (v != now + 1) ++mismatches;
+    }
+  });
+  engine.run_for(500);
+  EXPECT_EQ(mismatches, 0u);
+}
+
+// -------------------------------------------- serial/parallel bit-exact --
+
+void expect_same_stats(const StatShard& a, const StatShard& b) {
+  EXPECT_EQ(a.counters.all(), b.counters.all());
+  ASSERT_EQ(a.running.size(), b.running.size());
+  auto ib = b.running.begin();
+  for (const auto& [name, stat] : a.running) {
+    EXPECT_EQ(name, ib->first);
+    EXPECT_EQ(stat.count(), ib->second.count()) << name;
+    EXPECT_EQ(stat.mean(), ib->second.mean()) << name;
+    EXPECT_EQ(stat.min(), ib->second.min()) << name;
+    EXPECT_EQ(stat.max(), ib->second.max()) << name;
+    EXPECT_EQ(stat.variance(), ib->second.variance()) << name;
+    ++ib;
+  }
+}
+
+// A multi-module machine: independent CfmMemory instances, each with its
+// own closed-loop driver in its own tick domain.
+struct ModuleFarm {
+  std::vector<std::unique_ptr<core::CfmMemory>> mems;
+  std::vector<std::unique_ptr<workload::AccessDriver>> drivers;
+
+  void build(Engine& engine, std::uint32_t modules, std::uint32_t procs) {
+    for (std::uint32_t m = 0; m < modules; ++m) {
+      mems.push_back(std::make_unique<core::CfmMemory>(
+          core::CfmConfig::make(procs, 2)));
+      const auto domain = engine.allocate_domain();
+      mems.back()->attach(engine, domain);
+      drivers.push_back(std::make_unique<workload::AccessDriver>(
+          "driver#" + std::to_string(m), domain, *mems.back(), 0.7,
+          /*seed=*/0xfeedULL + m, engine.shard(domain)));
+      engine.add(*drivers.back());
+    }
+  }
+};
+
+TEST(ParallelEngine, MultiModuleFarmMatchesSerialBitExact) {
+  constexpr std::uint32_t kModules = 8;
+  constexpr std::uint32_t kProcs = 8;
+  constexpr Cycle kCycles = 1500;
+
+  Engine serial;
+  ModuleFarm a;
+  a.build(serial, kModules, kProcs);
+  serial.run_for(kCycles);
+
+  ParallelEngine parallel(EngineConfig{4});
+  ModuleFarm b;
+  b.build(parallel, kModules, kProcs);
+  parallel.run_for(kCycles);
+
+  expect_same_stats(serial.merged_stats(), parallel.merged_stats());
+  for (std::uint32_t m = 0; m < kModules; ++m) {
+    EXPECT_EQ(a.drivers[m]->completed(), b.drivers[m]->completed());
+    EXPECT_GT(a.drivers[m]->completed(), 0u);
+    EXPECT_EQ(a.mems[m]->counters().all(), b.mems[m]->counters().all());
+    for (std::uint32_t p = 0; p < kProcs; ++p) {
+      const sim::BlockAddr addr = 1000 + p * 7919;
+      EXPECT_EQ(a.mems[m]->peek_block(addr), b.mems[m]->peek_block(addr));
+    }
+  }
+}
+
+// ----------------------------------------- hierarchical acceptance test --
+
+// Shared-domain request generator for a HierarchicalCfm: issues reads and
+// writes from 64 processors over a small shared block set (so lines
+// migrate between clusters and the dirty-remote chains exercise the
+// cross-domain controller) and records every outcome in processor order.
+class HierDriver final : public sim::Component {
+ public:
+  struct Record {
+    sim::ProcessorId proc;
+    cache::HierarchicalCfm::AccessClass cls;
+    bool is_write;
+    Cycle issued;
+    Cycle completed;
+    std::uint32_t invalidations;
+    bool operator==(const Record&) const = default;
+  };
+
+  HierDriver(cache::HierarchicalCfm& sys, std::uint64_t seed)
+      : Component("test.hier_driver", sim::kSharedDomain,
+                  sim::phase_bit(Phase::Issue)),
+        sys_(sys),
+        rng_(seed),
+        pending_(sys.processor_count(), 0) {}
+
+  void tick_phase(Phase, Cycle now) override {
+    const auto n = static_cast<sim::ProcessorId>(pending_.size());
+    for (sim::ProcessorId p = 0; p < n; ++p) {
+      if (pending_[p] != 0) {
+        if (auto r = sys_.take_result(pending_[p])) {
+          outcomes.push_back({p, r->cls, r->is_write, r->issued, r->completed,
+                              r->invalidations});
+          pending_[p] = 0;
+        }
+      }
+      if (pending_[p] == 0 && sys_.processor_idle(p) && rng_.chance(0.3)) {
+        const auto offset = static_cast<sim::BlockAddr>(rng_.below(24));
+        if (rng_.chance(0.25)) {
+          pending_[p] = sys_.write(now, p, offset, /*word_index=*/0,
+                                   static_cast<sim::Word>(now & 0xff));
+        } else {
+          pending_[p] = sys_.read(now, p, offset);
+        }
+      }
+    }
+  }
+
+  std::vector<Record> outcomes;
+
+ private:
+  cache::HierarchicalCfm& sys_;
+  sim::Rng rng_;
+  std::vector<cache::HierarchicalCfm::ReqId> pending_;
+};
+
+struct HierRig {
+  cache::HierarchicalCfm sys;
+  HierDriver driver;
+  std::vector<std::vector<std::string>> traces;  // one per cluster
+
+  explicit HierRig(Engine& engine)
+      : sys({.clusters = 8, .procs_per_cluster = 8}), driver(sys, 0xc0ffee) {
+    sys.attach(engine);
+    engine.add(driver);
+    traces.resize(8);
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      auto* sink = &traces[c];
+      sys.cluster_memory(c).set_trace(
+          [sink](const std::string& line) { sink->push_back(line); });
+    }
+  }
+};
+
+// ISSUE acceptance: ParallelEngine with 4 threads produces identical
+// counters, op results, and per-domain trace event sequences to the
+// serial engine on a 64-processor hierarchical workload.
+TEST(ParallelEngine, HierarchicalWorkloadIsDeterministic) {
+  constexpr Cycle kCycles = 4000;
+
+  Engine serial;
+  HierRig a(serial);
+  serial.run_for(kCycles);
+
+  ParallelEngine parallel(EngineConfig{4});
+  HierRig b(parallel);
+  parallel.run_for(kCycles);
+
+  // Each cluster memory became its own tick domain, plus shared.
+  EXPECT_EQ(parallel.domain_count(), 9u);
+
+  // Op results, in the deterministic harvest order.
+  ASSERT_GT(a.driver.outcomes.size(), 100u);
+  EXPECT_EQ(a.driver.outcomes, b.driver.outcomes);
+
+  // Protocol and per-memory counters.
+  EXPECT_EQ(a.sys.counters().all(), b.sys.counters().all());
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(a.sys.cluster_memory(c).counters().all(),
+              b.sys.cluster_memory(c).counters().all());
+  }
+  EXPECT_EQ(a.sys.global_memory().counters().all(),
+            b.sys.global_memory().counters().all());
+
+  // Per-domain trace event sequences (bank accesses, restarts,
+  // completions inside each cluster's tick domain).
+  bool any_trace = false;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(a.traces[c], b.traces[c]) << "cluster " << c;
+    any_trace = any_trace || !a.traces[c].empty();
+  }
+  EXPECT_TRUE(any_trace);
+
+  // Both machines end in a coherent state.
+  EXPECT_TRUE(a.sys.check_state_coupling());
+  EXPECT_TRUE(b.sys.check_state_coupling());
+}
+
+// Thread count must not matter either: 2 and 8 threads agree with 4.
+TEST(ParallelEngine, ThreadCountDoesNotChangeResults) {
+  constexpr Cycle kCycles = 600;
+  std::vector<std::vector<HierDriver::Record>> runs;
+  for (unsigned threads : {2u, 4u, 8u}) {
+    auto engine = Engine::make(EngineConfig{threads});
+    HierRig rig(*engine);
+    engine->run_for(kCycles);
+    runs.push_back(rig.driver.outcomes);
+  }
+  ASSERT_GT(runs[0].size(), 10u);
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+}  // namespace

@@ -140,6 +140,104 @@ TEST(Histogram, Quantile) {
   EXPECT_NEAR(h.quantile(0.9), 9.0, 1.0);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty(1.0, 4);
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+  // q = 0 is never "satisfied" by an empty prefix; q > 1 clamps.
+  Histogram h(1.0, 4);
+  h.add(2.5);  // lands in bucket [2, 3)
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.01), 3.0);  // leading empty buckets must not count
+  EXPECT_EQ(h.quantile(1.0), 3.0);
+  EXPECT_EQ(h.quantile(2.0), 3.0);
+
+  // All samples in overflow: the quantile saturates at the top edge.
+  Histogram over(1.0, 2);
+  over.add(50.0);
+  EXPECT_EQ(over.quantile(0.5), 2.0);
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat empty1;
+  RunningStat empty2;
+  empty1.merge(empty2);
+  EXPECT_EQ(empty1.count(), 0u);
+  EXPECT_EQ(empty1.mean(), 0.0);
+  EXPECT_EQ(empty1.variance(), 0.0);
+
+  RunningStat data;
+  for (const double x : {1.0, 2.0, 3.0}) data.add(x);
+  const auto count = data.count();
+  const auto mean = data.mean();
+  const auto var = data.variance();
+
+  // empty ⊕ nonempty adopts the nonempty side exactly.
+  RunningStat lhs;
+  lhs.merge(data);
+  EXPECT_EQ(lhs.count(), count);
+  EXPECT_DOUBLE_EQ(lhs.mean(), mean);
+  EXPECT_DOUBLE_EQ(lhs.variance(), var);
+  EXPECT_DOUBLE_EQ(lhs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lhs.max(), 3.0);
+
+  // nonempty ⊕ empty is a no-op.
+  data.merge(empty2);
+  EXPECT_EQ(data.count(), count);
+  EXPECT_DOUBLE_EQ(data.mean(), mean);
+  EXPECT_DOUBLE_EQ(data.variance(), var);
+}
+
+TEST(RunningStat, MergedHalvesMatchWholeStream) {
+  RunningStat lo;
+  RunningStat hi;
+  RunningStat whole;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100 - 50;
+    (i < 250 ? lo : hi).add(x);
+    whole.add(x);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), whole.count());
+  EXPECT_NEAR(lo.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(lo.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(lo.min(), whole.min());
+  EXPECT_DOUBLE_EQ(lo.max(), whole.max());
+  EXPECT_NEAR(lo.sum(), whole.sum(), 1e-9);
+}
+
+TEST(CounterSet, MergeIsAdditive) {
+  CounterSet a;
+  CounterSet b;
+  a.inc("x", 3);
+  a.inc("y");
+  b.inc("x", 2);
+  b.inc("z", 5);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 1u);
+  EXPECT_EQ(a.get("z"), 5u);
+  EXPECT_EQ(b.get("x"), 2u);  // source untouched
+}
+
+TEST(StatShard, MergeCombinesCountersAndRunningStats) {
+  StatShard a;
+  StatShard b;
+  a.counters.inc("ops", 10);
+  a.stat("lat").add(4.0);
+  b.counters.inc("ops", 5);
+  b.stat("lat").add(8.0);
+  b.stat("depth").add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.counters.get("ops"), 15u);
+  EXPECT_EQ(a.stat("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.stat("lat").mean(), 6.0);
+  EXPECT_EQ(a.stat("depth").count(), 1u);
+}
+
 TEST(CounterSet, IncrementAndQuery) {
   CounterSet c;
   EXPECT_EQ(c.get("x"), 0u);
