@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cfm/cfm_memory.hpp"
+#include "report_main.hpp"
 #include "sim/rng.hpp"
 
 using namespace cfm;
@@ -89,7 +90,11 @@ ChaosResult run_chaos(ConsistencyPolicy policy, std::uint32_t processors,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  cfm::sim::Report report("ablation_att");
+  report.set_param("cycles", 20000);
+
   std::printf("Ablation — address tracking on vs off "
               "(same-block read/write chaos, 20k cycles)\n\n");
   std::printf("%-12s %-14s %-10s %-12s %-18s %-14s %-12s\n", "processors",
@@ -110,10 +115,20 @@ int main() {
                   static_cast<unsigned long long>(r.torn_reads), writes,
                   static_cast<unsigned long long>(r.restarts),
                   r.final_torn ? "TORN" : "consistent");
+      auto row = cfm::sim::Json::object();
+      row["processors"] = n;
+      row["tracking"] = tracking;
+      row["reads"] = r.reads;
+      row["torn_reads"] = r.torn_reads;
+      row["writes_completed"] = r.writes_completed;
+      row["writes_aborted"] = r.writes_aborted;
+      row["read_restarts"] = r.restarts;
+      row["final_torn"] = r.final_torn;
+      report.add_row("chaos", std::move(row));
     }
   }
   std::printf("\nThe ATT costs aborted writers and read restarts; what it\n"
               "buys is zero torn blocks — \"exactly one of the competing\n"
               "write operations completes\" (§4.1.2).\n");
-  return 0;
+  return bench::finish(opts, report);
 }

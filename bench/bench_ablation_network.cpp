@@ -8,11 +8,16 @@
 #include "net/circuit_omega.hpp"
 #include "net/message.hpp"
 #include "net/omega.hpp"
+#include "report_main.hpp"
 #include "sim/rng.hpp"
 
 using namespace cfm::net;
+using cfm::sim::Json;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = cfm::bench::parse_options(argc, argv);
+  cfm::sim::Report report("ablation_network");
+
   std::printf("Ablation — synchronous vs circuit-switched interconnect\n\n");
 
   std::printf("header bits per memory request (20-bit offsets):\n");
@@ -32,6 +37,13 @@ int main() {
     const auto h = header_layout(row.kind, row.modules, row.banks, 20);
     std::printf("%-28s %-12u %-12u %-12u %-8u\n", row.name, h.module_bits,
                 h.offset_bits, h.bank_bits, h.total_bits());
+    auto j = Json::object();
+    j["machine"] = row.name;
+    j["module_bits"] = h.module_bits;
+    j["offset_bits"] = h.offset_bits;
+    j["bank_bits"] = h.bank_bits;
+    j["total_bits"] = h.total_bits();
+    report.add_row("header_bits", std::move(j));
   }
 
   std::printf("\nper-request switch setup delay (6 stages, 2 cycles each):\n");
@@ -39,6 +51,10 @@ int main() {
               "(\"neither setup time nor propagation delay\", §3.2.1)\n",
               setup_delay_cycles(NetworkKind::CircuitSwitched, 6, 2),
               setup_delay_cycles(NetworkKind::FullySynchronous, 6, 2));
+  report.add_scalar("circuit_setup_cycles",
+                    setup_delay_cycles(NetworkKind::CircuitSwitched, 6, 2));
+  report.add_scalar("clock_driven_setup_cycles",
+                    setup_delay_cycles(NetworkKind::FullySynchronous, 6, 2));
 
   std::printf("\nuniform-shift traffic (the CFM access pattern), 64 ports, "
               "4000 slots:\n");
@@ -73,6 +89,12 @@ int main() {
                 static_cast<unsigned long long>(circuit.conflicts()),
                 100.0 * static_cast<double>(circuit.conflicts()) /
                     static_cast<double>(circuit.attempts()));
+    auto s = Json::object();
+    s["clock_driven_clean"] = clean;
+    s["circuit_served"] = served;
+    s["circuit_conflicts"] = circuit.conflicts();
+    s["circuit_attempts"] = circuit.attempts();
+    report.add_section("uniform_shift_traffic", std::move(s));
   }
 
   std::printf("\nrandom permutations through one omega pass "
@@ -96,6 +118,8 @@ int main() {
                 "  uniform shifts pass (Lawrie) — which is the only traffic\n"
                 "  the CFM schedule ever offers.\n",
                 passed, trials);
+    report.add_scalar("random_permutations_passed", passed);
+    report.add_scalar("random_permutation_trials", trials);
   }
-  return 0;
+  return cfm::bench::finish(opts, report);
 }

@@ -6,13 +6,18 @@
 
 #include "cfm/cfm_memory.hpp"
 #include "mem/phase_aligned.hpp"
+#include "report_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfm;
+  const auto opts = bench::parse_options(argc, argv);
   const std::uint32_t b = 8;
   core::CfmMemory cfm_mem(core::CfmConfig::make(b, 1));
   const auto beta = cfm_mem.config().block_access_time();
   mem::PhaseAlignedMemory monarch(b, 0, beta);
+  sim::Report report("ablation_stall");
+  report.set_param("banks", b);
+  report.set_param("beta", beta);
 
   std::printf("Non-stall start (§3.1.1) vs phase-aligned access "
               "(Monarch/OMP style), b = %u\n\n",
@@ -36,12 +41,21 @@ int main() {
                 static_cast<unsigned long long>(stall + beta));
     cfm_sum += static_cast<double>(cfm_lat);
     monarch_sum += static_cast<double>(stall + beta);
+    auto row = sim::Json::object();
+    row["arrival_phase"] = phase;
+    row["cfm_latency"] = cfm_lat;
+    row["stall"] = stall;
+    row["phase_aligned_latency"] = stall + beta;
+    report.add_row("phase_sweep", std::move(row));
   }
   std::printf("\nmean over phases: CFM %.2f cycles, phase-aligned %.2f "
               "(expected stall (b-1)/2 = %.1f)\n",
               cfm_sum / b, monarch_sum / b, monarch.expected_stall());
+  report.add_scalar("cfm_mean_latency", cfm_sum / b);
+  report.add_scalar("phase_aligned_mean_latency", monarch_sum / b);
+  report.add_scalar("expected_stall", monarch.expected_stall());
   std::printf("\n\"This avoids unnecessary stalls, which occur in the\n"
               "Monarch and the OMP when a memory access arrives at a memory\n"
               "bank in a wrong time phase.\" (§3.1.1)\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -9,8 +9,10 @@
 
 #include "binding/cfm_binding.hpp"
 #include "binding/runtime.hpp"
+#include "report_main.hpp"
 
 using namespace cfm::bind;
+using cfm::sim::Json;
 
 namespace {
 
@@ -22,7 +24,10 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = cfm::bench::parse_options(argc, argv);
+  cfm::sim::Report report("binding");
+
   std::printf("=== bind/unbind raw overhead (single thread) ===\n");
   {
     BindingManager mgr;
@@ -36,6 +41,8 @@ int main() {
     const double ms = ms_since(start);
     std::printf("  %d bind+unbind pairs in %.1f ms  (%.0f ns/pair)\n", kOps,
                 ms, ms * 1e6 / kOps);
+    report.add_scalar("bind_unbind_pairs", kOps);
+    report.add_scalar("bind_unbind_ns_per_pair", ms * 1e6 / kOps);
   }
 
   std::printf("\n=== granularity scaling: 8 threads over a 1024-element "
@@ -55,10 +62,15 @@ int main() {
         for (std::size_t i = ctx.pid(); i < 1024; i += 8) data[i] += 1;
       }
     });
+    const double ms = ms_since(start);
     std::printf("  %-28s %.1f ms\n",
                 whole_structure ? "one bind for the whole array:"
                                 : "per-slice strided regions:",
-                ms_since(start));
+                ms);
+    auto row = Json::object();
+    row["granularity"] = whole_structure ? "whole_array" : "strided_slices";
+    row["ms"] = ms;
+    report.add_row("granularity_scaling", std::move(row));
   }
 
   std::printf("\n=== multiple-read/single-write (readers in parallel) ===\n");
@@ -71,34 +83,48 @@ int main() {
         std::this_thread::sleep_for(std::chrono::microseconds(20));
       }
     });
+    const double ms = ms_since(start);
     std::printf("  8 read-only binders, 200 x 20us reads: %.1f ms "
                 "(~%.1f ms of read work each, overlapped)\n",
-                ms_since(start), 200 * 0.02);
+                ms, 200 * 0.02);
+    report.add_scalar("parallel_readers_ms", ms);
   }
 
   std::printf("\n=== CFM-backed binding (atomic multiple lock, §6.5.1) ===\n");
   std::printf("%-30s %-10s %-16s %-12s\n", "workload", "binds",
               "binds/kcycle", "mean latency");
   {
+    const auto add_farm_row = [&report](const char* workload,
+                                        const CfmBindingResult& r) {
+      auto row = Json::object();
+      row["workload"] = workload;
+      row["binds"] = r.binds;
+      row["throughput"] = r.throughput;
+      row["mean_bind_latency"] = r.mean_bind_latency;
+      report.add_row("cfm_binding", std::move(row));
+    };
     const auto dining = run_cfm_binding_farm(
         8, dining_philosopher_regions(8), 12, 60000);
     std::printf("%-30s %-10llu %-16.2f %-12.1f\n", "dining philosophers (8)",
                 static_cast<unsigned long long>(dining.binds),
                 dining.throughput, dining.mean_bind_latency);
+    add_farm_row("dining_philosophers", dining);
     std::vector<std::vector<IndexRange>> solo(8);
     for (std::uint32_t p = 0; p < 8; ++p) solo[p] = {IndexRange{p, p, 1}};
     const auto disjoint = run_cfm_binding_farm(8, solo, 12, 60000);
     std::printf("%-30s %-10llu %-16.2f %-12.1f\n", "disjoint components (8)",
                 static_cast<unsigned long long>(disjoint.binds),
                 disjoint.throughput, disjoint.mean_bind_latency);
+    add_farm_row("disjoint_components", disjoint);
     std::vector<std::vector<IndexRange>> all(8, {IndexRange{0, 7, 1}});
     const auto serialized = run_cfm_binding_farm(8, all, 12, 60000);
     std::printf("%-30s %-10llu %-16.2f %-12.1f\n", "full overlap (8)",
                 static_cast<unsigned long long>(serialized.binds),
                 serialized.throughput, serialized.mean_bind_latency);
+    add_farm_row("full_overlap", serialized);
   }
   std::printf("\nShape: throughput tracks the *actual* overlap of the bound\n"
               "regions — the flexibility §6.3 claims over one-semaphore\n"
               "locking, with deadlock impossible by construction.\n");
-  return 0;
+  return cfm::bench::finish(opts, report);
 }

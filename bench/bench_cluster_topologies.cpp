@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "cfm/cluster.hpp"
+#include "report_main.hpp"
 #include "sim/stats.hpp"
 
 using namespace cfm::core;
@@ -50,7 +51,12 @@ const char* name_of(ClusterTopology t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = cfm::bench::parse_options(argc, argv);
+  cfm::sim::Report report("cluster_topologies");
+  report.set_param("slots_per_cluster", 4);
+  report.set_param("link_latency", 4);
+
   std::printf("Multi-cluster CFM topologies (§3.3) — mean remote-read "
               "latency from cluster 0\n");
   std::printf("(4-slot clusters with one free slot, link hop = 4 cycles, "
@@ -60,14 +66,21 @@ int main() {
   for (const auto topo :
        {ClusterTopology::FullyConnected, ClusterTopology::Ring,
         ClusterTopology::Mesh2D, ClusterTopology::Hypercube}) {
-    std::printf("%-18s %-12.1f %-12.1f %-12.1f\n", name_of(topo),
-                mean_remote_latency(topo, 4, 4),
-                mean_remote_latency(topo, 16, 4),
-                mean_remote_latency(topo, 64, 4));
+    const double l4 = mean_remote_latency(topo, 4, 4);
+    const double l16 = mean_remote_latency(topo, 16, 4);
+    const double l64 = mean_remote_latency(topo, 64, 4);
+    std::printf("%-18s %-12.1f %-12.1f %-12.1f\n", name_of(topo), l4, l16,
+                l64);
+    auto row = cfm::sim::Json::object();
+    row["topology"] = name_of(topo);
+    row["clusters_4"] = l4;
+    row["clusters_16"] = l16;
+    row["clusters_64"] = l64;
+    report.add_row("mean_remote_latency", std::move(row));
   }
   std::printf("\naverage hop counts drive the spread: ring grows linearly,\n"
               "mesh as sqrt, hypercube as log2 — while every topology keeps\n"
               "the destination cluster's local traffic contention-free\n"
               "(the free-slot service of Fig 3.12).\n");
-  return 0;
+  return cfm::bench::finish(opts, report);
 }

@@ -7,10 +7,14 @@
 #include <vector>
 
 #include "binding/distributed.hpp"
+#include "report_main.hpp"
 
 using namespace cfm::bind;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = cfm::bench::parse_options(argc, argv);
+  cfm::sim::Report report("distributed_binding");
+
   std::printf("Distributed resource binding (§6.5.2)\n\n");
 
   {
@@ -35,6 +39,10 @@ int main() {
     std::printf("  bytes shipped: %llu (region out + region home per rw "
                 "round trip)\n",
                 static_cast<unsigned long long>(rt.bytes_shipped()));
+    report.add_scalar("round_trips", kOps);
+    report.add_scalar("round_trip_us", ms * 1000 / kOps);
+    report.add_scalar("messages_sent", rt.messages_sent());
+    report.add_scalar("bytes_shipped", rt.bytes_shipped());
   }
 
   std::printf("\nro vs rw shipping for a 1024-element region:\n");
@@ -55,6 +63,11 @@ int main() {
                 "  release-consistency flavour §6.5.2 recommends)\n",
                 static_cast<unsigned long long>(after_rw_release -
                                                 after_ro_release));
+    auto s = cfm::sim::Json::object();
+    s["ro_bind_bytes"] = after_ro;
+    s["ro_release_bytes"] = after_ro_release - after_ro;
+    s["rw_round_trip_bytes"] = after_rw_release - after_ro_release;
+    report.add_section("shipping_1024_elements", std::move(s));
   }
 
   std::printf("\nthroughput under contention (8 client threads, one shared "
@@ -79,9 +92,11 @@ int main() {
     std::printf("  1600 exclusive binds serialized at the home daemon in "
                 "%.1f ms\n",
                 ms);
+    report.add_scalar("contended_binds", 1600);
+    report.add_scalar("contended_ms", ms);
   }
   std::printf("\nThe same bind/unbind source code runs on the threaded\n"
               "shared-memory runtime and on this message-passing one —\n"
               "the portability §6 claims.\n");
-  return 0;
+  return cfm::bench::finish(opts, report);
 }

@@ -5,12 +5,20 @@
 #include <cstdio>
 
 #include "analytic/efficiency.hpp"
+#include "report_main.hpp"
 #include "workload/access_gen.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfm;
+  const auto opts = bench::parse_options(argc, argv);
   const analytic::PartialCfmModel partial{64, 8, 17};
   const analytic::ConventionalModel conventional{64, 64, 17};
+  sim::Report report("fig3_14_efficiency");
+  report.set_param("processors", 64);
+  report.set_param("modules", 8);
+  report.set_param("block_words", 16);
+  report.set_param("beta", 17);
+  report.set_param("seed", 7);
 
   std::printf("Fig 3.14 — Memory access efficiency "
               "(n=64, m=8, block size=16, beta=17)\n\n");
@@ -23,23 +31,40 @@ int main() {
                 partial.efficiency(r, 0.9), partial.efficiency(r, 0.8),
                 partial.efficiency(r, 0.7), partial.efficiency(r, 0.5),
                 partial.efficiency(r, 0.3), conventional.efficiency(r));
+    auto row = sim::Json::object();
+    row["rate"] = r;
+    for (const double l : {0.9, 0.8, 0.7, 0.5, 0.3}) {
+      char key[32];
+      std::snprintf(key, sizeof key, "lambda_%.1f", l);
+      row[key] = partial.efficiency(r, l);
+    }
+    row["conventional"] = conventional.efficiency(r);
+    report.add_row("analytic", std::move(row));
   }
 
   std::printf("\nsimulated (cycle-level channel fabric), r = 0.03:\n");
   std::printf("%-10s %-12s %-12s\n", "lambda", "analytic", "simulated");
   for (const double l : {0.9, 0.8, 0.7, 0.5, 0.3}) {
-    const auto sim = workload::measure_partial_cfm(64, 8, 17, 0.03, l,
-                                                   300000, 7);
+    const auto measured = workload::measure_partial_cfm(64, 8, 17, 0.03, l,
+                                                        300000, 7);
     std::printf("%-10.1f %-12.3f %-12.3f\n", l, partial.efficiency(0.03, l),
-                sim.efficiency);
+                measured.efficiency);
+    auto row = sim::Json::object();
+    row["lambda"] = l;
+    row["analytic"] = partial.efficiency(0.03, l);
+    row["simulated"] = measured.efficiency;
+    report.add_row("simulated_r0_03", std::move(row));
   }
   const auto conv_sim = workload::measure_conventional(64, 64, 17, 0.03,
                                                        300000, 7);
   std::printf("%-10s %-12.3f %-12.3f\n", "conv(64)",
               conventional.efficiency(0.03), conv_sim.efficiency);
+  report.add_scalar("conventional_analytic_r0_03",
+                    conventional.efficiency(0.03));
+  report.add_scalar("conventional_sim_r0_03", conv_sim.efficiency);
 
   std::printf("\nShape check (paper): the partial-CFM curves are ordered by\n"
               "locality and all sit above the 64-module conventional curve,\n"
               "\"especially in the cases of high access rates\" (§3.4.2).\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -4,12 +4,20 @@
 #include <cstdio>
 
 #include "analytic/efficiency.hpp"
+#include "report_main.hpp"
 #include "workload/access_gen.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfm;
+  const auto opts = bench::parse_options(argc, argv);
   const analytic::PartialCfmModel partial{128, 16, 17};
   const analytic::ConventionalModel conventional{128, 128, 17};
+  sim::Report report("fig3_15_efficiency");
+  report.set_param("processors", 128);
+  report.set_param("modules", 16);
+  report.set_param("block_words", 16);
+  report.set_param("beta", 17);
+  report.set_param("seed", 11);
 
   std::printf("Fig 3.15 — Memory access efficiency "
               "(n=128, m=16, block size=16, beta=17)\n\n");
@@ -21,22 +29,39 @@ int main() {
                 partial.efficiency(r, 0.9), partial.efficiency(r, 0.7),
                 partial.efficiency(r, 0.5), partial.efficiency(r, 0.3),
                 conventional.efficiency(r));
+    auto row = sim::Json::object();
+    row["rate"] = r;
+    for (const double l : {0.9, 0.7, 0.5, 0.3}) {
+      char key[32];
+      std::snprintf(key, sizeof key, "lambda_%.1f", l);
+      row[key] = partial.efficiency(r, l);
+    }
+    row["conventional"] = conventional.efficiency(r);
+    report.add_row("analytic", std::move(row));
   }
 
   std::printf("\nsimulated, r = 0.03:\n");
   std::printf("%-10s %-12s %-12s\n", "lambda", "analytic", "simulated");
   for (const double l : {0.9, 0.7, 0.5, 0.3}) {
-    const auto sim = workload::measure_partial_cfm(128, 16, 17, 0.03, l,
-                                                   300000, 11);
+    const auto measured = workload::measure_partial_cfm(128, 16, 17, 0.03, l,
+                                                        300000, 11);
     std::printf("%-10.1f %-12.3f %-12.3f\n", l, partial.efficiency(0.03, l),
-                sim.efficiency);
+                measured.efficiency);
+    auto row = sim::Json::object();
+    row["lambda"] = l;
+    row["analytic"] = partial.efficiency(0.03, l);
+    row["simulated"] = measured.efficiency;
+    report.add_row("simulated_r0_03", std::move(row));
   }
   const auto conv_sim = workload::measure_conventional(128, 128, 17, 0.03,
                                                        300000, 11);
   std::printf("%-10s %-12.3f %-12.3f\n", "conv(128)",
               conventional.efficiency(0.03), conv_sim.efficiency);
+  report.add_scalar("conventional_analytic_r0_03",
+                    conventional.efficiency(0.03));
+  report.add_scalar("conventional_sim_r0_03", conv_sim.efficiency);
   std::printf("\nShape check: \"the partially conflict-free system shows its\n"
               "increased memory access efficiency in comparison to the\n"
               "conventional 128 processors, 128 modules system\" (§3.4.2).\n");
-  return 0;
+  return bench::finish(opts, report);
 }

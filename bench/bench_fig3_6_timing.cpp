@@ -5,11 +5,17 @@
 
 #include "cfm/at_space.hpp"
 #include "cfm/cfm_memory.hpp"
+#include "report_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfm;
+  const auto opts = bench::parse_options(argc, argv);
   const auto cfg = core::CfmConfig::make(4, 2, 16);
   core::AtSpace at(cfg);
+  sim::Report report("fig3_6_timing");
+  report.set_param("processors", cfg.processors);
+  report.set_param("bank_cycle", cfg.bank_cycle);
+  report.set_param("banks", cfg.banks);
 
   std::printf("Fig 3.6 — Timing of a read issued by processor 0 at slot 0 "
               "(n=4, c=2, b=8)\n\n");
@@ -19,10 +25,17 @@ int main() {
     std::printf("B%-7u %-16llu %-18llu\n", at.visit_bank(0, 0, j),
                 static_cast<unsigned long long>(0 + j),
                 static_cast<unsigned long long>(at.data_slot(0, j)));
+    auto row = sim::Json::object();
+    row["bank"] = at.visit_bank(0, 0, j);
+    row["address_slot"] = j;
+    row["data_slot"] = at.data_slot(0, j);
+    report.add_row("word_timing", std::move(row));
   }
   std::printf("\ncompletion: slot %llu  (beta = %u)\n",
               static_cast<unsigned long long>(at.completion(0)),
               cfg.block_access_time());
+  report.add_scalar("completion_slot", at.completion(0));
+  report.add_scalar("beta", cfg.block_access_time());
 
   // Non-stall start: the same access issued at every possible phase.
   std::printf("\nNon-stall block access (issued at any slot, §3.1.1):\n");
@@ -39,9 +52,14 @@ int main() {
                 static_cast<unsigned long long>(start),
                 static_cast<unsigned long long>(latency));
     if (latency != cfg.block_access_time()) all_beta = false;
+    auto row = sim::Json::object();
+    row["issue_slot"] = start;
+    row["latency"] = latency;
+    report.add_row("start_phase_latency", std::move(row));
   }
   std::printf("\nevery start phase costs exactly beta: %s "
               "(the Monarch/OMP stall does not exist here)\n",
               all_beta ? "PASS" : "FAIL");
-  return all_beta ? 0 : 1;
+  report.add_scalar("all_phases_cost_beta", all_beta);
+  return bench::finish(opts, report, all_beta ? 0 : 1);
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cfm/cfm_memory.hpp"
+#include "report_main.hpp"
 
 using namespace cfm;
 using core::BlockOpKind;
@@ -36,7 +37,7 @@ void run_all(CfmMemory& mem, Cycle& t,
   }
 }
 
-void print_block(const char* label, const std::vector<Word>& b) {
+bool print_block(const char* label, const std::vector<Word>& b) {
   std::printf("%s", label);
   bool uniform = true;
   for (const auto w : b) {
@@ -44,11 +45,15 @@ void print_block(const char* label, const std::vector<Word>& b) {
     if (w != b[0]) uniform = false;
   }
   std::printf("   -> %s\n", uniform ? "consistent" : "TORN");
+  return uniform;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  sim::Report report("fig4_att_scenarios");
+
   std::printf("Fig 4.1 — simultaneous same-address writes, 4 banks\n");
   {
     CfmMemory no_att(core::CfmConfig::make(4), ConsistencyPolicy::NoTracking);
@@ -58,7 +63,8 @@ int main() {
     auto b = no_att.issue(0, 1, BlockOpKind::Write, 7,
                           std::vector<Word>{11, 12, 13, 14});
     run_all(no_att, t, {a, b});
-    print_block("  without address tracking:", no_att.peek_block(7));
+    const bool torn_without =
+        !print_block("  without address tracking:", no_att.peek_block(7));
 
     CfmMemory with_att(core::CfmConfig::make(4), ConsistencyPolicy::LatestWins);
     t = 0;
@@ -67,9 +73,14 @@ int main() {
     b = with_att.issue(0, 1, BlockOpKind::Write, 7,
                        std::vector<Word>{11, 12, 13, 14});
     run_all(with_att, t, {a, b});
-    print_block("  with address tracking:   ", with_att.peek_block(7));
+    const bool torn_with =
+        !print_block("  with address tracking:   ", with_att.peek_block(7));
     std::printf("  winner: processor 0 (first to reach bank 0), "
                 "loser aborted cleanly\n\n");
+    auto s = sim::Json::object();
+    s["torn_without_tracking"] = torn_without;
+    s["torn_with_tracking"] = torn_with;
+    report.add_section("fig4_1_simultaneous_writes", std::move(s));
   }
 
   std::printf("Fig 4.3 — staggered writes, 8 banks (write a at slot 0, "
@@ -86,8 +97,13 @@ int main() {
     std::printf("  a (earlier): %s; b (later): %s\n",
                 ra->status == OpStatus::Aborted ? "aborted" : "completed",
                 rb->status == OpStatus::Completed ? "completed" : "aborted");
-    print_block("  final block:", mem.peek_block(7));
+    const bool consistent = print_block("  final block:", mem.peek_block(7));
     std::printf("\n");
+    auto s = sim::Json::object();
+    s["earlier_aborted"] = ra->status == OpStatus::Aborted;
+    s["later_completed"] = rb->status == OpStatus::Completed;
+    s["final_block_consistent"] = consistent;
+    report.add_section("fig4_3_staggered_writes", std::move(s));
   }
 
   std::printf("Fig 4.4 — simultaneous writes starting at banks 1 and 5\n");
@@ -104,8 +120,13 @@ int main() {
                 rc->status == OpStatus::Aborted ? "aborted" : "completed");
     std::printf("  write d (bank 5 first): %s — reached bank 0 first\n",
                 rd->status == OpStatus::Completed ? "completed" : "aborted");
-    print_block("  final block:", mem.peek_block(7));
+    const bool consistent = print_block("  final block:", mem.peek_block(7));
     std::printf("\n");
+    auto s = sim::Json::object();
+    s["bank1_writer_aborted"] = rc->status == OpStatus::Aborted;
+    s["bank5_writer_completed"] = rd->status == OpStatus::Completed;
+    s["final_block_consistent"] = consistent;
+    report.add_section("fig4_4_simultaneous_writes", std::move(s));
   }
 
   std::printf("Fig 4.5 — read restarted by a same-address write\n");
@@ -117,17 +138,21 @@ int main() {
     const auto f = mem.issue(0, 3, BlockOpKind::Write, 5, fill(8, 9));
     run_all(mem, t, {e, f});
     const auto re = mem.take_result(e);
+    bool single_version = true;
+    for (const auto w : re->data) {
+      if (w != re->data[0]) single_version = false;
+    }
     std::printf("  read restarted %u time(s); returned value %llu "
                 "(single version: %s)\n",
                 re->restarts,
                 static_cast<unsigned long long>(re->data[0]),
-                [&] {
-                  for (const auto w : re->data) {
-                    if (w != re->data[0]) return "NO";
-                  }
-                  return "yes";
-                }());
+                single_version ? "yes" : "NO");
     std::printf("\n");
+    auto s = sim::Json::object();
+    s["read_restarts"] = re->restarts;
+    s["returned_value"] = re->data[0];
+    s["single_version"] = single_version;
+    report.add_section("fig4_5_read_restart", std::move(s));
   }
 
   std::printf("Fig 4.6 — swap interactions (EarliestWins regime)\n");
@@ -145,10 +170,18 @@ int main() {
                 static_cast<unsigned long long>(r0->data[0]),
                 static_cast<unsigned long long>(r1->data[0]), r0->restarts,
                 r1->restarts);
-    print_block("  final block:", mem.peek_block(3));
+    const bool consistent = print_block("  final block:", mem.peek_block(3));
     std::printf("  swap_restarts counter: %llu\n",
                 static_cast<unsigned long long>(
                     mem.counters().get("swap_restarts")));
+    auto s = sim::Json::object();
+    s["swap0_read"] = r0->data[0];
+    s["swap1_read"] = r1->data[0];
+    s["swap0_restarts"] = r0->restarts;
+    s["swap1_restarts"] = r1->restarts;
+    s["final_block_consistent"] = consistent;
+    report.add_section("fig4_6_swap_interactions", std::move(s));
+    report.add_counters("memory", mem.counters());
   }
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -7,15 +7,21 @@
 
 #include "cache/cfm_protocol.hpp"
 #include "cache/sync_ops.hpp"
+#include "report_main.hpp"
 #include "sim/stats.hpp"
 
 using namespace cfm::cache;
 using cfm::sim::Cycle;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = cfm::bench::parse_options(argc, argv);
   CfmCacheSystem::Params params;
   params.mem = cfm::core::CfmConfig::make(4);
   const auto beta = params.mem.block_access_time();
+  cfm::sim::Report report("fig5_4_lock_transfer");
+  report.set_param("processors", params.mem.processors);
+  report.set_param("beta", beta);
+  report.set_param("hand_offs", 50);
 
   std::printf("Fig 5.4 — Lock transfer on the CFM cache protocol "
               "(4 processors, beta = %u)\n\n", beta);
@@ -83,5 +89,10 @@ int main() {
                   sys.counters().get("proto_read_invs")),
               static_cast<unsigned long long>(
                   sys.counters().get("proto_write_backs")));
-  return 0;
+  report.add_stat("transfer_cycles", transfer);
+  report.add_scalar("mean_transfer_beta", transfer.mean() / beta);
+  report.add_scalar("local_spin_cycles",
+                    a.local_spin_cycles() + b.local_spin_cycles());
+  report.add_counters("protocol", sys.counters());
+  return cfm::bench::finish(opts, report);
 }

@@ -5,6 +5,7 @@
 
 #include "binding/cfm_binding.hpp"
 #include "cache/sync_ops.hpp"
+#include "report_main.hpp"
 
 using namespace cfm;
 using cache::make_multiple_test_and_set;
@@ -12,15 +13,19 @@ using cache::make_multiple_unlock;
 using cache::multiple_lock_succeeded;
 using sim::Word;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  sim::Report report("fig5_5_multilock");
+
   std::printf("Fig 5.5 — Atomic multiple lock/unlock\n\n");
   std::printf("target block (bit map): 01010110   (1 = locked)\n");
   const std::vector<Word> target{0b01010110};
 
   const std::vector<Word> req1{0b10100001};
   const auto after1 = make_multiple_test_and_set(req1)(target);
+  const bool lock1_ok = multiple_lock_succeeded(target, req1);
   std::printf("lock  request 10100001: %s -> block now ",
-              multiple_lock_succeeded(target, req1) ? "SUCCEEDS" : "fails");
+              lock1_ok ? "SUCCEEDS" : "fails");
   for (int bit = 7; bit >= 0; --bit) {
     std::printf("%d", static_cast<int>(after1[0] >> bit & 1));
   }
@@ -28,13 +33,24 @@ int main() {
 
   const std::vector<Word> req2{0b00101000};
   const auto after2 = make_multiple_test_and_set(req2)(after1);
+  const bool lock2_fails = !multiple_lock_succeeded(after1, req2);
+  const bool all_or_nothing = after2 == after1;
   std::printf("lock  request 00101000: %s -> block unchanged (%s)\n",
-              multiple_lock_succeeded(after1, req2) ? "succeeds?!" : "FAILS",
-              after2 == after1 ? "all-or-nothing holds" : "CORRUPTED");
+              lock2_fails ? "FAILS" : "succeeds?!",
+              all_or_nothing ? "all-or-nothing holds" : "CORRUPTED");
 
   const auto after3 = make_multiple_unlock(req1)(after1);
+  const bool unlock_restores = after3 == target;
   std::printf("unlock request 10100001: block back to %s\n",
-              after3 == target ? "01010110 (initial)" : "WRONG");
+              unlock_restores ? "01010110 (initial)" : "WRONG");
+  {
+    auto s = sim::Json::object();
+    s["disjoint_lock_succeeds"] = lock1_ok;
+    s["overlapping_lock_fails"] = lock2_fails;
+    s["all_or_nothing_holds"] = all_or_nothing;
+    s["unlock_restores_block"] = unlock_restores;
+    report.add_section("bit_pattern_scenario", std::move(s));
+  }
 
   std::printf("\n=== Contention study: 8 dining philosophers on the CFM "
               "protocol ===\n");
@@ -46,6 +62,14 @@ int main() {
               "mean bind latency %.1f cycles\n",
               static_cast<unsigned long long>(atomic2.binds),
               atomic2.min_per_proc, atomic2.mean_bind_latency);
+  {
+    auto row = sim::Json::object();
+    row["workload"] = "dining_philosophers";
+    row["binds"] = atomic2.binds;
+    row["min_per_proc"] = atomic2.min_per_proc;
+    row["mean_bind_latency"] = atomic2.mean_bind_latency;
+    report.add_row("contention_study", std::move(row));
+  }
 
   std::printf("\nsingle-resource binds for scale (no overlap):\n");
   std::vector<std::vector<bind::IndexRange>> solo(8);
@@ -56,8 +80,16 @@ int main() {
   std::printf("  binds: %llu total, min %.0f, mean latency %.1f cycles\n",
               static_cast<unsigned long long>(independent.binds),
               independent.min_per_proc, independent.mean_bind_latency);
+  {
+    auto row = sim::Json::object();
+    row["workload"] = "single_resource";
+    row["binds"] = independent.binds;
+    row["min_per_proc"] = independent.min_per_proc;
+    row["mean_bind_latency"] = independent.mean_bind_latency;
+    report.add_row("contention_study", std::move(row));
+  }
   std::printf("\nThe overlapped case pays contention but never deadlocks\n"
               "(\"A processor can then acquire either all the locks or "
               "none\", §4.2.2).\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -6,10 +6,17 @@
 
 #include "analytic/latency.hpp"
 #include "cache/hierarchical.hpp"
+#include "report_main.hpp"
 
 using namespace cfm;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  sim::Report report("hierarchy_scaling");
+  report.set_param("arity", 4);
+  report.set_param("banks_per_cluster", 8);
+  report.set_param("bank_cycle", 2);
+
   const analytic::HierarchyScaling scaling{4, 8, 2};  // arity 4, beta 9
   std::printf("Hierarchical CFM scaling (§5.4.3) — cluster arity 4, "
               "8 banks/cluster, c = 2 (beta = 9)\n\n");
@@ -21,6 +28,12 @@ int main() {
                 static_cast<unsigned long long>(scaling.processors(levels)),
                 model.multi_level_read(levels),
                 model.multi_level_dirty_read(levels));
+    auto row = sim::Json::object();
+    row["levels"] = levels;
+    row["processors"] = scaling.processors(levels);
+    row["clean_read"] = model.multi_level_read(levels);
+    row["dirty_worst_case"] = model.multi_level_dirty_read(levels);
+    report.add_row("level_sweep", std::move(row));
   }
 
   std::printf("\ncross-check: the 2-level model vs the cycle-level machine "
@@ -35,11 +48,14 @@ int main() {
       std::printf("  measured 2-level clean read: %llu cycles; model: %u\n",
                   static_cast<unsigned long long>(r->completed - r->issued),
                   model.multi_level_read(2));
+      report.add_scalar("measured_2level_clean_read",
+                        r->completed - r->issued);
+      report.add_scalar("model_2level_clean_read", model.multi_level_read(2));
       break;
     }
   }
   std::printf("\nShape: processors grow 4x per level, latency grows by a\n"
               "constant 2*beta per level — latency = O(log processors),\n"
               "the scalability claim of §5.4.3.\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -5,12 +5,20 @@
 #include <cstdio>
 
 #include "cfm/config.hpp"
+#include "report_main.hpp"
 #include "workload/prefetch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfm;
+  const auto opts = bench::parse_options(argc, argv);
   const auto cfg = core::CfmConfig::make(8, 2);  // beta = 17
   const auto beta = cfg.block_access_time();
+  sim::Report report("prefetch");
+  report.set_param("processors", 8);
+  report.set_param("bank_cycle", 2);
+  report.set_param("beta", beta);
+  report.set_param("blocks", 2000);
+
   std::printf("Prefetching on the CFM (n=8, c=2, beta=%u), streaming 2000 "
               "blocks\n\n",
               beta);
@@ -23,10 +31,17 @@ int main() {
     std::printf("%-18u | %-12.1f %-13.1f | %-12.1f %-13.1f\n", compute,
                 demand.cycles_per_block, 100.0 * demand.stall_fraction,
                 pre.cycles_per_block, 100.0 * pre.stall_fraction);
+    auto row = sim::Json::object();
+    row["compute_per_block"] = compute;
+    row["demand_cycles_per_block"] = demand.cycles_per_block;
+    row["demand_stall_fraction"] = demand.stall_fraction;
+    row["prefetch_cycles_per_block"] = pre.cycles_per_block;
+    row["prefetch_stall_fraction"] = pre.stall_fraction;
+    report.add_row("compute_sweep", std::move(row));
   }
   std::printf("\nShape: demand fetching always pays beta + compute per\n"
               "block; with prefetch the cost approaches max(beta, compute),\n"
               "vanishing entirely once compute >= beta — the latency-hiding\n"
               "argument of §3.1.4/§3.4.4.\n");
-  return 0;
+  return bench::finish(opts, report);
 }

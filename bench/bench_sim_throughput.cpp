@@ -13,6 +13,7 @@
 #include "cache/hierarchical.hpp"
 #include "cfm/cfm_memory.hpp"
 #include "net/omega.hpp"
+#include "report_main.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/rng.hpp"
 #include "workload/access_gen.hpp"
@@ -153,6 +154,62 @@ void BM_EfficiencyExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_EfficiencyExperiment);
 
+// Console reporter that additionally captures every run into a Report
+// row, so --json-out gets the same schema as the table benches while
+// the normal google-benchmark console output is preserved.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(sim::Report& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      auto row = sim::Json::object();
+      row["name"] = run.benchmark_name();
+      if (run.run_type == Run::RT_Aggregate) {
+        row["aggregate"] = run.aggregate_name;
+      }
+      row["iterations"] = run.iterations;
+      row["real_time_ns"] = run.GetAdjustedRealTime();
+      row["cpu_time_ns"] = run.GetAdjustedCPUTime();
+      for (const auto& [key, counter] : run.counters) {
+        row[key] = counter.value;
+      }
+      report_.add_row("runs", std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  sim::Report& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json-out before google-benchmark sees the argument list
+  // (it rejects flags it does not know).
+  std::vector<char*> passthrough;
+  cfm::bench::Options opts;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      opts.json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      opts.json_out = arg.substr(sizeof("--json-out=") - 1);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  cfm::sim::Report report("sim_throughput");
+  CapturingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return cfm::bench::finish(opts, report);
+}

@@ -4,11 +4,18 @@
 #include <cstdio>
 
 #include "cfm/at_space.hpp"
+#include "report_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfm;
+  const auto opts = bench::parse_options(argc, argv);
   const auto cfg = core::CfmConfig::make(4, 2, 16);
   core::AtSpace at(cfg);
+
+  sim::Report report("table3_1_at_space");
+  report.set_param("processors", cfg.processors);
+  report.set_param("bank_cycle", cfg.bank_cycle);
+  report.set_param("banks", cfg.banks);
 
   std::printf("Table 3.1 — Address path connections (n=4, c=2, b=8)\n\n");
   std::printf("        ");
@@ -17,19 +24,29 @@ int main() {
   const auto table = at.connection_table();
   for (std::uint32_t t = 0; t < cfg.banks; ++t) {
     std::printf("Slot %u  ", t);
+    auto row = sim::Json::object();
+    row["slot"] = t;
+    auto conns = sim::Json::array();
     for (std::uint32_t b = 0; b < cfg.banks; ++b) {
       if (table[t][b].has_value()) {
         std::printf(" P%u ", *table[t][b]);
+        conns.push_back(sim::Json(*table[t][b]));
       } else {
         std::printf("  . ");
+        conns.push_back(sim::Json());
       }
     }
+    row["bank_to_proc"] = std::move(conns);
+    report.add_row("connections", std::move(row));
     std::printf("\n");
   }
 
+  const bool exclusive = at.verify_exclusive();
   std::printf("\nverification: mutually exclusive AT-space partition: %s\n",
-              at.verify_exclusive() ? "PASS" : "FAIL");
+              exclusive ? "PASS" : "FAIL");
   std::printf("beta = b + c - 1 = %u cycles per block access\n",
               cfg.block_access_time());
-  return at.verify_exclusive() ? 0 : 1;
+  report.add_scalar("at_space_exclusive", exclusive);
+  report.add_scalar("beta", cfg.block_access_time());
+  return bench::finish(opts, report, exclusive ? 0 : 1);
 }

@@ -4,9 +4,16 @@
 #include <cstdio>
 
 #include "cfm/config.hpp"
+#include "report_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace cfm;
   using namespace cfm::core;
+  const auto opts = bench::parse_options(argc, argv);
+  sim::Report report("table3_3_configs");
+  report.set_param("block_bits", 256);
+  report.set_param("bank_cycle", 2);
+
   std::printf("Table 3.3 — Trade-off in the CFM configurations "
               "(l = 256 bits, c = 2)\n\n");
   std::printf("%-14s %-12s %-16s %-12s\n", "Memory banks", "Word width",
@@ -14,6 +21,12 @@ int main() {
   for (const auto& row : enumerate_tradeoffs(256, 2)) {
     std::printf("%-14u %-12u %-16u %-12u\n", row.banks, row.word_bits,
                 row.memory_latency, row.processors);
+    auto j = sim::Json::object();
+    j["banks"] = row.banks;
+    j["word_bits"] = row.word_bits;
+    j["memory_latency"] = row.memory_latency;
+    j["processors"] = row.processors;
+    report.add_row("tradeoffs", std::move(j));
   }
   std::printf("\n(The paper's table stops at 8 banks / 4 processors; the\n"
               "enumeration continues to the degenerate 2-bank machine.)\n");
@@ -23,6 +36,11 @@ int main() {
     const auto rows = enumerate_tradeoffs(block, 2);
     std::printf("  l = %4u bits: %2zu configurations, up to %u processors\n",
                 block, rows.size(), rows.front().processors);
+    auto j = sim::Json::object();
+    j["block_bits"] = block;
+    j["configurations"] = rows.size();
+    j["max_processors"] = rows.front().processors;
+    report.add_row("block_size_scale", std::move(j));
   }
-  return 0;
+  return bench::finish(opts, report);
 }

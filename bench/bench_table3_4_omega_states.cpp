@@ -4,10 +4,15 @@
 #include <cstdio>
 
 #include "net/omega.hpp"
+#include "report_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace cfm;
   using namespace cfm::net;
+  const auto opts = bench::parse_options(argc, argv);
   SyncOmega so(8);
+  sim::Report report("table3_4_omega_states");
+  report.set_param("ports", 8);
 
   // The paper's Table 3.4, transcribed.
   const int paper[8][3][4] = {
@@ -28,14 +33,22 @@ int main() {
   bool match = true;
   for (int t = 0; t < 8; ++t) {
     std::printf("Slot %d   ", t);
+    auto row = sim::Json::object();
+    row["slot"] = t;
+    auto cols = sim::Json::array();
     for (int col = 0; col < 3; ++col) {
+      auto states = sim::Json::array();
       for (int sw = 0; sw < 4; ++sw) {
         const int state = static_cast<int>(so.switch_state(t, col, sw));
         std::printf("%d ", state);
         if (state != paper[t][col][sw]) match = false;
+        states.push_back(sim::Json(state));
       }
+      cols.push_back(std::move(states));
       std::printf("      ");
     }
+    row["columns"] = std::move(cols);
+    report.add_row("switch_states", std::move(row));
     std::printf("\n");
   }
   std::printf("\nderived schedule matches the paper's Table 3.4: %s\n",
@@ -53,5 +66,7 @@ int main() {
               mapping_ok ? "PASS" : "FAIL");
   std::printf("\nNo setup time, no routing delay, no conflicts — the "
               "schedule is a pure function of the clock (§3.2.1).\n");
-  return (match && mapping_ok) ? 0 : 1;
+  report.add_scalar("matches_paper_table", match);
+  report.add_scalar("uniform_shift_mapping_ok", mapping_ok);
+  return bench::finish(opts, report, (match && mapping_ok) ? 0 : 1);
 }

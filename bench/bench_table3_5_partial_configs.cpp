@@ -5,9 +5,15 @@
 
 #include "net/message.hpp"
 #include "net/partial_omega.hpp"
+#include "report_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace cfm;
   using namespace cfm::net;
+  const auto opts = bench::parse_options(argc, argv);
+  sim::Report report("table3_5_partial_configs");
+  report.set_param("banks", 64);
+
   std::printf("Table 3.5 — Configurations of a 64-bank multiprocessor\n\n");
   std::printf("%-8s %-6s %-12s %-18s %-14s %-14s\n", "Module", "Bank",
               "Block size", "Circuit-switching", "Clock-driven", "Remark");
@@ -19,6 +25,14 @@ int main() {
                 "%-2u column(s)   %s\n",
                 cfg.modules, cfg.banks_per_module, cfg.block_words,
                 cfg.circuit_columns, cfg.clock_columns, remark);
+    auto row = sim::Json::object();
+    row["modules"] = cfg.modules;
+    row["banks_per_module"] = cfg.banks_per_module;
+    row["block_words"] = cfg.block_words;
+    row["circuit_columns"] = cfg.circuit_columns;
+    row["clock_columns"] = cfg.clock_columns;
+    row["remark"] = remark;
+    report.add_row("configs", std::move(row));
   }
 
   std::printf("\nHeader sizes per configuration (Figs 3.9/3.10, 20-bit "
@@ -32,10 +46,16 @@ int main() {
                                     cfg.banks_per_module, 20);
     std::printf("%-8u %2u bits               %2u bits\n", cfg.modules,
                 part.total_bits(), circ.total_bits());
+    auto row = sim::Json::object();
+    row["modules"] = cfg.modules;
+    row["partial_sync_header_bits"] = part.total_bits();
+    row["circuit_switched_header_bits"] = circ.total_bits();
+    report.add_row("header_sizes", std::move(row));
   }
 
   std::printf("\nConflict-free cluster property (one processor per "
               "contention set):\n");
+  bool all_ok = true;
   for (const std::uint32_t modules : {2u, 4u, 8u, 16u}) {
     PartialOmega po(64, modules);
     bool ok = true;
@@ -55,6 +75,13 @@ int main() {
     std::printf("  m=%2u (%u banks/module): cluster members never conflict: "
                 "%s\n",
                 modules, po.banks_per_module(), ok ? "PASS" : "FAIL");
+    auto row = sim::Json::object();
+    row["modules"] = modules;
+    row["banks_per_module"] = po.banks_per_module();
+    row["conflict_free"] = ok;
+    report.add_row("cluster_conflict_free", std::move(row));
+    all_ok = all_ok && ok;
   }
-  return 0;
+  report.add_scalar("all_clusters_conflict_free", all_ok);
+  return bench::finish(opts, report);
 }

@@ -4,9 +4,11 @@
 #include <cstdio>
 
 #include "cache/cfm_protocol.hpp"
+#include "report_main.hpp"
 
 using namespace cfm::cache;
 using cfm::sim::Cycle;
+using cfm::sim::Json;
 
 namespace {
 
@@ -19,11 +21,28 @@ CfmCacheSystem::Outcome run_one(CfmCacheSystem& sys, Cycle& t,
   }
 }
 
+void record_event(cfm::sim::Report& report, const char* event,
+                  const CfmCacheSystem::Outcome& r, bool miss,
+                  const char* primitive) {
+  auto row = Json::object();
+  row["event"] = event;
+  row["latency"] = r.completed - r.issued;
+  if (miss) {
+    row["retries"] = r.proto_retries;
+  }
+  row["primitive"] = primitive;
+  report.add_row("table5_1_actions", std::move(row));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = cfm::bench::parse_options(argc, argv);
+  cfm::sim::Report report("table5_2_protocol");
   CfmCacheSystem::Params params;
   params.mem = cfm::core::CfmConfig::make(4);
+  report.set_param("processors", params.mem.processors);
+  report.set_param("beta", params.mem.block_access_time());
   CfmCacheSystem sys(params);
   Cycle t = 0;
 
@@ -36,31 +55,40 @@ int main() {
   std::printf("%-34s %-12llu %-10u %-16s\n", "read miss (clean)",
               static_cast<unsigned long long>(r.completed - r.issued),
               r.proto_retries, "read");
+  record_event(report, "read miss (clean)", r, true, "read");
 
   r = run_one(sys, t, sys.load(t, 0, 10));
   std::printf("%-34s %-12llu %-10s %-16s\n", "read hit (valid)",
               static_cast<unsigned long long>(r.completed - r.issued), "-",
               "none");
+  record_event(report, "read hit (valid)", r, false, "none");
 
   r = run_one(sys, t, sys.store(t, 1, 10, 0, 77));
   std::printf("%-34s %-12llu %-10u %-16s\n", "write miss (valid remote)",
               static_cast<unsigned long long>(r.completed - r.issued),
               r.proto_retries, "read-invalidate");
+  record_event(report, "write miss (valid remote)", r, true,
+               "read-invalidate");
 
   r = run_one(sys, t, sys.store(t, 1, 10, 1, 88));
   std::printf("%-34s %-12llu %-10s %-16s\n", "write hit (dirty)",
               static_cast<unsigned long long>(r.completed - r.issued), "-",
               "none");
+  record_event(report, "write hit (dirty)", r, false, "none");
 
   r = run_one(sys, t, sys.load(t, 2, 10));
   std::printf("%-34s %-12llu %-10u %-16s\n", "read miss (dirty remote)",
               static_cast<unsigned long long>(r.completed - r.issued),
               r.proto_retries, "read + triggered write-back");
+  record_event(report, "read miss (dirty remote)", r, true,
+               "read + triggered write-back");
 
   r = run_one(sys, t, sys.store(t, 3, 10, 2, 99));
   std::printf("%-34s %-12llu %-10u %-16s\n", "write miss (dirty remote)",
               static_cast<unsigned long long>(r.completed - r.issued),
               r.proto_retries, "read-invalidate + write-back");
+  record_event(report, "write miss (dirty remote)", r, true,
+               "read-invalidate + write-back");
 
   std::printf("\nTable 5.2 — Access control among primitive operations\n");
   std::printf("(loser retries; write-back never retries)\n\n");
@@ -85,7 +113,11 @@ int main() {
   std::printf("  remote_wbs_served  = %llu (triggered, not polled)\n",
               static_cast<unsigned long long>(
                   race.counters().get("remote_wbs_served")));
+  const bool single_owner = race.check_single_dirty_owner();
   std::printf("  single-dirty-owner invariant: %s\n",
-              race.check_single_dirty_owner() ? "HELD" : "VIOLATED");
-  return 0;
+              single_owner ? "HELD" : "VIOLATED");
+  report.add_scalar("race_makespan", rt);
+  report.add_scalar("single_dirty_owner", single_owner);
+  report.add_counters("race", race.counters());
+  return cfm::bench::finish(opts, report);
 }

@@ -5,10 +5,12 @@
 
 #include "analytic/latency.hpp"
 #include "cache/hierarchical.hpp"
+#include "report_main.hpp"
 
 using namespace cfm;
 using cache::HierarchicalCfm;
 using sim::Cycle;
+using sim::Json;
 
 namespace {
 
@@ -23,7 +25,9 @@ HierarchicalCfm::Outcome run_one(HierarchicalCfm& sys, Cycle& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  sim::Report report("table5_6_ksr1");
   HierarchicalCfm::Params params;
   params.clusters = 32;
   params.procs_per_cluster = 32;
@@ -38,6 +42,11 @@ int main() {
   const analytic::HierarchicalLatencyModel model{64, 2};
   const analytic::Ksr1Latencies ksr;
 
+  report.set_param("processors", 1024);
+  report.set_param("clusters", 32);
+  report.set_param("line_bytes", 128);
+  report.set_param("beta_cluster", sys.beta_cluster());
+
   std::printf("Table 5.6 — Read latency of CFM and KSR1 "
               "(1024 processors, 32 clusters, 128-byte lines)\n\n");
   std::printf("%-44s %-16s %-12s %-8s\n", "Read access", "CFM (measured)",
@@ -49,6 +58,20 @@ int main() {
               "Retrieve from global memory (remote cluster)",
               static_cast<unsigned long long>(global.completed - global.issued),
               model.global_read(), ksr.global_ring_read);
+
+  auto row = Json::object();
+  row["access"] = "local_cluster";
+  row["cfm_measured"] = local.completed - local.issued;
+  row["cfm_paper"] = model.local_cluster_read();
+  row["ksr1"] = ksr.local_ring_read;
+  report.add_row("read_latency", std::move(row));
+  row = Json::object();
+  row["access"] = "global";
+  row["cfm_measured"] = global.completed - global.issued;
+  row["cfm_paper"] = model.global_read();
+  row["ksr1"] = ksr.global_ring_read;
+  report.add_row("read_latency", std::move(row));
+
   std::printf("\nbeta (cluster) = %u cycles; 1024 processors simulated "
               "cycle-accurately.\n",
               sys.beta_cluster());
@@ -56,5 +79,5 @@ int main() {
               "the ~3x advantage the paper reports at both levels.\n",
               model.local_cluster_read(), ksr.local_ring_read,
               model.global_read(), ksr.global_ring_read);
-  return 0;
+  return bench::finish(opts, report);
 }

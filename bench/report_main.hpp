@@ -1,0 +1,56 @@
+// Shared command-line plumbing for the bench harnesses.
+//
+// Every bench prints its human-readable table to stdout exactly as
+// before; with `--json-out <path>` it additionally serializes a
+// cfm::sim::Report (schema "cfm-bench-report/v1") so CI can diff the
+// numbers and archive them as artifacts.  Keeping the flag parsing and
+// the exit-code convention here means each bench main() only has to
+// fill in its Report.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace cfm::bench {
+
+struct Options {
+  std::string json_out;  ///< empty = table output only
+};
+
+/// Parses `--json-out <path>` / `--json-out=<path>`.  Unknown arguments
+/// print usage and exit(2) so a typo cannot silently drop the report.
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      opts.json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      opts.json_out = arg.substr(sizeof("--json-out=") - 1);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Writes the report if requested and returns the process exit code:
+/// `code` normally, 1 when the report file cannot be written (a bench
+/// that passed but lost its artifact must still fail CI).
+inline int finish(const Options& opts, const sim::Report& report,
+                  int code = 0) {
+  if (opts.json_out.empty()) return code;
+  if (!report.write_file(opts.json_out)) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 opts.json_out.c_str());
+    return 1;
+  }
+  std::printf("\nreport written to %s\n", opts.json_out.c_str());
+  return code;
+}
+
+}  // namespace cfm::bench

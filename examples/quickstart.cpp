@@ -1,14 +1,19 @@
 // Quickstart: build a conflict-free memory, issue concurrent block
 // accesses, and watch the AT-space schedule keep every processor's access
 // at exactly beta cycles — the paper's headline property in ~60 lines.
+// Finishes by running the same memory on the tick engine with the
+// wall-clock profiler on and printing a structured experiment report.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "cfm/at_space.hpp"
 #include "cfm/cfm_memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
 
 using namespace cfm;
 
@@ -82,5 +87,30 @@ int main() {
     std::printf(" %llu", static_cast<unsigned long long>(w));
   }
   std::printf("\n");
+
+  // ---- structured reports & the engine profiler ---------------------
+  //
+  // Every bench in bench/ emits one of these via --json-out; here we
+  // build a small one by hand: run the memory on the tick engine with
+  // wall-clock profiling enabled and capture the result.
+  auto engine = sim::Engine::make(sim::EngineConfig{1});
+  core::CfmMemory timed(cfg);
+  timed.attach(*engine, engine->allocate_domain());
+  engine->enable_profiling();
+
+  const auto op = timed.issue(engine->now(), 0, core::BlockOpKind::Read, 5);
+  while (timed.result(op) == nullptr) engine->step();
+  (void)timed.take_result(op);
+
+  sim::Report report("quickstart");
+  report.set_param("processors", cfg.processors);
+  report.set_param("beta", cfg.block_access_time());
+  report.add_scalar("cycles_run", engine->now());
+  report.add_counters("memory", timed.counters());
+  report.add_section("engine_profile", engine->profile().to_json());
+
+  std::printf("\nStructured report (the cfm-bench-report/v1 schema every "
+              "bench emits with --json-out):\n");
+  report.write(std::cout);
   return 0;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -31,10 +32,44 @@
 
 namespace cfm::sim {
 
+class ChromeTrace;
+class Json;
+
 struct EngineConfig {
   /// 1 = serial execution (bit-exact reference path); > 1 enables the
   /// persistent worker pool of ParallelEngine.
   unsigned num_threads = 1;
+};
+
+/// Wall-clock profile of an engine run, collected when profiling is
+/// enabled (Engine::enable_profiling).  All times are microseconds of
+/// host wall clock; simulation results are unaffected — the profiler
+/// only reads clocks, so serial/parallel bit-exactness holds with
+/// profiling on or off.
+struct EngineProfile {
+  /// One phase's timing, one RunningStat sample per simulated cycle.
+  struct PhaseTimes {
+    RunningStat total_us;    ///< shared + domain work (+ barrier)
+    RunningStat shared_us;   ///< shared-domain components, driving thread
+    RunningStat domains_us;  ///< wall time of the domain-group section
+    /// Idle thread-time at the phase barrier: dispatch wall time times
+    /// pool width, minus the time threads spent inside domain jobs.
+    /// Zero under the serial engine (no barrier exists).
+    RunningStat barrier_us;
+  };
+
+  std::array<PhaseTimes, kPhaseCount> phases;
+  /// Accumulated in-job time per DomainId (index 0 = shared domain,
+  /// which accrues under phases[].shared_us instead and stays 0 here).
+  std::vector<double> domain_us;
+  /// Worker-pool utilization per parallel dispatch: busy thread-time
+  /// divided by (dispatch wall time x pool width).  Empty when serial.
+  RunningStat utilization;
+  std::uint64_t cycles = 0;  ///< cycles stepped while profiling
+  unsigned threads = 1;      ///< pool width (1 = serial)
+
+  /// {"cycles","threads","phases":{...},"domains":{...},"utilization":{}}
+  [[nodiscard]] Json to_json() const;
 };
 
 class Engine {
@@ -76,6 +111,24 @@ class Engine {
   /// call while a step is in flight.
   [[nodiscard]] StatShard merged_stats() const;
 
+  // ---- profiling ----------------------------------------------------
+
+  /// Turns the wall-clock profiler on (or off).  Enabling resets the
+  /// collected profile.  Profiling never changes simulation results.
+  void enable_profiling(bool on = true);
+  [[nodiscard]] bool profiling_enabled() const noexcept { return profiling_; }
+  /// The collected profile; valid between steps.
+  [[nodiscard]] const EngineProfile& profile() const noexcept {
+    return profile_;
+  }
+  void reset_profile();
+
+  /// Attaches a Chrome-trace sink: while profiling is enabled, every
+  /// phase (and, under ParallelEngine, every domain job) emits a
+  /// complete ("X") event in real microseconds since profiling started.
+  /// Pass nullptr to detach.  The sink must outlive the engine run.
+  void set_chrome_trace(ChromeTrace* trace) noexcept { chrome_ = trace; }
+
   // ---- execution ----------------------------------------------------
 
   /// Advances the simulation by exactly one cycle.
@@ -100,12 +153,22 @@ class Engine {
   struct PhasePlan {
     std::vector<Component*> shared;               ///< registration order
     std::vector<std::vector<Component*>> groups;  ///< ascending domain id
+    std::vector<DomainId> group_domains;          ///< domain of groups[i]
   };
+
+  using ProfileClock = std::chrono::steady_clock;
 
   void rebuild_plans_if_dirty();
   /// The canonical serial schedule; ParallelEngine falls back to this for
   /// num_threads == 1.
   void step_serial();
+  /// Microseconds from the profiling epoch to `t`.
+  [[nodiscard]] double profile_ts(ProfileClock::time_point t) const noexcept {
+    return std::chrono::duration<double, std::micro>(t - profile_epoch_)
+        .count();
+  }
+  /// Grows profile_.domain_us to cover every allocated domain.
+  void ensure_profile_domains();
 
   Cycle now_ = 0;
   std::vector<std::shared_ptr<Component>> components_;
@@ -114,6 +177,10 @@ class Engine {
   std::array<PhasePlan, kPhaseCount> plans_;
   bool plans_dirty_ = true;
   std::uint64_t next_lambda_ = 0;
+  bool profiling_ = false;
+  EngineProfile profile_;
+  ProfileClock::time_point profile_epoch_{};
+  ChromeTrace* chrome_ = nullptr;
 };
 
 }  // namespace cfm::sim

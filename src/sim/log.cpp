@@ -4,6 +4,7 @@ namespace cfm::sim {
 
 void TraceLog::emit(Cycle cycle, const std::string& tag,
                     const std::string& message) const {
+  if (event_sink_) event_sink_(cycle, tag, message);
   if (!sink_) return;
   std::ostringstream os;
   os << "cycle " << cycle << " [" << tag << "] " << message;

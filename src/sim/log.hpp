@@ -15,11 +15,22 @@ namespace cfm::sim {
 class TraceLog {
  public:
   using Sink = std::function<void(const std::string&)>;
+  /// Structured sink: receives the raw (cycle, tag, message) triple before
+  /// any text formatting — the layering point for the Chrome-trace event
+  /// sink (sim::ChromeTrace::attach), which needs the cycle as a
+  /// timestamp rather than embedded in a string.
+  using EventSink =
+      std::function<void(Cycle, const std::string&, const std::string&)>;
 
   /// Installs a sink (e.g. writing to std::cout or collecting into a
-  /// vector for tests).  A null sink disables tracing.
+  /// vector for tests).  A null sink disables textual tracing.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
-  [[nodiscard]] bool enabled() const noexcept { return static_cast<bool>(sink_); }
+  /// Installs a structured event sink; independent of the text sink, both
+  /// may be active at once.
+  void set_event_sink(EventSink sink) { event_sink_ = std::move(sink); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return static_cast<bool>(sink_) || static_cast<bool>(event_sink_);
+  }
 
   /// Emits "cycle <c> [<tag>] <message>" if tracing is enabled.
   void emit(Cycle cycle, const std::string& tag, const std::string& message) const;
@@ -27,7 +38,7 @@ class TraceLog {
   /// Convenience: stream-style formatting, evaluated only when enabled.
   template <typename Fn>
   void lazy(Cycle cycle, const std::string& tag, Fn&& fn) const {
-    if (!sink_) return;
+    if (!enabled()) return;
     std::ostringstream os;
     fn(os);
     emit(cycle, tag, os.str());
@@ -35,6 +46,7 @@ class TraceLog {
 
  private:
   Sink sink_;
+  EventSink event_sink_;
 };
 
 }  // namespace cfm::sim

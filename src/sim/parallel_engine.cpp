@@ -1,5 +1,10 @@
 #include "sim/parallel_engine.hpp"
 
+#include <chrono>
+#include <string>
+
+#include "sim/report.hpp"
+
 namespace cfm::sim {
 namespace {
 
@@ -110,6 +115,7 @@ void WorkerPool::run_raw(std::size_t jobs, JobFn fn, void* ctx) {
 ParallelEngine::ParallelEngine(EngineConfig cfg) {
   if (cfg.num_threads > 1) {
     pool_ = std::make_unique<WorkerPool>(cfg.num_threads - 1);
+    profile_.threads = pool_->worker_count() + 1;
   }
 }
 
@@ -119,23 +125,98 @@ void ParallelEngine::step() {
     return;
   }
   rebuild_plans_if_dirty();
+  if (!profiling_) {
+    for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+      const auto phase = static_cast<Phase>(pi);
+      const auto& plan = plans_[pi];
+      for (auto* c : plan.shared) c->tick_phase(phase, now_);
+      const auto& groups = plan.groups;
+      if (groups.size() <= 1) {
+        for (const auto& group : groups) {
+          for (auto* c : group) c->tick_phase(phase, now_);
+        }
+      } else {
+        const Cycle now = now_;
+        pool_->run(groups.size(), [&groups, phase, now](std::size_t i) {
+          for (auto* c : groups[i]) c->tick_phase(phase, now);
+        });
+      }
+    }
+    ++now_;
+    return;
+  }
+
+  ensure_profile_domains();
+  const double width = static_cast<double>(pool_->worker_count() + 1);
   for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
     const auto phase = static_cast<Phase>(pi);
     const auto& plan = plans_[pi];
+    const auto t0 = ProfileClock::now();
     for (auto* c : plan.shared) c->tick_phase(phase, now_);
+    const auto t1 = ProfileClock::now();
     const auto& groups = plan.groups;
+    auto& times = profile_.phases[pi];
+    double barrier_us = 0.0;
     if (groups.size() <= 1) {
-      for (const auto& group : groups) {
-        for (auto* c : group) c->tick_phase(phase, now_);
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (auto* c : groups[g]) c->tick_phase(phase, now_);
+      }
+      const auto t2 = ProfileClock::now();
+      if (!groups.empty()) {
+        profile_.domain_us[plan.group_domains[0]] +=
+            std::chrono::duration<double, std::micro>(t2 - t1).count();
       }
     } else {
+      job_us_.assign(groups.size(), 0.0);
       const Cycle now = now_;
-      pool_->run(groups.size(), [&groups, phase, now](std::size_t i) {
-        for (auto* c : groups[i]) c->tick_phase(phase, now);
-      });
+      auto* job_us = job_us_.data();
+      auto* chrome = chrome_;
+      pool_->run(groups.size(),
+                 [&groups, &plan, phase, now, job_us, chrome,
+                  this](std::size_t i) {
+                   const auto j0 = ProfileClock::now();
+                   for (auto* c : groups[i]) c->tick_phase(phase, now);
+                   const auto j1 = ProfileClock::now();
+                   const double us =
+                       std::chrono::duration<double, std::micro>(j1 - j0)
+                           .count();
+                   job_us[i] = us;
+                   // Distinct index per job: concurrent writes race-free.
+                   profile_.domain_us[plan.group_domains[i]] += us;
+                   if (chrome) {
+                     chrome->complete(
+                         "domain " + std::to_string(plan.group_domains[i]),
+                         "engine", profile_ts(j0), us,
+                         static_cast<int>(plan.group_domains[i]));
+                   }
+                 });
+      const auto t2 = ProfileClock::now();
+      const double dispatch_us =
+          std::chrono::duration<double, std::micro>(t2 - t1).count();
+      double busy_us = 0.0;
+      for (const double us : job_us_) busy_us += us;
+      const double capacity_us = dispatch_us * width;
+      barrier_us = capacity_us > busy_us ? capacity_us - busy_us : 0.0;
+      if (capacity_us > 0.0) {
+        profile_.utilization.add(busy_us / capacity_us);
+      }
+    }
+    const auto tend = ProfileClock::now();
+    const double shared_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    const double domains_us =
+        std::chrono::duration<double, std::micro>(tend - t1).count();
+    times.shared_us.add(shared_us);
+    times.domains_us.add(domains_us);
+    times.total_us.add(shared_us + domains_us);
+    times.barrier_us.add(barrier_us);
+    if (chrome_) {
+      chrome_->complete(phase_name(phase), "engine", profile_ts(t0),
+                        shared_us + domains_us, /*tid=*/0);
     }
   }
   ++now_;
+  ++profile_.cycles;
 }
 
 std::unique_ptr<Engine> Engine::make(const EngineConfig& cfg) {

@@ -102,6 +102,10 @@ class ParallelEngine final : public Engine {
 
  private:
   std::unique_ptr<WorkerPool> pool_;  ///< null when serial
+  /// Per-dispatch scratch: each domain job's in-job wall time, indexed by
+  /// group slot.  Written concurrently at distinct indices (one job per
+  /// slot), summed by the driving thread after the barrier.
+  std::vector<double> job_us_;
 };
 
 }  // namespace cfm::sim

@@ -50,7 +50,12 @@ std::uint64_t Rng::below(std::uint64_t bound) noexcept {
 }
 
 std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
-  return lo + below(hi - lo + 1);
+  const std::uint64_t span = hi - lo + 1;
+  // span == 0 means the full 64-bit range (hi - lo + 1 wrapped): feeding
+  // below(0) would violate its nonzero precondition and pin the result
+  // to lo; the raw draw is already uniform over the whole range.
+  if (span == 0) return (*this)();
+  return lo + below(span);
 }
 
 bool Rng::chance(double p) noexcept {

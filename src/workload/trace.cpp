@@ -1,9 +1,10 @@
 #include "workload/trace.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cfm/cfm_memory.hpp"
@@ -27,7 +28,31 @@ Trace Trace::load(std::istream& is) {
     r.is_write = rw != 0;
     t.add(r);
   }
+  // The loop also stops on a malformed field; distinguish that from a
+  // clean end of input so corrupted traces fail loudly instead of being
+  // silently truncated.
+  if (is.fail() && !is.eof()) {
+    throw std::invalid_argument(
+        "Trace::load: malformed record after " +
+        std::to_string(t.size()) + " record(s)");
+  }
   return t;
+}
+
+void Trace::validate(std::uint32_t processors, std::uint32_t modules) const {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[i];
+    if (r.proc >= processors) {
+      throw std::invalid_argument(
+          "Trace: record " + std::to_string(i) + " has processor id " +
+          std::to_string(r.proc) + " >= " + std::to_string(processors));
+    }
+    if (modules != 0 && r.module >= modules) {
+      throw std::invalid_argument(
+          "Trace: record " + std::to_string(i) + " has module id " +
+          std::to_string(r.module) + " >= " + std::to_string(modules));
+    }
+  }
 }
 
 Trace Trace::uniform(std::uint32_t processors, std::uint32_t modules,
@@ -46,16 +71,20 @@ Trace Trace::uniform(std::uint32_t processors, std::uint32_t modules,
     t.add(r);
   }
   auto recs = t.records_;
-  std::sort(recs.begin(), recs.end(),
-            [](const TraceRecord& a, const TraceRecord& b) {
-              return a.issue < b.issue;
-            });
+  // stable_sort: equal-issue records keep generation order.  A non-stable
+  // sort leaves the tie order stdlib-dependent, breaking the hard
+  // cross-platform reproducibility requirement (see sim/rng.hpp).
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.issue < b.issue;
+                   });
   t.records_ = std::move(recs);
   return t;
 }
 
 ReplayResult replay_on_cfm(const Trace& trace, std::uint32_t processors,
                            std::uint32_t bank_cycle) {
+  trace.validate(processors);
   core::CfmMemory mem(core::CfmConfig::make(processors, bank_cycle));
   const auto banks = mem.config().banks;
 
@@ -66,7 +95,6 @@ ReplayResult replay_on_cfm(const Trace& trace, std::uint32_t processors,
   };
   std::vector<PerProc> procs(processors);
   for (const auto& r : trace.records()) {
-    assert(r.proc < processors);
     procs[r.proc].queue.push_back(r);
   }
   for (auto& p : procs) std::reverse(p.queue.begin(), p.queue.end());
@@ -111,6 +139,7 @@ ReplayResult replay_on_cfm(const Trace& trace, std::uint32_t processors,
 
   out.completed = latency.count();
   out.mean_latency = latency.mean();
+  out.unfinished = remaining;
   out.makespan = now;
   return out;
 }
@@ -119,6 +148,7 @@ ReplayResult replay_on_conventional(const Trace& trace,
                                     std::uint32_t processors,
                                     std::uint32_t modules, std::uint32_t beta,
                                     std::uint64_t seed) {
+  trace.validate(processors, modules);
   mem::ConventionalMemory memory(modules, beta);
   sim::Rng rng(seed);
 
@@ -131,7 +161,6 @@ ReplayResult replay_on_conventional(const Trace& trace,
   };
   std::vector<PerProc> procs(processors);
   for (const auto& r : trace.records()) {
-    assert(r.proc < processors);
     procs[r.proc].queue.push_back(r);
   }
   for (auto& p : procs) std::reverse(p.queue.begin(), p.queue.end());
@@ -182,6 +211,7 @@ ReplayResult replay_on_conventional(const Trace& trace,
 
   out.completed = latency.count();
   out.mean_latency = latency.mean();
+  out.unfinished = remaining;
   out.makespan = now;
   return out;
 }

@@ -33,7 +33,16 @@ class Trace {
 
   /// Serialization: one "cycle proc rw module offset" line per record.
   void save(std::ostream& os) const;
+  /// Throws std::invalid_argument on malformed input (a line that is not
+  /// five whitespace-separated numeric fields).
   [[nodiscard]] static Trace load(std::istream& is);
+
+  /// Throws std::invalid_argument unless every record satisfies
+  /// `proc < processors` (and, when `modules` is nonzero,
+  /// `module < modules`).  The replay entry points call this so that a
+  /// hostile or corrupted trace fails loudly in release builds instead of
+  /// indexing out of bounds.
+  void validate(std::uint32_t processors, std::uint32_t modules = 0) const;
 
   /// Uniform random trace: `accesses` block accesses over `cycles` cycles,
   /// `processors` processors, `modules` modules, `blocks` distinct offsets,
@@ -55,6 +64,10 @@ struct ReplayResult {
   std::uint64_t completed = 0;
   std::uint64_t aborted_writes = 0;
   std::uint64_t restarts = 0;
+  /// Records still queued or in flight when the replay hit its internal
+  /// cycle budget.  Nonzero means the replay was truncated and
+  /// `completed`/`mean_latency` describe only the drained prefix.
+  std::uint64_t unfinished = 0;
   sim::Cycle makespan = 0;
 };
 

@@ -14,6 +14,7 @@
 #include "cache/hierarchical.hpp"
 #include "cfm/cfm_memory.hpp"
 #include "sim/parallel_engine.hpp"
+#include "sim/report.hpp"
 #include "sim/rng.hpp"
 #include "workload/access_gen.hpp"
 
@@ -287,6 +288,123 @@ TEST(ParallelEngine, HierarchicalWorkloadIsDeterministic) {
   // Both machines end in a coherent state.
   EXPECT_TRUE(a.sys.check_state_coupling());
   EXPECT_TRUE(b.sys.check_state_coupling());
+}
+
+// ------------------------------------------------------------ profiler --
+
+// ISSUE acceptance: the profiler reports per-phase and per-domain wall
+// times on a parallel run without perturbing simulation results.
+TEST(ParallelEngine, ProfilerReportsPhaseAndDomainTimings) {
+  constexpr std::uint32_t kModules = 8;
+  constexpr Cycle kCycles = 400;
+
+  ParallelEngine engine(EngineConfig{4});
+  ModuleFarm farm;
+  farm.build(engine, kModules, 8);
+  engine.enable_profiling();
+  engine.run_for(kCycles);
+
+  const auto& prof = engine.profile();
+  EXPECT_EQ(prof.cycles, kCycles);
+  EXPECT_EQ(prof.threads, 4u);
+
+  // One sample per cycle, every phase, and nonzero accumulated time.
+  double total = 0.0;
+  for (const auto& phase : prof.phases) {
+    EXPECT_EQ(phase.total_us.count(), kCycles);
+    EXPECT_EQ(phase.shared_us.count(), kCycles);
+    EXPECT_EQ(phase.domains_us.count(), kCycles);
+    total += phase.total_us.sum();
+  }
+  EXPECT_GT(total, 0.0);
+
+  // Every independent domain ticked under the pool and accrued time.
+  ASSERT_EQ(prof.domain_us.size(), kModules + 1);
+  EXPECT_EQ(prof.domain_us[sim::kSharedDomain], 0.0);
+  double domain_total = 0.0;
+  for (std::size_t d = 1; d < prof.domain_us.size(); ++d) {
+    domain_total += prof.domain_us[d];
+  }
+  EXPECT_GT(domain_total, 0.0);
+
+  // Parallel dispatches recorded pool utilization in (0, 1].
+  ASSERT_GT(prof.utilization.count(), 0u);
+  EXPECT_GT(prof.utilization.mean(), 0.0);
+  EXPECT_LE(prof.utilization.max(), 1.0 + 1e-6);
+
+  // The profile serializes into the report schema's section shape.
+  const auto j = prof.to_json();
+  EXPECT_EQ(j.at("cycles").as_uint(), kCycles);
+  EXPECT_EQ(j.at("threads").as_uint(), 4u);
+  EXPECT_TRUE(j.at("phases").is_object());
+  EXPECT_TRUE(j.at("utilization").is_object());
+}
+
+TEST(Engine, SerialProfilerHasNoBarrierTime) {
+  Engine engine;
+  ModuleFarm farm;
+  farm.build(engine, 4, 8);
+  engine.enable_profiling();
+  engine.run_for(100);
+
+  const auto& prof = engine.profile();
+  EXPECT_EQ(prof.cycles, 100u);
+  EXPECT_EQ(prof.threads, 1u);
+  for (const auto& phase : prof.phases) {
+    // No pool, no barrier: idle-at-barrier time must be identically 0.
+    EXPECT_EQ(phase.barrier_us.count() == 0 || phase.barrier_us.max() == 0.0,
+              true);
+  }
+  EXPECT_EQ(prof.utilization.count(), 0u);
+}
+
+TEST(Engine, ResetProfileClearsCollectedSamples) {
+  Engine engine;
+  engine.on(Phase::Memory, [](Cycle) {});
+  engine.enable_profiling();
+  engine.run_for(10);
+  EXPECT_EQ(engine.profile().cycles, 10u);
+  engine.reset_profile();
+  EXPECT_EQ(engine.profile().cycles, 0u);
+  engine.run_for(5);
+  EXPECT_EQ(engine.profile().cycles, 5u);
+}
+
+// ISSUE acceptance: serial/parallel bit-exactness holds WITH profiling
+// enabled — the profiler only reads clocks.
+TEST(ParallelEngine, ProfilingDoesNotPerturbResults) {
+  constexpr std::uint32_t kModules = 8;
+  constexpr std::uint32_t kProcs = 8;
+  constexpr Cycle kCycles = 800;
+
+  Engine serial;  // profiling off: the reference run
+  ModuleFarm a;
+  a.build(serial, kModules, kProcs);
+  serial.run_for(kCycles);
+
+  ParallelEngine parallel(EngineConfig{4});
+  ModuleFarm b;
+  b.build(parallel, kModules, kProcs);
+  parallel.enable_profiling();
+  parallel.run_for(kCycles);
+
+  expect_same_stats(serial.merged_stats(), parallel.merged_stats());
+  for (std::uint32_t m = 0; m < kModules; ++m) {
+    EXPECT_EQ(a.drivers[m]->completed(), b.drivers[m]->completed());
+    EXPECT_EQ(a.mems[m]->counters().all(), b.mems[m]->counters().all());
+  }
+}
+
+TEST(ParallelEngine, ChromeTraceSinkRecordsPhaseEvents) {
+  ParallelEngine engine(EngineConfig{2});
+  ModuleFarm farm;
+  farm.build(engine, 2, 4);
+  sim::ChromeTrace trace;
+  engine.set_chrome_trace(&trace);
+  engine.enable_profiling();
+  engine.run_for(3);
+  // Per-phase duration events were emitted while profiling.
+  EXPECT_GT(trace.event_count(), 0u);
 }
 
 // Thread count must not matter either: 2 and 8 threads agree with 4.

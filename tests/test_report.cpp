@@ -1,0 +1,232 @@
+// Tests for the structured report layer: the Json value type and its
+// parser, the Report document schema, the MetricsRegistry snapshot, and
+// the Chrome-trace event sink layered on TraceLog.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/log.hpp"
+#include "sim/report.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace cfm::sim;
+
+TEST(Json, RoundTripsEveryKind) {
+  auto obj = Json::object();
+  obj["null"] = nullptr;
+  obj["truth"] = true;
+  obj["lie"] = false;
+  obj["int"] = std::int64_t{-42};
+  obj["uint"] = std::uint64_t{18446744073709551615ULL};
+  obj["pi"] = 3.141592653589793;
+  obj["text"] = "hello";
+  auto arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(Json::object({{"nested", 3.5}}));
+  obj["list"] = std::move(arr);
+
+  const auto compact = Json::parse(obj.dump());
+  EXPECT_EQ(compact, obj);
+  const auto pretty = Json::parse(obj.dump(2));
+  EXPECT_EQ(pretty, obj);
+}
+
+TEST(Json, PreservesFullUint64AndInt64) {
+  auto obj = Json::object();
+  obj["max_u"] = std::uint64_t{18446744073709551615ULL};
+  obj["min_i"] = std::int64_t{-9223372036854775807LL - 1};
+  const auto back = Json::parse(obj.dump());
+  EXPECT_EQ(back.at("max_u").as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(back.at("min_i").as_int(), -9223372036854775807LL - 1);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "quote \" backslash \\ newline \n tab \t ctrl \x01";
+  Json j = nasty;
+  const auto back = Json::parse(j.dump());
+  EXPECT_EQ(back.as_string(), nasty);
+}
+
+TEST(Json, DoubleFormattingRoundTrips) {
+  for (const double d : {0.0, -0.0, 1.0, 0.1, 1e-300, 1e300, 1.0 / 3.0}) {
+    Json j = d;
+    const auto back = Json::parse(j.dump());
+    EXPECT_DOUBLE_EQ(back.as_double(), d) << "value " << d;
+  }
+}
+
+TEST(Json, ObjectKeysSerializeSorted) {
+  auto obj = Json::object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mango"] = 3;
+  const auto text = obj.dump();
+  EXPECT_LT(text.find("apple"), text.find("mango"));
+  EXPECT_LT(text.find("mango"), text.find("zebra"));
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), JsonParseError);
+  EXPECT_THROW((void)Json::parse("{"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1} trailing"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("nul"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonParseError);
+}
+
+TEST(Json, AccessorsEnforceKind) {
+  Json s = "text";
+  EXPECT_THROW((void)s.as_array(), std::logic_error);
+  auto obj = Json::object();
+  obj["present"] = 1;
+  EXPECT_TRUE(obj.contains("present"));
+  EXPECT_FALSE(obj.contains("absent"));
+  EXPECT_THROW((void)obj.at("absent"), std::out_of_range);
+}
+
+TEST(Report, EmitsSchemaAndAllSections) {
+  Report report("unit");
+  report.set_param("processors", 8);
+  report.add_scalar("efficiency", 0.5);
+
+  CounterSet counters;
+  counters.inc("hits", 3);
+  counters.inc("misses", 1);
+  report.add_counters("cache", counters);
+
+  RunningStat stat;
+  for (const double x : {1.0, 2.0, 3.0}) stat.add(x);
+  report.add_stat("latency", stat);
+
+  Histogram hist(1.0, 10);
+  for (int i = 0; i < 100; ++i) hist.add(static_cast<double>(i % 10));
+  report.add_histogram("spread", hist);
+
+  report.add_row("curve", Json::object({{"x", 1}, {"y", 2.0}}));
+  report.add_row("curve", Json::object({{"x", 2}, {"y", 4.0}}));
+  report.add_section("extra", Json::object({{"note", "hi"}}));
+
+  const auto j = report.to_json();
+  EXPECT_EQ(j.at("schema").as_string(), Report::kSchema);
+  EXPECT_EQ(j.at("name").as_string(), "unit");
+  EXPECT_EQ(j.at("params").at("processors").as_uint(), 8u);
+  EXPECT_DOUBLE_EQ(j.at("metrics").at("efficiency").as_double(), 0.5);
+  EXPECT_EQ(j.at("counters").at("cache").at("hits").as_uint(), 3u);
+  EXPECT_EQ(j.at("stats").at("latency").at("count").as_uint(), 3u);
+  EXPECT_DOUBLE_EQ(j.at("stats").at("latency").at("mean").as_double(), 2.0);
+  EXPECT_EQ(j.at("histograms").at("spread").at("total").as_uint(), 100u);
+  EXPECT_EQ(j.at("tables").at("curve").size(), 2u);
+  EXPECT_EQ(j.at("extra").at("note").as_string(), "hi");
+
+  // The streamed form parses back to the same document.
+  std::ostringstream os;
+  report.write(os);
+  EXPECT_EQ(Json::parse(os.str()), j);
+}
+
+TEST(Report, StatSummaryRoundTrip) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  const auto summary = stat_summary_from_json(to_json(stat));
+  EXPECT_EQ(summary.count, 8u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 9.0);
+  EXPECT_DOUBLE_EQ(summary.sum, 40.0);
+  EXPECT_NEAR(summary.stddev, stat.stddev(), 1e-12);
+}
+
+TEST(Report, CountersRoundTrip) {
+  CounterSet counters;
+  counters.inc("restarts", 17);
+  counters.inc("invalidations", 5);
+  const auto back = counters_from_json(to_json(counters));
+  EXPECT_EQ(back.get("restarts"), 17u);
+  EXPECT_EQ(back.get("invalidations"), 5u);
+  EXPECT_EQ(back.all().size(), 2u);
+}
+
+TEST(Report, HistogramJsonIncludesQuantiles) {
+  Histogram hist(1.0, 100);
+  for (int i = 1; i <= 100; ++i) hist.add(static_cast<double>(i - 1));
+  const auto j = to_json(hist, {0.5, 0.9});
+  EXPECT_EQ(j.at("total").as_uint(), 100u);
+  EXPECT_TRUE(j.at("quantiles").contains("p50"));
+  EXPECT_TRUE(j.at("quantiles").contains("p90"));
+  EXPECT_NEAR(j.at("quantiles").at("p50").as_double(), hist.quantile(0.5),
+              1e-12);
+}
+
+TEST(MetricsRegistry, SnapshotSeesLiveUpdates) {
+  CounterSet counters;
+  RunningStat stat;
+  Histogram hist(1.0, 4);
+  MetricsRegistry registry;
+  registry.register_counters("events", counters);
+  registry.register_stat("lat", stat);
+  registry.register_histogram("h", hist);
+  EXPECT_EQ(registry.size(), 3u);
+
+  // Mutations after registration must be visible at snapshot time.
+  counters.inc("ticks", 2);
+  stat.add(7.0);
+  hist.add(1.5);
+
+  Report report("snap");
+  registry.snapshot(report);
+  const auto j = report.to_json();
+  EXPECT_EQ(j.at("counters").at("events").at("ticks").as_uint(), 2u);
+  EXPECT_EQ(j.at("stats").at("lat").at("count").as_uint(), 1u);
+  EXPECT_EQ(j.at("histograms").at("h").at("total").as_uint(), 1u);
+}
+
+TEST(ChromeTrace, CollectsEventsAsJsonArray) {
+  ChromeTrace trace;
+  trace.instant("issue", "sim", 10.0, 1);
+  trace.complete("phase", "engine", 0.0, 42.5, 2);
+  trace.counter("queue_depth", 5.0, 3.0);
+  EXPECT_EQ(trace.event_count(), 3u);
+
+  const auto j = trace.to_json();
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.size(), 3u);
+  const auto& arr = j.as_array();
+  EXPECT_EQ(arr[0].at("ph").as_string(), "i");
+  EXPECT_EQ(arr[0].at("name").as_string(), "issue");
+  EXPECT_EQ(arr[1].at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(arr[1].at("dur").as_double(), 42.5);
+  EXPECT_EQ(arr[2].at("ph").as_string(), "C");
+
+  // The streamed form is valid chrome://tracing input (a JSON array).
+  std::ostringstream os;
+  trace.write(os);
+  EXPECT_EQ(Json::parse(os.str()), j);
+}
+
+TEST(ChromeTrace, AttachTurnsTraceLogEventsIntoInstants) {
+  TraceLog log;
+  ChromeTrace trace;
+  EXPECT_FALSE(log.enabled());
+  trace.attach(log, /*tid=*/7);
+  EXPECT_TRUE(log.enabled());
+
+  log.emit(123, "mem", "bank 3 busy");
+  log.lazy(124, "net", [](std::ostream& os) { os << "omega pass " << 2; });
+  ASSERT_EQ(trace.event_count(), 2u);
+
+  const auto j = trace.to_json();
+  const auto& arr = j.as_array();
+  EXPECT_EQ(arr[0].at("ph").as_string(), "i");
+  EXPECT_EQ(arr[0].at("cat").as_string(), "sim");
+  EXPECT_DOUBLE_EQ(arr[0].at("ts").as_double(), 123.0);
+  EXPECT_EQ(arr[0].at("tid").as_int(), 7);
+  EXPECT_DOUBLE_EQ(arr[1].at("ts").as_double(), 124.0);
+}
+
+}  // namespace

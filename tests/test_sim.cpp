@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -84,6 +86,49 @@ TEST(Rng, SplitProducesIndependentStream) {
     if (a() == b()) ++equal;
   }
   EXPECT_LT(equal, 2);
+}
+
+// Regression: between(0, UINT64_MAX) makes the span wrap to 0, which used
+// to feed below(0) and pin every draw to lo.  The full-range case must
+// fall back to the raw generator draw.
+TEST(Rng, BetweenFullRangeIsNotPinned) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Rng rng(19);
+  Rng raw(19);
+  bool high_half = false;
+  bool low_half = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.between(0, kMax);
+    // Must be the raw xoshiro output — uniform over all 64 bits.
+    EXPECT_EQ(x, raw());
+    high_half |= (x > kMax / 2);
+    low_half |= (x <= kMax / 2);
+  }
+  EXPECT_TRUE(high_half);
+  EXPECT_TRUE(low_half);
+}
+
+TEST(Rng, BetweenFullRangeWithNonzeroLoStillWraps) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // hi - lo + 1 wraps to 0 for any lo = hi + 1 (mod 2^64); the contract is
+  // a full-range draw, so values below lo are legitimate.
+  Rng rng(23);
+  bool below_lo = false;
+  for (int i = 0; i < 1000; ++i) {
+    below_lo |= (rng.between(1, 0) < 1) || (rng.between(kMax, kMax - 1) < kMax);
+  }
+  EXPECT_TRUE(below_lo);
+}
+
+TEST(Rng, SplitChildUnaffectedByParentAdvance) {
+  // Splitting must hand the child its own state: advancing the parent
+  // afterwards cannot perturb the child's stream.
+  Rng parent_a(29);
+  Rng parent_b(29);
+  Rng child_a = parent_a.split();
+  Rng child_b = parent_b.split();
+  for (int i = 0; i < 500; ++i) (void)parent_a();  // only parent A advances
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(child_a(), child_b());
 }
 
 TEST(RunningStat, BasicMoments) {

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a cfm-bench-report/v1 JSON document.
+
+Usage: validate_report.py REPORT.json [REPORT.json ...]
+
+Checks the schema marker, the required top-level sections, and the shape
+of each statistics container (stats need the six moment fields,
+histograms need buckets/total/quantiles, tables must be lists of
+objects).  Exits nonzero on the first invalid report — used by the CI
+bench-reports job and handy locally after `--json-out`.
+"""
+import json
+import sys
+
+SCHEMA = "cfm-bench-report/v1"
+REQUIRED = ("schema", "name", "params", "metrics", "counters", "stats",
+            "histograms", "tables")
+STAT_FIELDS = ("count", "mean", "min", "max", "stddev", "sum")
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID — {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(path, where, value):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"{where} is not a number (got {type(value).__name__})")
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    for key in REQUIRED:
+        if key not in doc:
+            fail(path, f"missing required key '{key}'")
+    if doc["schema"] != SCHEMA:
+        fail(path, f"schema is {doc['schema']!r}, want {SCHEMA!r}")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        fail(path, "name must be a non-empty string")
+    for section in ("params", "metrics", "counters", "stats", "histograms",
+                    "tables"):
+        if not isinstance(doc[section], dict):
+            fail(path, f"'{section}' is not an object")
+    for name, counters in doc["counters"].items():
+        if not isinstance(counters, dict):
+            fail(path, f"counter set '{name}' is not an object")
+        for cname, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                fail(path, f"counter {name}.{cname} is not a non-negative int")
+    for name, stat in doc["stats"].items():
+        if not isinstance(stat, dict):
+            fail(path, f"stat '{name}' is not an object")
+        for field in STAT_FIELDS:
+            if field not in stat:
+                fail(path, f"stat '{name}' missing '{field}'")
+            check_number(path, f"stat {name}.{field}", stat[field])
+    for name, hist in doc["histograms"].items():
+        for field in ("bucket_width", "buckets", "overflow", "total",
+                      "quantiles"):
+            if field not in hist:
+                fail(path, f"histogram '{name}' missing '{field}'")
+        if not isinstance(hist["buckets"], list):
+            fail(path, f"histogram '{name}' buckets is not a list")
+        if not isinstance(hist["quantiles"], dict):
+            fail(path, f"histogram '{name}' quantiles is not an object")
+    for name, rows in doc["tables"].items():
+        if not isinstance(rows, list):
+            fail(path, f"table '{name}' is not a list")
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                fail(path, f"table '{name}' row {i} is not an object")
+    n_rows = sum(len(r) for r in doc["tables"].values())
+    print(f"{path}: ok — name={doc['name']!r}, "
+          f"{len(doc['params'])} params, {len(doc['metrics'])} metrics, "
+          f"{len(doc['tables'])} tables ({n_rows} rows), "
+          f"{len(doc['stats'])} stats, {len(doc['histograms'])} histograms")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
