@@ -6,8 +6,10 @@
 #include <cstdio>
 
 #include "report_main.hpp"
+#include "sim/audit.hpp"
 #include "workload/access_gen.hpp"
 #include "workload/lock_workload.hpp"
+#include "workload/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace cfm;
@@ -75,5 +77,27 @@ int main(int argc, char** argv) {
   report.add_scalar("cfm_efficiency", cfm.efficiency);
   report.add_scalar("cfm_mean_access_time", cfm.mean_access_time);
   report.add_scalar("cfm_conflicts", cfm.conflicts);
-  return bench::finish(opts, report);
+
+  bool audit_ok = true;
+  if (opts.audit) {
+    // Negative control, machine-checked: the same auditor must count
+    // contention on the saturating network and zero violations on the
+    // conflict-free machine.
+    sim::ConflictAuditor auditor;
+    (void)run_hotspot_buffered(16, 0.35, 0.5, 2, 30000, 2026,
+                               /*combining=*/false, &auditor);
+    const auto trace =
+        workload::Trace::uniform(16, 1, 256, 2000, 2000, 0.3, 2026);
+    (void)replay_on_cfm_instrumented(trace, 16, 1, nullptr, &auditor);
+    auditor.to_report(report);
+    const bool detects = auditor.conflicts_detected() > 0;
+    const bool clean = auditor.violations() == 0;
+    audit_ok = detects && clean;
+    std::printf("\naudit: %llu conflicts detected on the buffered MIN "
+                "(want > 0), %llu violations on the CFM (want 0): %s\n",
+                static_cast<unsigned long long>(auditor.conflicts_detected()),
+                static_cast<unsigned long long>(auditor.violations()),
+                audit_ok ? "PASS" : "FAIL");
+  }
+  return bench::finish(opts, report, audit_ok ? 0 : 1);
 }

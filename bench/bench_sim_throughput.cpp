@@ -14,8 +14,10 @@
 #include "cfm/cfm_memory.hpp"
 #include "net/omega.hpp"
 #include "report_main.hpp"
+#include "sim/audit.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/txn_trace.hpp"
 #include "workload/access_gen.hpp"
 
 namespace {
@@ -43,6 +45,38 @@ void BM_CfmMemoryTick(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CfmMemoryTick)->Arg(4)->Arg(16)->Arg(64);
+
+// Tracing cost guard: the same tick loop with the transaction tracer and
+// conflict auditor attached.  BM_CfmMemoryTick above is the untraced
+// fast path (null tracer pointer, one predictable branch per hook);
+// comparing the two quantifies what an experiment pays for
+// observability.  Record capacity is capped so a long benchmark run
+// exercises the drop path instead of growing without bound.
+void BM_CfmMemoryTickInstrumented(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::CfmMemory mem(core::CfmConfig::make(n));
+  sim::TxnTracer tracer;
+  tracer.set_capacity(4096);
+  sim::ConflictAuditor auditor;
+  mem.set_txn_trace(tracer);
+  mem.set_audit(auditor);
+  std::vector<core::CfmMemory::OpToken> live(n, core::CfmMemory::kNoOp);
+  sim::Cycle t = 0;
+  for (auto _ : state) {
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (live[p] != core::CfmMemory::kNoOp &&
+          mem.take_result(live[p]).has_value()) {
+        live[p] = core::CfmMemory::kNoOp;
+      }
+      if (live[p] == core::CfmMemory::kNoOp) {
+        live[p] = mem.issue(t, p, core::BlockOpKind::Read, 1000 + p);
+      }
+    }
+    mem.tick(t++);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CfmMemoryTickInstrumented)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_CacheProtocolTick(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

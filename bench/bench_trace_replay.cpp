@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "report_main.hpp"
+#include "sim/audit.hpp"
+#include "sim/txn_trace.hpp"
 #include "workload/trace.hpp"
 
 int main(int argc, char** argv) {
@@ -43,7 +45,16 @@ int main(int argc, char** argv) {
 
   const auto cfm_trace = Trace::uniform(kProcs, 1, 256, kAccesses, kSpan,
                                         0.3, 77);
-  const auto cfm_result = replay_on_cfm(cfm_trace, kProcs, 1);
+  sim::TxnTracer tracer;
+  sim::ConflictAuditor auditor;
+  const bool instrument = opts.audit || !opts.txn_trace_out.empty();
+  const auto cfm_result =
+      instrument
+          ? replay_on_cfm_instrumented(
+                cfm_trace, kProcs, 1,
+                opts.txn_trace_out.empty() ? nullptr : &tracer,
+                opts.audit ? &auditor : nullptr)
+          : replay_on_cfm(cfm_trace, kProcs, 1);
   std::printf("%-34s %-12llu %-16.1f %-14llu %-12llu\n",
               "CFM (16 banks, conflict-free)",
               static_cast<unsigned long long>(cfm_result.makespan),
@@ -74,5 +85,27 @@ int main(int argc, char** argv) {
               "conflict retries that extra modules reduce but never remove\n"
               "(§3.4.1).  A nonzero 'unfinished' column would mean the\n"
               "replay hit its cycle budget before draining the trace.\n");
-  return bench::finish(opts, report);
+
+  bool audit_ok = true;
+  if (opts.audit) {
+    auditor.to_report(report);
+    audit_ok = auditor.violations() == 0;
+    std::printf("\naudit: %llu checks, %llu violations on the CFM replay: "
+                "%s\n",
+                static_cast<unsigned long long>(auditor.checks_performed()),
+                static_cast<unsigned long long>(auditor.violations()),
+                audit_ok ? "PASS" : "FAIL");
+  }
+  if (!opts.txn_trace_out.empty()) {
+    tracer.to_report(report);
+    sim::ChromeTrace chrome;
+    tracer.to_chrome(chrome);
+    if (!chrome.write_file(opts.txn_trace_out)) {
+      std::fprintf(stderr, "error: cannot write txn trace to '%s'\n",
+                   opts.txn_trace_out.c_str());
+      return 1;
+    }
+    std::printf("txn trace written to %s\n", opts.txn_trace_out.c_str());
+  }
+  return bench::finish(opts, report, audit_ok ? 0 : 1);
 }

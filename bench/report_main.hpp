@@ -6,6 +6,14 @@
 // numbers and archive them as artifacts.  Keeping the flag parsing and
 // the exit-code convention here means each bench main() only has to
 // fill in its Report.
+//
+// Observability flags (consumed only by benches that support them):
+//   --audit             attach the runtime ConflictAuditor; the bench
+//                       adds the "audit" report section and fails when a
+//                       conflict-free scope reports violations
+//   --txn-trace <path>  attach the TxnTracer and write its Chrome trace
+//                       (chrome://tracing / Perfetto format) to <path>;
+//                       the "txn_trace" report section rides --json-out
 #pragma once
 
 #include <cstdio>
@@ -17,11 +25,14 @@
 namespace cfm::bench {
 
 struct Options {
-  std::string json_out;  ///< empty = table output only
+  std::string json_out;   ///< empty = table output only
+  std::string txn_trace_out;  ///< empty = transaction tracing off
+  bool audit = false;         ///< attach the conflict auditor
 };
 
-/// Parses `--json-out <path>` / `--json-out=<path>`.  Unknown arguments
-/// print usage and exit(2) so a typo cannot silently drop the report.
+/// Parses `--json-out <path>` / `--json-out=<path>`, `--audit`, and
+/// `--txn-trace <path>` / `--txn-trace=<path>`.  Unknown arguments print
+/// usage and exit(2) so a typo cannot silently drop the report.
 inline Options parse_options(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -30,8 +41,17 @@ inline Options parse_options(int argc, char** argv) {
       opts.json_out = argv[++i];
     } else if (arg.rfind("--json-out=", 0) == 0) {
       opts.json_out = arg.substr(sizeof("--json-out=") - 1);
+    } else if (arg == "--txn-trace" && i + 1 < argc) {
+      opts.txn_trace_out = argv[++i];
+    } else if (arg.rfind("--txn-trace=", 0) == 0) {
+      opts.txn_trace_out = arg.substr(sizeof("--txn-trace=") - 1);
+    } else if (arg == "--audit") {
+      opts.audit = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json-out <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json-out <path>] [--audit] "
+                   "[--txn-trace <path>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }

@@ -16,6 +16,15 @@ constexpr core::KindMask kInvWbMask =
 constexpr core::KindMask kWbMask = core::kind_bit(OpKind::ProtoWriteBack);
 constexpr core::KindMask kInvMask = core::kind_bit(OpKind::ProtoReadInv);
 
+[[nodiscard]] const char* req_kind_name(CfmCacheSystem::ReqKind kind) noexcept {
+  switch (kind) {
+    case CfmCacheSystem::ReqKind::Load: return "load";
+    case CfmCacheSystem::ReqKind::Store: return "store";
+    case CfmCacheSystem::ReqKind::Rmw: return "rmw";
+  }
+  return "?";
+}
+
 }  // namespace
 
 CfmCacheSystem::CfmCacheSystem(const Params& params)
@@ -37,6 +46,16 @@ CfmCacheSystem::CfmCacheSystem(const Params& params)
 
 bool CfmCacheSystem::processor_idle(sim::ProcessorId p) const {
   return !ctls_.at(p).req.has_value();
+}
+
+void CfmCacheSystem::set_audit(sim::ConflictAuditor& auditor) {
+  audit_ = &auditor;
+  audit_scope_ = module_.set_audit(auditor, cfg_.block_access_time());
+}
+
+void CfmCacheSystem::set_txn_trace(sim::TxnTracer& tracer) {
+  tracer_ = &tracer;
+  tracer_unit_ = tracer.add_unit("cache");
 }
 
 bool CfmCacheSystem::quiescent(sim::ProcessorId p) const {
@@ -92,6 +111,13 @@ void CfmCacheSystem::accept(sim::Cycle now, sim::ProcessorId p, Request req) {
   auto* line = cache.find(req.offset);
   c.req = std::move(req);
   Request& r = *c.req;
+  if (tracer_) {
+    r.txn = tracer_->begin(tracer_unit_, now, p, req_kind_name(r.kind),
+                           r.offset);
+  }
+  log_.lazy(now, "request", [&](std::ostream& os) {
+    os << req_kind_name(r.kind) << " proc " << p << " offset " << r.offset;
+  });
 
   switch (r.kind) {
     case ReqKind::Load:
@@ -101,6 +127,7 @@ void CfmCacheSystem::accept(sim::Cycle now, sim::ProcessorId p, Request req) {
         r.old_block = line->data;
         c.stage = Stage::LocalHit;
         c.stage_until = now + 1;
+        if (tracer_) tracer_->span(r.txn, sim::TxnPhase::Cache, now, now + 1);
         return;
       }
       cache.count_miss();
@@ -114,6 +141,7 @@ void CfmCacheSystem::accept(sim::Cycle now, sim::ProcessorId p, Request req) {
         line->data.at(r.word_index) = r.value;
         c.stage = Stage::LocalHit;
         c.stage_until = now + 1;
+        if (tracer_) tracer_->span(r.txn, sim::TxnPhase::Cache, now, now + 1);
         return;
       }
       if (line == nullptr) cache.count_miss(); else cache.count_hit();
@@ -127,6 +155,10 @@ void CfmCacheSystem::accept(sim::Cycle now, sim::ProcessorId p, Request req) {
         line->wb_locked = true;
         c.stage = Stage::Modify;
         c.stage_until = now + params_.modify_cycles;
+        if (tracer_) {
+          tracer_->span(r.txn, sim::TxnPhase::Modify, now,
+                        now + params_.modify_cycles);
+        }
         return;
       }
       if (line == nullptr) cache.count_miss(); else cache.count_hit();
@@ -181,6 +213,9 @@ void CfmCacheSystem::start_primitive(sim::Cycle now, sim::ProcessorId p,
   op.tour_start = now;
   op.id = next_proto_++;
   op.buf.assign(cfg_.banks, 0);
+  // Request-driven primitives ride the request's transaction; a remote
+  // write-back (no request) gets its own — see start_remote_wb_if_due.
+  if (c.req.has_value()) op.txn = c.req->txn;
   c.proto = std::move(op);
   c.proto_is_remote_wb = false;
   counters_.inc(kind == OpKind::ProtoRead ? "proto_reads"
@@ -202,6 +237,9 @@ void CfmCacheSystem::start_remote_wb_if_due(sim::Cycle now, sim::ProcessorId p) 
     start_primitive(now, p, OpKind::ProtoWriteBack, offset);
     c.proto->buf = line->data;
     c.proto_is_remote_wb = true;
+    if (tracer_) {
+      c.proto->txn = tracer_->begin(tracer_unit_, now, p, "remote_wb", offset);
+    }
     counters_.inc("remote_wbs_served");
     return;
   }
@@ -233,6 +271,11 @@ void CfmCacheSystem::complete(sim::Cycle now, sim::ProcessorId p) {
   out.completed = now;
   out.proto_retries = r.retries;
   out.data = std::move(r.old_block);
+  if (tracer_) tracer_->end(r.txn, now, true);
+  log_.lazy(now, "complete", [&](std::ostream& os) {
+    os << req_kind_name(r.kind) << " proc " << p << " offset " << r.offset
+       << " retries " << r.retries;
+  });
   results_.emplace(r.id, std::move(out));
   c.req.reset();
   c.stage = Stage::Idle;
@@ -248,10 +291,18 @@ void CfmCacheSystem::controller_step(sim::Cycle now, sim::ProcessorId p) {
       !(c.proto->fate == Fate::Done && now < c.proto->done_at)) {
     ProtoOp op = std::move(*c.proto);
     c.proto.reset();
+    if (tracer_ && op.fate == Fate::Done &&
+        op.done_at > op.tour_start + cfg_.banks) {
+      // Trailing data words crossing the data path (c-1 slots).
+      tracer_->span(op.txn, sim::TxnPhase::Drain, op.tour_start + cfg_.banks,
+                    op.done_at);
+    }
     if (c.proto_is_remote_wb) {
       c.proto_is_remote_wb = false;
       assert(op.fate == Fate::Done);  // write-backs never lose (Table 5.2)
       if (auto* line = cache.find(op.offset)) line->state = LineState::Valid;
+      if (tracer_) tracer_->end(op.txn, now, true);
+      log_.emit(now, "remote_wb", "flushed");
     } else if (op.fate == Fate::Done) {
       Request& r = *c.req;
       switch (c.stage) {
@@ -275,6 +326,10 @@ void CfmCacheSystem::controller_step(sim::Cycle now, sim::ProcessorId p) {
               line.wb_locked = true;
               c.stage = Stage::Modify;
               c.stage_until = now + params_.modify_cycles;
+              if (tracer_) {
+                tracer_->span(r.txn, sim::TxnPhase::Modify, now,
+                              now + params_.modify_cycles);
+              }
             }
           }
           break;
@@ -296,6 +351,7 @@ void CfmCacheSystem::controller_step(sim::Cycle now, sim::ProcessorId p) {
       Request& r = *c.req;
       ++r.retries;
       counters_.inc("proto_retries");
+      if (tracer_) tracer_->restart(r.txn, now, "proto_retry");
       c.stage = Stage::RetryWait;
       const sim::Cycle base =
           op.fate == Fate::RetryNow ? 1 : params_.retry_delay;
@@ -348,6 +404,7 @@ std::optional<CfmCacheSystem::PendingOp> CfmCacheSystem::pending_exclusive(
 
 void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
   const auto bank = at_.bank_at(now, op.proc);
+  if (audit_) audit_->on_scheduled_access(audit_scope_, now, op.proc, bank);
   auto& att = atts_[bank];
   const auto cap = att.capacity();
 
@@ -358,6 +415,10 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
       }
       module_.bank(bank).access(now, mem::WordOp::Write, op.offset,
                                 op.buf[bank]);
+      // Write-back tours are coherence work, not demand data movement.
+      if (tracer_) {
+        tracer_->span(op.txn, sim::TxnPhase::Coherence, now, now + 1, bank);
+      }
       break;
     }
 
@@ -395,6 +456,9 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
         }
       }
       op.buf[bank] = module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+      if (tracer_) {
+        tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
+      }
       break;
     }
 
@@ -442,9 +506,16 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
           // Valid remote copy: invalidate in-flight, no acknowledgement.
           caches_[q]->invalidate(op.offset);
           counters_.inc("invalidations");
+          if (tracer_) tracer_->event(op.txn, now, "invalidate");
+          log_.lazy(now, "invalidate", [&](std::ostream& os) {
+            os << "proc " << op.proc << " invalidated copy at proc " << q;
+          });
         }
       }
       op.buf[bank] = module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+      if (tracer_) {
+        tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
+      }
       break;
     }
 
@@ -457,6 +528,7 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
   if (op.progress == cfg_.banks) {
     op.fate = Fate::Done;
     op.done_at = op.tour_start + cfg_.block_access_time();
+    if (audit_) audit_->on_block_complete(audit_scope_, op.tour_start, op.done_at);
   }
 }
 

@@ -42,9 +42,12 @@
 #include "cfm/block_engine.hpp"
 #include "cfm/config.hpp"
 #include "mem/module.hpp"
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::cache {
@@ -126,6 +129,30 @@ class CfmCacheSystem {
   /// Protocol invariant (§5.2.2): at most one Dirty copy of any block.
   [[nodiscard]] bool check_single_dirty_owner() const;
 
+  /// Per-event trace sinks, same shape as CfmMemory's: a textual sink and
+  /// a structured (cycle, tag, message) sink for ChromeTrace::attach.
+  void set_trace(sim::TraceLog::Sink sink) { log_.set_sink(std::move(sink)); }
+  void set_event_sink(sim::TraceLog::EventSink sink) {
+    log_.set_event_sink(std::move(sink));
+  }
+  [[nodiscard]] sim::TraceLog& trace_log() noexcept { return log_; }
+
+  /// Attaches the conflict auditor: bank probes plus the AT-space
+  /// schedule and β checks over every protocol primitive's tour — the
+  /// coherence layer must preserve conflict freedom (§5.2's premise).
+  void set_audit(sim::ConflictAuditor& auditor);
+
+  /// Attaches the transaction tracer: every processor request (load /
+  /// store / rmw) becomes a transaction with cache-hit spans, per-bank
+  /// tour spans, coherence write-back spans, and retry events; remote
+  /// write-backs triggered by other processors trace as their own
+  /// transactions.
+  void set_txn_trace(sim::TxnTracer& tracer);
+  [[nodiscard]] sim::TxnTracer* txn_tracer() const noexcept { return tracer_; }
+  [[nodiscard]] sim::TxnTracer::UnitId txn_unit() const noexcept {
+    return tracer_unit_;
+  }
+
  private:
   enum class Fate : std::uint8_t { InFlight, Done, RetryLater, RetryNow };
 
@@ -140,6 +167,7 @@ class CfmCacheSystem {
     std::vector<sim::Word> buf;
     Fate fate = Fate::InFlight;
     sim::Cycle done_at = 0;  ///< Done is resolved only once data drained
+    sim::TxnId txn = sim::kNoTxn;  ///< owning request txn (or its own)
   };
 
   enum class Stage : std::uint8_t {
@@ -163,6 +191,7 @@ class CfmCacheSystem {
     std::uint32_t retries = 0;
     bool remote_dirty = false;
     std::vector<sim::Word> old_block;  ///< rmw: pre-modification copy
+    sim::TxnId txn = sim::kNoTxn;
   };
 
   struct Ctl {
@@ -201,10 +230,15 @@ class CfmCacheSystem {
   std::vector<Ctl> ctls_;
   std::unordered_map<ReqId, Outcome> results_;
   sim::CounterSet counters_;
+  sim::TraceLog log_;
   sim::Rng retry_rng_{0x5eedULL};
   sim::DomainId domain_ = sim::kSharedDomain;
   ReqId next_req_ = 1;
   std::uint64_t next_proto_ = 1;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
+  sim::TxnTracer* tracer_ = nullptr;
+  sim::TxnTracer::UnitId tracer_unit_ = 0;
 };
 
 }  // namespace cfm::cache

@@ -17,6 +17,17 @@ bool DirectoryProtocol::processor_idle(sim::ProcessorId p) const {
   return !busy_.at(p).has_value();
 }
 
+void DirectoryProtocol::set_audit(sim::ConflictAuditor& auditor) {
+  audit_ = &auditor;
+  audit_scope_ = auditor.add_scope(
+      "directory", sim::AuditScopeKind::Contended, 1, 1, 0);
+}
+
+void DirectoryProtocol::set_txn_trace(sim::TxnTracer& tracer) {
+  tracer_ = &tracer;
+  tracer_unit_ = tracer.add_unit("directory");
+}
+
 DirectoryProtocol::ReqId DirectoryProtocol::read(sim::Cycle now,
                                                  sim::ProcessorId p,
                                                  sim::BlockAddr offset) {
@@ -27,6 +38,7 @@ DirectoryProtocol::ReqId DirectoryProtocol::read(sim::Cycle now,
   q.offset = offset;
   q.is_write = false;
   q.issued = now;
+  if (tracer_) q.txn = tracer_->begin(tracer_unit_, now, p, "read", offset);
   busy_.at(p) = q.id;
   pending_.push_back(std::move(q));
   return next_req_ - 1;
@@ -42,6 +54,7 @@ DirectoryProtocol::ReqId DirectoryProtocol::write(sim::Cycle now,
   q.offset = offset;
   q.is_write = true;
   q.issued = now;
+  if (tracer_) q.txn = tracer_->begin(tracer_unit_, now, p, "write", offset);
   busy_.at(p) = q.id;
   pending_.push_back(std::move(q));
   return next_req_ - 1;
@@ -56,6 +69,12 @@ void DirectoryProtocol::start(sim::Cycle now, Pending& p) {
   const bool remote = home_of(p.offset) != cluster_of(p.proc);
   const bool dirty_elsewhere =
       dir.state == BlockState::Dirty && dir.owner != p.proc;
+
+  if (audit_ && now > p.issued) {
+    // The home entry was busy with another same-block transaction — the
+    // serialization a directory pays and a bank tour does not.
+    audit_->on_contention(audit_scope_, now, "home_busy");
+  }
 
   sim::Cycle latency = 0;
   if (dirty_elsewhere) {
@@ -100,6 +119,21 @@ void DirectoryProtocol::start(sim::Cycle now, Pending& p) {
   p.out.remote = remote;
   p.out.dirty_third_party = dirty_elsewhere;
   p.done_at = now + latency;
+  if (tracer_) {
+    // Message round-trips, then (for writes with sharers) the explicit
+    // invalidation + acknowledgement round the CFM protocol never sends.
+    const sim::Cycle inv_extra =
+        p.out.invalidations > 0 ? params_.inv_ack_cycles : 0;
+    const sim::Cycle msgs_end = p.done_at - inv_extra;
+    if (msgs_end > now) {
+      tracer_->span(p.txn, sim::TxnPhase::Network, now, msgs_end,
+                    p.out.invalidations);
+    }
+    if (inv_extra > 0) {
+      tracer_->span(p.txn, sim::TxnPhase::Coherence, msgs_end, p.done_at,
+                    p.out.invalidations);
+    }
+  }
 }
 
 void DirectoryProtocol::tick(sim::Cycle now) {
@@ -114,6 +148,7 @@ void DirectoryProtocol::tick(sim::Cycle now) {
     if (it->started && now >= it->done_at) {
       directory_[it->offset].busy = false;
       it->out.completed = now;
+      if (tracer_) tracer_->end(it->txn, now, true);
       results_.emplace(it->id, it->out);
       busy_.at(it->proc).reset();
       it = pending_.erase(it);

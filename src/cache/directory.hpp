@@ -21,8 +21,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
+#include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::cache {
@@ -75,6 +77,20 @@ class DirectoryProtocol {
   [[nodiscard]] std::uint64_t acks() const noexcept { return acks_; }
   [[nodiscard]] const sim::CounterSet& counters() const noexcept { return counters_; }
 
+  /// Attaches the conflict auditor as a *contended* scope: transactions
+  /// serialized behind a busy home-node directory entry are contention the
+  /// CFM protocol's tour-embedded coherence avoids.
+  void set_audit(sim::ConflictAuditor& auditor);
+
+  /// Attaches the transaction tracer (unit "directory"): each request gets
+  /// a Network span for its message round-trips and a Coherence span for
+  /// the invalidation + acknowledgement round.
+  void set_txn_trace(sim::TxnTracer& tracer);
+  [[nodiscard]] sim::TxnTracer* txn_tracer() const noexcept { return tracer_; }
+  [[nodiscard]] sim::TxnTracer::UnitId txn_unit() const noexcept {
+    return tracer_unit_;
+  }
+
  private:
   enum class BlockState : std::uint8_t { Uncached, Shared, Dirty };
   struct DirEntry {
@@ -92,6 +108,7 @@ class DirectoryProtocol {
     sim::Cycle done_at = 0;
     Outcome out;
     bool started = false;
+    sim::TxnId txn = sim::kNoTxn;
   };
 
   void start(sim::Cycle now, Pending& p);
@@ -106,6 +123,10 @@ class DirectoryProtocol {
   sim::CounterSet counters_;
   sim::DomainId domain_ = sim::kSharedDomain;
   ReqId next_req_ = 1;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
+  sim::TxnTracer* tracer_ = nullptr;
+  sim::TxnTracer::UnitId tracer_unit_ = 0;
 };
 
 }  // namespace cfm::cache

@@ -48,6 +48,13 @@ bool HierarchicalCfm::processor_idle(sim::ProcessorId p) const {
   return !proc_busy_.at(p);
 }
 
+void HierarchicalCfm::set_txn_trace(sim::TxnTracer& tracer) {
+  tracer_ = &tracer;
+  tracer_unit_ = tracer.add_unit("hier");
+  for (auto& mem : cluster_mem_) mem->set_txn_trace(tracer);
+  global_mem_->set_txn_trace(tracer);
+}
+
 HierarchicalCfm::ReqId HierarchicalCfm::read(sim::Cycle now, sim::ProcessorId p,
                                              sim::BlockAddr offset) {
   if (!processor_idle(p)) throw std::logic_error("processor busy");
@@ -56,6 +63,7 @@ HierarchicalCfm::ReqId HierarchicalCfm::read(sim::Cycle now, sim::ProcessorId p,
   q.proc = p;
   q.offset = offset;
   q.issued = now;
+  if (tracer_) q.txn = tracer_->begin(tracer_unit_, now, p, "read", offset);
   proc_busy_.at(p) = true;
   auto& cache = *l1_[p];
   if (const auto* line = cache.find(offset)) {
@@ -65,6 +73,7 @@ HierarchicalCfm::ReqId HierarchicalCfm::read(sim::Cycle now, sim::ProcessorId p,
     q.phase_until = now + 1;
     q.cls = AccessClass::L1Hit;
     q.block = line->data;
+    if (tracer_) tracer_->span(q.txn, sim::TxnPhase::Cache, now, now + 1);
   } else {
     cache.count_miss();
     auto& victim = cache.slot_for(offset);
@@ -90,6 +99,7 @@ HierarchicalCfm::ReqId HierarchicalCfm::write(sim::Cycle now, sim::ProcessorId p
   q.word_index = word_index;
   q.value = value;
   q.issued = now;
+  if (tracer_) q.txn = tracer_->begin(tracer_unit_, now, p, "write", offset);
   proc_busy_.at(p) = true;
   auto& cache = *l1_[p];
   auto* line = cache.find(offset);
@@ -100,6 +110,7 @@ HierarchicalCfm::ReqId HierarchicalCfm::write(sim::Cycle now, sim::ProcessorId p
     q.phase = Phase::L1Hit;
     q.phase_until = now + 1;
     q.cls = AccessClass::L1Hit;
+    if (tracer_) tracer_->span(q.txn, sim::TxnPhase::Cache, now, now + 1);
   } else {
     if (line == nullptr) cache.count_miss(); else cache.count_hit();
     auto& victim = cache.slot_for(offset);
@@ -146,6 +157,7 @@ void HierarchicalCfm::finish(sim::Cycle now, Pending& p) {
   out.issued = p.issued;
   out.completed = now;
   out.invalidations = p.invalidations;
+  if (tracer_) tracer_->end(p.txn, now, true);
   results_.emplace(p.id, out);
   proc_busy_.at(p.proc) = false;
   counters_.inc(p.cls == AccessClass::L1Hit          ? "class_l1_hit"
@@ -183,6 +195,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op_is_global = false;
         p.op_port = port;
         counters_.inc("victim_wbs");
+        if (tracer_) tracer_->event(p.txn, now, "victim_wb");
         break;
       }
       case Phase::ClusterOp: {
@@ -223,6 +236,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op = cmem.issue(now, port, BlockOpKind::Read, p.offset);
         p.op_is_global = false;
         p.op_port = port;
+        if (tracer_) tracer_->event(p.txn, now, "cluster_tour");
         break;
       }
       case Phase::LocalL1Wb: {
@@ -238,6 +252,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op_is_global = false;
         p.op_port = port;
         counters_.inc("local_l1_wbs");
+        if (tracer_) tracer_->event(p.txn, now, "local_l1_wb");
         break;
       }
       case Phase::GlobalAttempt:
@@ -248,6 +263,11 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op_is_global = true;
         p.op_port = port;
         counters_.inc("global_reads");
+        if (tracer_) {
+          tracer_->event(p.txn, now,
+                         p.phase == Phase::GlobalRetry ? "global_retry"
+                                                       : "global_tour");
+        }
         break;
       }
       case Phase::RemoteL1Wb: {
@@ -263,6 +283,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op_is_global = false;
         p.op_port = port;
         counters_.inc("remote_l1_wbs");
+        if (tracer_) tracer_->event(p.txn, now, "remote_l1_wb");
         break;
       }
       case Phase::RemoteL2Wb: {
@@ -281,6 +302,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op_is_global = true;
         p.op_port = port;
         counters_.inc("remote_l2_wbs");
+        if (tracer_) tracer_->event(p.txn, now, "remote_l2_wb");
         break;
       }
       case Phase::L2Fill: {
@@ -290,6 +312,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
         p.op_is_global = false;
         p.op_port = *port;
         counters_.inc("l2_fills");
+        if (tracer_) tracer_->event(p.txn, now, "l2_fill");
         break;
       }
       default:
@@ -309,6 +332,7 @@ void HierarchicalCfm::advance(sim::Cycle now, Pending& p) {
     // A write lost a same-address race (possible only under heavy sharing);
     // reissue the phase.
     counters_.inc("phase_retries");
+    if (tracer_) tracer_->restart(p.txn, now, "phase_retry");
     return;
   }
 

@@ -31,7 +31,9 @@
 
 #include "cache/cache.hpp"
 #include "cfm/cfm_memory.hpp"
+#include "sim/audit.hpp"
 #include "sim/stats.hpp"
+#include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::cache {
@@ -107,6 +109,30 @@ class HierarchicalCfm {
 
   [[nodiscard]] const sim::CounterSet& counters() const noexcept { return counters_; }
 
+  /// Forwards a structured event sink to both levels' memories so one
+  /// ChromeTrace observes the whole hierarchy.
+  void set_event_sink(const sim::TraceLog::EventSink& sink) {
+    for (auto& mem : cluster_mem_) mem->set_event_sink(sink);
+    global_mem_->set_event_sink(sink);
+  }
+
+  /// Attaches the conflict auditor to every cluster CFM and the global
+  /// CFM — each registers its own ConflictFree scope, so both levels of
+  /// the hierarchy are held to the paper's invariants at once.
+  void set_audit(sim::ConflictAuditor& auditor) {
+    for (auto& mem : cluster_mem_) mem->set_audit(auditor);
+    global_mem_->set_audit(auditor);
+  }
+
+  /// Attaches the transaction tracer: the member memories trace their
+  /// tours, and unit "hier" records each processor request's lifecycle
+  /// (L1 hit span, per-phase events, completion) across both levels.
+  void set_txn_trace(sim::TxnTracer& tracer);
+  [[nodiscard]] sim::TxnTracer* txn_tracer() const noexcept { return tracer_; }
+  [[nodiscard]] sim::TxnTracer::UnitId txn_unit() const noexcept {
+    return tracer_unit_;
+  }
+
  private:
   enum class Phase : std::uint8_t {
     L1Hit,
@@ -140,6 +166,7 @@ class HierarchicalCfm {
     std::uint32_t invalidations = 0;
     sim::ProcessorId remote_owner = 0;  ///< for the write-back chain
     std::uint32_t remote_cluster = 0;
+    sim::TxnId txn = sim::kNoTxn;
   };
 
   struct L2Entry {
@@ -175,6 +202,8 @@ class HierarchicalCfm {
   std::unordered_map<ReqId, Outcome> results_;
   sim::CounterSet counters_;
   ReqId next_req_ = 1;
+  sim::TxnTracer* tracer_ = nullptr;
+  sim::TxnTracer::UnitId tracer_unit_ = 0;
 };
 
 }  // namespace cfm::cache

@@ -17,8 +17,10 @@
 
 #include "cache/cache.hpp"
 #include "cfm/block_engine.hpp"
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
+#include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::cache {
@@ -75,6 +77,20 @@ class SnoopyBus {
   [[nodiscard]] const sim::RunningStat& bus_wait() const noexcept { return bus_wait_; }
   [[nodiscard]] const sim::CounterSet& counters() const noexcept { return counters_; }
 
+  /// Attaches the conflict auditor as a *contended* scope: every bus
+  /// transaction that had to wait behind another is the serialization the
+  /// CFM protocol eliminates (negative-control side of the audit).
+  void set_audit(sim::ConflictAuditor& auditor);
+
+  /// Attaches the transaction tracer (unit "snoopy"): requests get cache
+  /// spans on local hits, bus-occupancy Network spans, and rmw Modify
+  /// spans; rmw ownership steals trace as restarts.
+  void set_txn_trace(sim::TxnTracer& tracer);
+  [[nodiscard]] sim::TxnTracer* txn_tracer() const noexcept { return tracer_; }
+  [[nodiscard]] sim::TxnTracer::UnitId txn_unit() const noexcept {
+    return tracer_unit_;
+  }
+
  private:
   enum class TxnKind : std::uint8_t { BusRd, BusRdX, BusUpgr, BusWb };
   struct Txn {
@@ -94,6 +110,7 @@ class SnoopyBus {
     sim::Cycle issued = 0;
     std::vector<sim::Word> old_block;
     bool local_hit = false;
+    sim::TxnId txn = sim::kNoTxn;
   };
   struct Ctl {
     Stage stage = Stage::Idle;
@@ -119,6 +136,10 @@ class SnoopyBus {
   sim::CounterSet counters_;
   sim::DomainId domain_ = sim::kSharedDomain;
   ReqId next_req_ = 1;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
+  sim::TxnTracer* tracer_ = nullptr;
+  sim::TxnTracer::UnitId tracer_unit_ = 0;
 };
 
 }  // namespace cfm::cache

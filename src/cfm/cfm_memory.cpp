@@ -21,6 +21,32 @@ bool CfmMemory::idle(sim::ProcessorId p) const {
   return !inflight_.at(p).has_value();
 }
 
+void CfmMemory::set_audit(sim::ConflictAuditor& auditor) {
+  audit_ = &auditor;
+  audit_scope_ = module_.set_audit(auditor, cfg_.block_access_time());
+}
+
+void CfmMemory::set_txn_trace(sim::TxnTracer& tracer) {
+  tracer_ = &tracer;
+  tracer_unit_ = tracer.add_unit("cfm");
+}
+
+namespace {
+
+[[nodiscard]] const char* op_kind_name(BlockOpKind kind) noexcept {
+  switch (kind) {
+    case BlockOpKind::Read: return "read";
+    case BlockOpKind::Write: return "write";
+    case BlockOpKind::Swap: return "swap";
+    case BlockOpKind::ProtoRead: return "proto_read";
+    case BlockOpKind::ProtoReadInv: return "proto_read_inv";
+    case BlockOpKind::ProtoWriteBack: return "proto_write_back";
+  }
+  return "?";
+}
+
+}  // namespace
+
 CfmMemory::OpToken CfmMemory::issue(sim::Cycle now, sim::ProcessorId p,
                                     BlockOpKind kind, sim::BlockAddr offset,
                                     std::span<const sim::Word> data,
@@ -59,6 +85,9 @@ CfmMemory::OpToken CfmMemory::issue(sim::Cycle now, sim::ProcessorId p,
     os << "op " << token << " proc " << p << " kind "
        << static_cast<int>(kind) << " offset " << offset;
   });
+  if (tracer_) {
+    op.txn = tracer_->begin(tracer_unit_, now, p, op_kind_name(kind), offset);
+  }
   inflight_.at(p) = std::move(op);
   counters_.inc("ops_issued");
   return token;
@@ -118,6 +147,7 @@ void CfmMemory::restart(sim::Cycle now, InFlight& op, sim::BankId bank,
   }
   ++op.restarts;
   counters_.inc(counter);
+  if (tracer_) tracer_->restart(op.txn, now, counter);
   op.tour_start = now;
   op.progress = 0;
   op.bank0_done = false;
@@ -158,6 +188,22 @@ void CfmMemory::finish(sim::Cycle now, InFlight& op, OpStatus status) {
               os << "op " << op.token << " proc " << op.proc;
             });
   counters_.inc(status == OpStatus::Completed ? "ops_completed" : "ops_aborted");
+  if (status == OpStatus::Completed) {
+    if (audit_) {
+      audit_->on_block_complete(audit_scope_, op.tour_start, result.completed);
+    }
+    if (tracer_) {
+      // The data path trails the address tour by c-1 slots (§3.1.4).
+      const sim::Cycle tour_end = op.tour_start + cfg_.banks;
+      if (result.completed > tour_end) {
+        tracer_->span(op.txn, sim::TxnPhase::Drain, tour_end,
+                      result.completed);
+      }
+      tracer_->end(op.txn, result.completed, true);
+    }
+  } else if (tracer_) {
+    tracer_->end(op.txn, now + 1, false);
+  }
   results_.emplace(op.token, std::move(result));
   inflight_.at(op.proc).reset();
 }
@@ -232,6 +278,9 @@ bool CfmMemory::handle_write_side(sim::Cycle now, InFlight& op,
   });
   module_.bank(bank).access(now, mem::WordOp::Write, op.offset,
                             op.write_buf[bank]);
+  if (tracer_ != nullptr) [[unlikely]] {
+    tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
+  }
   if (bank == 0) op.bank0_done = true;
   ++op.progress;
   if (op.progress == cfg_.banks) {
@@ -260,6 +309,9 @@ bool CfmMemory::handle_read_side(sim::Cycle now, InFlight& op,
   }
   op.read_buf[bank] =
       module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+  if (tracer_ != nullptr) [[unlikely]] {
+    tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
+  }
   log_.lazy(now, "read", [&](std::ostream& os) {
     os << "op " << op.token << " proc " << op.proc << " bank " << bank
        << " value " << op.read_buf[bank];
@@ -272,6 +324,7 @@ bool CfmMemory::handle_read_side(sim::Cycle now, InFlight& op,
       op.write_phase = true;
       if (op.modify) op.write_buf = op.modify(op.read_buf);
       assert(op.write_buf.size() == cfg_.banks);
+      if (tracer_) tracer_->event(op.txn, now, "modify");
       op.tour_start = now + 1;
       op.progress = 0;
       op.bank0_done = false;
@@ -285,6 +338,9 @@ bool CfmMemory::handle_read_side(sim::Cycle now, InFlight& op,
 void CfmMemory::step_op(sim::Cycle now, InFlight& op) {
   const auto bank = at_.bank_at(now, op.proc);
   assert(bank == at_.visit_bank(op.tour_start, op.proc, op.progress));
+  if (audit_ != nullptr) [[unlikely]] {
+    audit_->on_scheduled_access(audit_scope_, now, op.proc, bank);
+  }
   const bool writing =
       op.kind == BlockOpKind::Write ||
       (op.kind == BlockOpKind::Swap && op.write_phase);

@@ -33,9 +33,11 @@
 #include "cfm/block_engine.hpp"
 #include "cfm/config.hpp"
 #include "mem/module.hpp"
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
+#include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::core {
@@ -101,6 +103,31 @@ class CfmMemory {
   /// bank access), the textual analogue of the paper's timing diagrams.
   void set_trace(sim::TraceLog::Sink sink) { log_.set_sink(std::move(sink)); }
 
+  /// Installs a structured event sink (cycle, tag, message) — the hook
+  /// sim::ChromeTrace::attach needs.  Independent of the text sink.
+  void set_event_sink(sim::TraceLog::EventSink sink) {
+    log_.set_event_sink(std::move(sink));
+  }
+  [[nodiscard]] sim::TraceLog& trace_log() noexcept { return log_; }
+
+  /// Attaches the runtime conflict auditor: registers a ConflictFree
+  /// scope over this module's banks (wiring every bank's access probe)
+  /// and makes the op loop report the AT-space schedule of every bank
+  /// visit plus the β timing of every completed tour.  Call before the
+  /// run starts.
+  void set_audit(sim::ConflictAuditor& auditor);
+
+  /// Attaches the transaction tracer: every issued op becomes a traced
+  /// transaction with per-bank-visit spans, restart events, and drain
+  /// attribution.  Call before the run starts.
+  void set_txn_trace(sim::TxnTracer& tracer);
+  [[nodiscard]] sim::TxnTracer* txn_tracer() const noexcept { return tracer_; }
+  /// Unit this memory's transactions are recorded under (valid after
+  /// set_txn_trace) — workload drivers use it for queued_since hints.
+  [[nodiscard]] sim::TxnTracer::UnitId txn_unit() const noexcept {
+    return tracer_unit_;
+  }
+
  private:
   struct InFlight {
     OpToken token = kNoOp;
@@ -120,6 +147,7 @@ class CfmMemory {
     /// (the last word crosses at tour_start + beta - 1); the result is
     /// published at tour_start + beta.
     sim::Cycle drain_until = sim::kNeverCycle;
+    sim::TxnId txn = sim::kNoTxn;
   };
 
   [[nodiscard]] OpKind att_kind(const InFlight& op) const noexcept;
@@ -143,6 +171,10 @@ class CfmMemory {
   sim::TraceLog log_;
   sim::DomainId domain_ = sim::kSharedDomain;
   OpToken next_token_ = 1;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
+  sim::TxnTracer* tracer_ = nullptr;
+  sim::TxnTracer::UnitId tracer_unit_ = 0;
 };
 
 }  // namespace cfm::core

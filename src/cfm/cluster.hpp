@@ -93,6 +93,25 @@ class ClusterSystem {
     return cfg_.total_slots - cfg_.local_processors;
   }
 
+  /// Forwards a structured event sink to every member memory so one
+  /// ChromeTrace can observe the whole system (each member also exposes
+  /// memory(c).set_event_sink for per-cluster sinks).
+  void set_event_sink(const sim::TraceLog::EventSink& sink) {
+    for (auto& mem : memories_) mem->set_event_sink(sink);
+  }
+
+  /// Attaches the conflict auditor to every member memory (each registers
+  /// its own ConflictFree scope; remote-port service uses free AT slots,
+  /// so it must not introduce violations — the §3.3 claim under test).
+  void set_audit(sim::ConflictAuditor& auditor) {
+    for (auto& mem : memories_) mem->set_audit(auditor);
+  }
+
+  /// Attaches the transaction tracer: member memories trace their block
+  /// ops, and the link layer records each remote request's outbound hop,
+  /// remote service, and return hop as one transaction.
+  void set_txn_trace(sim::TxnTracer& tracer);
+
  private:
   struct Pending {
     RequestId id = 0;
@@ -105,6 +124,7 @@ class ClusterSystem {
     sim::Cycle arrives = 0;              ///< when it reaches dst's port
     CfmMemory::OpToken op = CfmMemory::kNoOp;
     std::optional<sim::Cycle> done_at;   ///< memory op completed, returning
+    sim::TxnId txn = sim::kNoTxn;
   };
 
   std::vector<std::unique_ptr<CfmMemory>> memories_;
@@ -112,6 +132,8 @@ class ClusterSystem {
   std::deque<Pending> queue_;
   std::unordered_map<RequestId, BlockOpResult> results_;
   RequestId next_id_ = 1;
+  sim::TxnTracer* tracer_ = nullptr;
+  sim::TxnTracer::UnitId tracer_unit_ = 0;
 };
 
 }  // namespace cfm::core

@@ -12,6 +12,9 @@ sim::Word Bank::access(sim::Cycle now, WordOp op, sim::BlockAddr block,
   // The AT-space partitioning must keep banks conflict-free; a violation
   // here is a scheduling bug in the caller, not a runtime condition.
   assert(!busy(now) && "bank conflict: AT-space schedule violated");
+  if (audit_ != nullptr) [[unlikely]] {
+    audit_->on_bank_access(audit_scope_, now, index_);
+  }
   busy_until_ = now + cycle_time_;
   ++accesses_;
   busy_cycles_ += cycle_time_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "mem/backing_store.hpp"
+#include "sim/audit.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::mem {
@@ -41,6 +42,16 @@ class Bank {
   [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
   [[nodiscard]] std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
 
+  /// Runtime conflict-freedom observation: every access() additionally
+  /// reports to `auditor`'s `scope`, which independently re-derives the
+  /// no-overlap invariant that the assert above only checks in debug
+  /// builds.  Null by default — the untraced path costs one branch.
+  void set_audit(sim::ConflictAuditor* auditor,
+                 sim::ConflictAuditor::ScopeId scope) noexcept {
+    audit_ = auditor;
+    audit_scope_ = scope;
+  }
+
  private:
   sim::BankId index_;
   std::uint32_t cycle_time_;
@@ -48,6 +59,8 @@ class Bank {
   sim::Cycle busy_until_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t busy_cycles_ = 0;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };
 
 }  // namespace cfm::mem

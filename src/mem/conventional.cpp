@@ -11,6 +11,7 @@ ConventionalMemory::ConventionalMemory(std::uint32_t modules,
 }
 
 sim::Cycle ConventionalMemory::try_start(sim::ModuleId module, sim::Cycle now) {
+  if (audit_) audit_->on_module_access(audit_scope_, now, module, beta_);
   auto& until = busy_until_.at(module);
   if (now < until) {
     ++conflicts_;
@@ -19,6 +20,12 @@ sim::Cycle ConventionalMemory::try_start(sim::ModuleId module, sim::Cycle now) {
   until = now + beta_;
   ++started_;
   return until;
+}
+
+void ConventionalMemory::set_audit(sim::ConflictAuditor& auditor) {
+  audit_ = &auditor;
+  audit_scope_ = auditor.add_scope("conventional", sim::AuditScopeKind::Contended,
+                                   module_count(), beta_, beta_);
 }
 
 }  // namespace cfm::mem

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -39,11 +40,18 @@ class ConventionalMemory {
   [[nodiscard]] std::uint64_t accesses_started() const noexcept { return started_; }
   [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
 
+  /// Negative-control instrumentation: registers a Contended scope (this
+  /// memory *expects* module conflicts) and reports every try_start so the
+  /// auditor independently re-counts the contention Fig 2.1 quantifies.
+  void set_audit(sim::ConflictAuditor& auditor);
+
  private:
   std::uint32_t beta_;
   std::vector<sim::Cycle> busy_until_;
   std::uint64_t started_ = 0;
   std::uint64_t conflicts_ = 0;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };
 
 }  // namespace cfm::mem

@@ -29,6 +29,15 @@ double Module::busy_fraction(sim::Cycle now) const {
   return static_cast<double>(busy) / static_cast<double>(banks_.size());
 }
 
+sim::ConflictAuditor::ScopeId Module::set_audit(sim::ConflictAuditor& auditor,
+                                                std::uint32_t beta) {
+  const auto scope = auditor.add_scope(
+      "module" + std::to_string(id_), sim::AuditScopeKind::ConflictFree,
+      bank_count(), banks_.empty() ? 1 : banks_.front().cycle_time(), beta);
+  for (auto& b : banks_) b.set_audit(&auditor, scope);
+  return scope;
+}
+
 void Module::attach(sim::Engine& engine, sim::DomainId domain) {
   auto sampler = std::make_shared<sim::LambdaComponent>(
       "mem.module#" + std::to_string(id_), domain);

@@ -42,6 +42,14 @@ class Module {
   /// joins the tick domain of whatever owns it.
   void attach(sim::Engine& engine, sim::DomainId domain);
 
+  /// Registers one ConflictFree scope covering all banks of this module
+  /// and wires every bank's access probe into it.  `beta` is the nominal
+  /// block access time the owner promises (b + c − 1 for a full CFM).
+  /// Call before the run starts; returns the scope for the owner's
+  /// schedule/completion checks.
+  sim::ConflictAuditor::ScopeId set_audit(sim::ConflictAuditor& auditor,
+                                          std::uint32_t beta);
+
  private:
   sim::ModuleId id_;
   BackingStore store_;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "sim/audit.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::mem {
@@ -41,10 +42,29 @@ class PhaseAlignedMemory {
     return (period_ - 1) / 2.0;
   }
 
+  /// Negative-control instrumentation: registers a Contended scope and
+  /// makes start() report every alignment stall to the auditor.
+  void set_audit(sim::ConflictAuditor& auditor) {
+    audit_ = &auditor;
+    audit_scope_ = auditor.add_scope("phase_aligned",
+                                     sim::AuditScopeKind::Contended,
+                                     /*banks=*/1, access_, /*beta=*/0);
+  }
+
+  /// Instrumented arrival: like completion(), but reports the stall to an
+  /// attached auditor (stall 0 still counts as a check).
+  sim::Cycle start(sim::Cycle now) {
+    const sim::Cycle stall = stall_for(now);
+    if (audit_) audit_->on_phase_stall(audit_scope_, now, stall);
+    return now + stall + access_;
+  }
+
  private:
   std::uint32_t period_;
   std::uint32_t phase_;
   std::uint32_t access_;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };
 
 }  // namespace cfm::mem

@@ -22,6 +22,7 @@ bool BufferedOmega::try_inject(sim::Cycle now, Port src, Port dst, bool hot) {
   auto& slot = pending_.at(src);
   if (slot.has_value()) {
     ++rejected_count_;
+    if (audit_) audit_->on_contention(audit_scope_, now, "rejected_injection");
     return false;
   }
   Packet p;
@@ -146,11 +147,13 @@ std::optional<sim::Cycle> CircuitOmega::try_circuit(sim::Cycle now, Port src,
   for (const auto& step : path) {
     if (now < hold_until_[step.stage][step.line_after]) {
       ++conflicts_;
+      if (audit_) audit_->on_contention(audit_scope_, now, "circuit_abort");
       return std::nullopt;
     }
   }
   if (now < sink_until_[dst]) {
     ++conflicts_;
+    if (audit_) audit_->on_contention(audit_scope_, now, "circuit_abort");
     return std::nullopt;
   }
   const sim::Cycle done = now + hold;

@@ -85,6 +85,16 @@ class BufferedOmega {
   /// Requests absorbed into other packets by switch combining.
   [[nodiscard]] std::uint64_t combined_count() const noexcept { return combined_count_; }
 
+  /// Negative-control instrumentation: a Contended scope counting every
+  /// rejected injection — back-pressure reaching a source is the visible
+  /// symptom of tree saturation (Fig 2.1), made machine-checkable.
+  void set_audit(sim::ConflictAuditor& auditor) {
+    audit_ = &auditor;
+    audit_scope_ =
+        auditor.add_scope("buffered_omega", sim::AuditScopeKind::Contended,
+                          ports(), /*bank_cycle=*/1, /*beta=*/0);
+  }
+
  private:
   struct Queue {
     std::deque<Packet> fifo;
@@ -113,6 +123,8 @@ class BufferedOmega {
   std::uint64_t combined_count_ = 0;
   std::uint64_t next_id_ = 0;
   sim::DomainId domain_ = sim::kSharedDomain;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };
 
 class CircuitOmega {
@@ -131,6 +143,15 @@ class CircuitOmega {
   [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
   [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
 
+  /// Negative-control instrumentation: a Contended scope counting every
+  /// circuit abort (the Butterfly's abort-and-retransmit, §2.1.2).
+  void set_audit(sim::ConflictAuditor& auditor) {
+    audit_ = &auditor;
+    audit_scope_ =
+        auditor.add_scope("circuit_omega", sim::AuditScopeKind::Contended,
+                          ports(), /*bank_cycle=*/1, /*beta=*/0);
+  }
+
   /// Fraction of switch outputs (and sinks) held by circuits at `now`.
   [[nodiscard]] double held_fraction(sim::Cycle now) const;
 
@@ -147,6 +168,8 @@ class CircuitOmega {
   std::vector<sim::Cycle> sink_until_;
   std::uint64_t attempts_ = 0;
   std::uint64_t conflicts_ = 0;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };
 
 }  // namespace cfm::net

@@ -106,4 +106,21 @@ void SyncOmega::attach(sim::Engine& engine) {
   engine.add(std::move(cursor));
 }
 
+void SyncOmega::attach_audit(sim::Engine& engine,
+                             sim::ConflictAuditor& auditor) {
+  const auto scope =
+      auditor.add_scope("omega", sim::AuditScopeKind::ConflictFree, ports(),
+                        /*bank_cycle=*/1, /*beta=*/0);
+  audit_outputs_.assign(ports(), 0);
+  auto checker = std::make_shared<sim::LambdaComponent>("net.omega.audit",
+                                                        sim::kSharedDomain);
+  checker->on(sim::Phase::Network, [this, &auditor, scope](sim::Cycle now) {
+    for (Port in = 0; in < ports(); ++in) {
+      audit_outputs_[in] = output_for(now, in);
+    }
+    auditor.on_omega_slot(scope, now, audit_outputs_);
+  });
+  engine.add(std::move(checker));
+}
+
 }  // namespace cfm::net

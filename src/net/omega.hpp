@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/permutation.hpp"
+#include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
 
@@ -81,6 +82,14 @@ class SyncOmega {
   /// letting components query switch state without threading the cycle.
   void attach(sim::Engine& engine);
   [[nodiscard]] sim::Cycle current_slot() const noexcept { return slot_; }
+
+  /// Registers a ConflictFree scope and an extra shared-domain component
+  /// that, every Phase::Network tick, *traverses* all N inputs through the
+  /// slot's switch states and hands the realized outputs to the auditor —
+  /// verifying on live traffic that every slot is a conflict-free
+  /// permutation equal to the uniform shift σ_t (Table 3.4).  Call before
+  /// engine.run; audit ticking is an experiment mode.
+  void attach_audit(sim::Engine& engine, sim::ConflictAuditor& auditor);
   [[nodiscard]] SwitchState switch_state_now(std::uint32_t stage,
                                              std::uint32_t sw) const {
     return switch_state(slot_, stage, sw);
@@ -97,6 +106,7 @@ class SyncOmega {
   OmegaTopology topo_;
   std::vector<StageStates> per_slot_;  ///< index = t mod ports
   sim::Cycle slot_ = 0;                ///< engine-aligned slot (attach())
+  std::vector<std::uint32_t> audit_outputs_;  ///< reusable traversal buffer
 };
 
 }  // namespace cfm::net

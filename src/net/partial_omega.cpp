@@ -73,6 +73,7 @@ sim::Cycle PartialCfmFabric::try_access(std::uint32_t p, std::uint32_t module,
   auto& until = busy_until_[idx];
   if (now < until) {
     ++conflicts_;
+    if (audit_) audit_->on_contention(audit_scope_, now, "channel_conflict");
     return sim::kNeverCycle;
   }
   until = now + beta_;

@@ -2,8 +2,8 @@
 
 namespace cfm::sim {
 
-void TraceLog::emit(Cycle cycle, const std::string& tag,
-                    const std::string& message) const {
+void TraceLog::emit(Cycle cycle, std::string_view tag,
+                    std::string_view message) const {
   if (event_sink_) event_sink_(cycle, tag, message);
   if (!sink_) return;
   std::ostringstream os;

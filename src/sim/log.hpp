@@ -2,11 +2,17 @@
 //
 // Disabled by default; experiments enable it to dump slot-by-slot activity
 // (the textual analogue of the paper's timing diagrams, e.g. Fig 3.6).
+//
+// Tags and messages travel as std::string_view end-to-end: callers pass
+// string literals, so a disabled log costs one branch and zero
+// allocations — the tag is never copied into a std::string.  Sinks that
+// need to retain the text must copy it (the views are only valid for the
+// duration of the call).
 #pragma once
 
 #include <functional>
 #include <sstream>
-#include <string>
+#include <string_view>
 
 #include "sim/types.hpp"
 
@@ -14,13 +20,12 @@ namespace cfm::sim {
 
 class TraceLog {
  public:
-  using Sink = std::function<void(const std::string&)>;
+  using Sink = std::function<void(std::string_view)>;
   /// Structured sink: receives the raw (cycle, tag, message) triple before
   /// any text formatting — the layering point for the Chrome-trace event
   /// sink (sim::ChromeTrace::attach), which needs the cycle as a
   /// timestamp rather than embedded in a string.
-  using EventSink =
-      std::function<void(Cycle, const std::string&, const std::string&)>;
+  using EventSink = std::function<void(Cycle, std::string_view, std::string_view)>;
 
   /// Installs a sink (e.g. writing to std::cout or collecting into a
   /// vector for tests).  A null sink disables textual tracing.
@@ -33,11 +38,11 @@ class TraceLog {
   }
 
   /// Emits "cycle <c> [<tag>] <message>" if tracing is enabled.
-  void emit(Cycle cycle, const std::string& tag, const std::string& message) const;
+  void emit(Cycle cycle, std::string_view tag, std::string_view message) const;
 
   /// Convenience: stream-style formatting, evaluated only when enabled.
   template <typename Fn>
-  void lazy(Cycle cycle, const std::string& tag, Fn&& fn) const {
+  void lazy(Cycle cycle, std::string_view tag, Fn&& fn) const {
     if (!enabled()) return;
     std::ostringstream os;
     fn(os);

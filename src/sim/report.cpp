@@ -623,10 +623,48 @@ void ChromeTrace::counter(const std::string& name, double ts_us, double value,
                      {"args", std::move(args)}}));
 }
 
+void ChromeTrace::flow_begin(const std::string& name,
+                             const std::string& category, double ts_us,
+                             std::uint64_t id, int tid) {
+  push(Json::object({{"name", Json(name)},
+                     {"cat", Json(category)},
+                     {"ph", Json("s")},
+                     {"id", Json(id)},
+                     {"ts", Json(ts_us)},
+                     {"pid", Json(0)},
+                     {"tid", Json(tid)}}));
+}
+
+void ChromeTrace::flow_end(const std::string& name,
+                           const std::string& category, double ts_us,
+                           std::uint64_t id, int tid) {
+  push(Json::object({{"name", Json(name)},
+                     {"cat", Json(category)},
+                     {"ph", Json("f")},
+                     {"bp", Json("e")},
+                     {"id", Json(id)},
+                     {"ts", Json(ts_us)},
+                     {"pid", Json(0)},
+                     {"tid", Json(tid)}}));
+}
+
+void ChromeTrace::thread_name(int tid, const std::string& name) {
+  Json args = Json::object();
+  args["name"] = name;
+  push(Json::object({{"name", Json("thread_name")},
+                     {"ph", Json("M")},
+                     {"pid", Json(0)},
+                     {"tid", Json(tid)},
+                     {"args", std::move(args)}}));
+}
+
 void ChromeTrace::attach(TraceLog& log, int tid) {
   log.set_event_sink(
-      [this, tid](Cycle cycle, const std::string& tag, const std::string& msg) {
-        instant(tag + ": " + msg, "sim", static_cast<double>(cycle), tid);
+      [this, tid](Cycle cycle, std::string_view tag, std::string_view msg) {
+        std::string name;
+        name.reserve(tag.size() + 2 + msg.size());
+        name.append(tag).append(": ").append(msg);
+        instant(name, "sim", static_cast<double>(cycle), tid);
       });
 }
 

@@ -241,6 +241,15 @@ class ChromeTrace {
   /// Counter event ("C").
   void counter(const std::string& name, double ts_us, double value,
                int tid = 0);
+  /// Flow arrow start ("s") / end ("f", bind enclosing slice).  Events
+  /// sharing `id` are stitched into one arrow across lanes — how a
+  /// transaction's lifecycle stays connected when it hops units.
+  void flow_begin(const std::string& name, const std::string& category,
+                  double ts_us, std::uint64_t id, int tid = 0);
+  void flow_end(const std::string& name, const std::string& category,
+                double ts_us, std::uint64_t id, int tid = 0);
+  /// Names the timeline lane `tid` ("M"/thread_name metadata event).
+  void thread_name(int tid, const std::string& name);
 
   /// Routes every TraceLog event into this sink as an instant event
   /// (category "sim", ts = cycle).  Replaces the log's event sink.

@@ -1,0 +1,320 @@
+#include "sim/txn_trace.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/stats.hpp"
+
+namespace cfm::sim {
+
+namespace {
+
+// TxnId layout: (unit + 1) in the high 24 bits, per-unit sequence below.
+// The +1 keeps 0 free as kNoTxn.
+constexpr std::uint32_t kSeqBits = 40;
+constexpr TxnId kSeqMask = (TxnId{1} << kSeqBits) - 1;
+
+[[nodiscard]] constexpr std::uint32_t unit_of(TxnId id) noexcept {
+  return static_cast<std::uint32_t>(id >> kSeqBits) - 1;
+}
+[[nodiscard]] constexpr std::uint64_t seq_of(TxnId id) noexcept {
+  return id & kSeqMask;
+}
+
+}  // namespace
+
+TxnTracer::UnitId TxnTracer::add_unit(std::string name) {
+  // Unit names key the JSON export; disambiguate duplicates up front.
+  std::size_t clashes = 0;
+  for (const auto& other : units_) {
+    if (other.name == name || other.name.rfind(name + "#", 0) == 0) ++clashes;
+  }
+  if (clashes > 0) name += "#" + std::to_string(clashes + 1);
+  Unit u;
+  u.name = std::move(name);
+  units_.push_back(std::move(u));
+  return static_cast<UnitId>(units_.size() - 1);
+}
+
+void TxnTracer::queued_since(UnitId unit, ProcessorId proc, Cycle since) {
+  auto& u = units_[unit];
+  if (u.queued.size() <= proc) u.queued.resize(proc + 1, kNeverCycle);
+  u.queued[proc] = since;
+}
+
+TxnId TxnTracer::begin(UnitId unit, Cycle now, ProcessorId proc,
+                       std::string_view kind, BlockAddr offset) {
+  auto& u = units_[unit];
+  ++u.started;
+  if (u.records.size() >= capacity_) {
+    ++u.dropped;
+    return kNoTxn;
+  }
+  const auto seq = static_cast<std::uint64_t>(u.records.size());
+  const TxnId id = (TxnId{unit + 1} << kSeqBits) | seq;
+  Record rec;
+  rec.id = id;
+  rec.proc = proc;
+  rec.kind.assign(kind);
+  rec.offset = offset;
+  rec.issued = now;
+  rec.enqueued = now;
+  if (proc < u.queued.size() && u.queued[proc] != kNeverCycle) {
+    const Cycle since = u.queued[proc];
+    u.queued[proc] = kNeverCycle;
+    if (since < now) {
+      rec.enqueued = since;
+      rec.attr[static_cast<std::size_t>(TxnPhase::Queue)] = now - since;
+      rec.spans.push_back(Span{TxnPhase::Queue, since, now, 0});
+    }
+  }
+  u.records.push_back(std::move(rec));
+  return id;
+}
+
+TxnTracer::Record* TxnTracer::resolve(TxnId id) {
+  if (id == kNoTxn) return nullptr;
+  const auto unit = unit_of(id);
+  if (unit >= units_.size()) return nullptr;
+  auto& u = units_[unit];
+  const auto seq = seq_of(id);
+  if (seq >= u.records.size()) return nullptr;
+  return &u.records[seq];
+}
+
+const TxnTracer::Record* TxnTracer::resolve(TxnId id) const {
+  return const_cast<TxnTracer*>(this)->resolve(id);
+}
+
+void TxnTracer::span(TxnId id, TxnPhase phase, Cycle begin, Cycle end,
+                     std::uint32_t detail) {
+  auto* rec = resolve(id);
+  if (!rec || end < begin) return;
+  rec->attr[static_cast<std::size_t>(phase)] += end - begin;
+  rec->spans.push_back(Span{phase, begin, end, detail});
+}
+
+void TxnTracer::attr(TxnId id, TxnPhase phase, std::uint64_t cycles) {
+  auto* rec = resolve(id);
+  if (!rec) return;
+  rec->attr[static_cast<std::size_t>(phase)] += cycles;
+}
+
+void TxnTracer::event(TxnId id, Cycle now, std::string_view what) {
+  auto* rec = resolve(id);
+  if (!rec) return;
+  rec->events.push_back(Event{now, std::string(what)});
+}
+
+void TxnTracer::restart(TxnId id, Cycle now, std::string_view reason) {
+  auto* rec = resolve(id);
+  if (!rec) return;
+  ++rec->restarts;
+  rec->events.push_back(Event{now, "restart: " + std::string(reason)});
+}
+
+void TxnTracer::end(TxnId id, Cycle now, bool completed) {
+  auto* rec = resolve(id);
+  if (!rec) return;
+  rec->completed = now;
+  rec->ok = completed;
+  auto& u = units_[unit_of(id)];
+  if (completed) {
+    ++u.completed;
+    // Balance the books: any latency no layer claimed is stall time, so
+    // per-phase attributions always sum to the end-to-end latency (the
+    // invariant tools/validate_report.py checks).
+    const std::uint64_t total = now - rec->enqueued;
+    const std::uint64_t claimed = rec->attr_total();
+    if (claimed < total) {
+      rec->attr[static_cast<std::size_t>(TxnPhase::Stall)] += total - claimed;
+    }
+  } else {
+    ++u.aborted;
+  }
+}
+
+std::uint64_t TxnTracer::started() const {
+  std::uint64_t n = 0;
+  for (const auto& u : units_) n += u.started;
+  return n;
+}
+
+std::uint64_t TxnTracer::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& u : units_) n += u.completed;
+  return n;
+}
+
+std::uint64_t TxnTracer::aborted() const {
+  std::uint64_t n = 0;
+  for (const auto& u : units_) n += u.aborted;
+  return n;
+}
+
+std::uint64_t TxnTracer::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& u : units_) n += u.dropped;
+  return n;
+}
+
+const TxnTracer::Record* TxnTracer::find(TxnId id) const {
+  return resolve(id);
+}
+
+Json TxnTracer::to_json(std::size_t max_span_records) const {
+  Json doc = Json::object();
+  doc["started"] = started();
+  doc["completed"] = completed();
+  doc["aborted"] = aborted();
+  doc["dropped"] = dropped();
+
+  // Latency + per-phase attribution distributions over completed txns.
+  Cycle max_latency = 0;
+  for (const auto& u : units_) {
+    for (const auto& rec : u.records) {
+      if (rec.ok) max_latency = std::max(max_latency, rec.latency());
+    }
+  }
+  const double width =
+      std::max<double>(1.0, static_cast<double>(max_latency + 1) / 64.0);
+  Histogram latency(width, 64);
+  std::array<Histogram, kTxnPhaseCount> phase_hists{
+      Histogram(width, 64), Histogram(width, 64), Histogram(width, 64),
+      Histogram(width, 64), Histogram(width, 64), Histogram(width, 64),
+      Histogram(width, 64), Histogram(width, 64)};
+  std::array<std::uint64_t, kTxnPhaseCount> phase_totals{};
+  std::uint64_t latency_total = 0;
+  for (const auto& u : units_) {
+    for (const auto& rec : u.records) {
+      if (!rec.ok) continue;
+      latency.add(static_cast<double>(rec.latency()));
+      latency_total += rec.latency();
+      for (std::size_t p = 0; p < kTxnPhaseCount; ++p) {
+        phase_hists[p].add(static_cast<double>(rec.attr[p]));
+        phase_totals[p] += rec.attr[p];
+      }
+    }
+  }
+  doc["latency"] = sim::to_json(latency);
+  doc["latency_cycles_total"] = latency_total;
+  Json attribution = Json::object();
+  Json attr_totals = Json::object();
+  for (std::size_t p = 0; p < kTxnPhaseCount; ++p) {
+    const char* name = txn_phase_name(static_cast<TxnPhase>(p));
+    attribution[name] = sim::to_json(phase_hists[p]);
+    attr_totals[name] = phase_totals[p];
+  }
+  doc["attribution"] = std::move(attribution);
+  doc["attribution_cycles"] = std::move(attr_totals);
+
+  Json units = Json::object();
+  for (const auto& u : units_) {
+    Json uj = Json::object();
+    uj["started"] = u.started;
+    uj["completed"] = u.completed;
+    uj["aborted"] = u.aborted;
+    uj["dropped"] = u.dropped;
+    units[u.name] = std::move(uj);
+  }
+  doc["units"] = std::move(units);
+
+  // A bounded sample of full transaction records, for the validator's
+  // span-schema and attribution-balance checks.
+  Json spans = Json::array();
+  bool truncated = false;
+  std::size_t emitted = 0;
+  for (const auto& u : units_) {
+    for (const auto& rec : u.records) {
+      if (emitted >= max_span_records) {
+        truncated = true;
+        break;
+      }
+      Json rj = Json::object();
+      rj["id"] = rec.id;
+      rj["unit"] = u.name;
+      rj["proc"] = rec.proc;
+      rj["kind"] = rec.kind;
+      rj["offset"] = rec.offset;
+      rj["enqueued"] = rec.enqueued;
+      rj["issued"] = rec.issued;
+      rj["completed"] =
+          rec.completed == kNeverCycle ? Json() : Json(rec.completed);
+      rj["ok"] = rec.ok;
+      rj["restarts"] = rec.restarts;
+      Json attr = Json::object();
+      for (std::size_t p = 0; p < kTxnPhaseCount; ++p) {
+        if (rec.attr[p] == 0) continue;
+        attr[txn_phase_name(static_cast<TxnPhase>(p))] = rec.attr[p];
+      }
+      rj["attr"] = std::move(attr);
+      Json sl = Json::array();
+      for (const auto& sp : rec.spans) {
+        Json sj = Json::object();
+        sj["phase"] = txn_phase_name(sp.phase);
+        sj["begin"] = sp.begin;
+        sj["end"] = sp.end;
+        sj["detail"] = sp.detail;
+        sl.push_back(std::move(sj));
+      }
+      rj["spans"] = std::move(sl);
+      Json el = Json::array();
+      for (const auto& ev : rec.events) {
+        Json ej = Json::object();
+        ej["cycle"] = ev.cycle;
+        ej["what"] = ev.what;
+        el.push_back(std::move(ej));
+      }
+      rj["events"] = std::move(el);
+      spans.push_back(std::move(rj));
+      ++emitted;
+    }
+    if (truncated) break;
+  }
+  doc["spans"] = std::move(spans);
+  doc["spans_truncated"] = truncated;
+  return doc;
+}
+
+void TxnTracer::to_report(Report& report, std::size_t max_span_records) const {
+  report.add_section("txn_trace", to_json(max_span_records));
+}
+
+void TxnTracer::to_chrome(ChromeTrace& chrome) const {
+  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+    const auto& u = units_[ui];
+    std::vector<bool> named;
+    for (const auto& rec : u.records) {
+      const int tid =
+          static_cast<int>(ui) * kLaneStride + static_cast<int>(rec.proc);
+      if (rec.proc >= named.size()) named.resize(rec.proc + 1, false);
+      if (!named[rec.proc]) {
+        named[rec.proc] = true;
+        chrome.thread_name(tid, u.name + "/p" + std::to_string(rec.proc));
+      }
+      const std::string label =
+          rec.kind + " @" + std::to_string(rec.offset);
+      for (const auto& sp : rec.spans) {
+        chrome.complete(
+            label + " [" + txn_phase_name(sp.phase) + "]", "txn",
+            static_cast<double>(sp.begin),
+            static_cast<double>(sp.end - sp.begin), tid);
+      }
+      for (const auto& ev : rec.events) {
+        chrome.instant(ev.what, "txn",
+                       static_cast<double>(ev.cycle), tid);
+      }
+      // One flow arrow from issue to completion stitches the lifecycle
+      // together across lanes when a txn hops units (cluster remotes).
+      if (rec.completed != kNeverCycle && rec.completed > rec.issued) {
+        chrome.flow_begin(label, "txn", static_cast<double>(rec.issued),
+                          rec.id, tid);
+        chrome.flow_end(label, "txn", static_cast<double>(rec.completed),
+                        rec.id, tid);
+      }
+    }
+  }
+}
+
+}  // namespace cfm::sim

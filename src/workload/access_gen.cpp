@@ -157,6 +157,12 @@ void AccessDriver::tick_phase(sim::Phase, sim::Cycle now) {
       }
     }
     if (st.op == core::CfmMemory::kNoOp && rng_.chance(rate_)) {
+      // Closed loop: the access is generated and issued in the same
+      // cycle, so the queue hint records a zero wait — the driver never
+      // holds work back, which the txn trace then shows explicitly.
+      if (auto* tracer = mem_.txn_tracer()) {
+        tracer->queued_since(mem_.txn_unit(), p, now);
+      }
       // Distinct blocks per processor: the efficiency experiment is
       // about *bank* conflicts, not same-address races.
       st.op = mem_.issue(now, p, core::BlockOpKind::Read,

@@ -18,8 +18,10 @@ HotSpotResult run_hotspot_buffered(std::uint32_t ports, double rate,
                                    double hot_fraction,
                                    std::uint32_t queue_capacity,
                                    sim::Cycle cycles, std::uint64_t seed,
-                                   bool combining) {
+                                   bool combining,
+                                   sim::ConflictAuditor* auditor) {
   net::BufferedOmega network(ports, queue_capacity, 1, combining);
+  if (auditor != nullptr) network.set_audit(*auditor);
   sim::Rng rng(seed);
   const net::Port hot_sink = 0;
 

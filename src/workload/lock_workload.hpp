@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "sim/audit.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -30,14 +31,13 @@ struct HotSpotResult {
 };
 
 /// `combining` enables Ultracomputer/RP3 fetch-and-add combining at the
-/// switches (§2.1.1) for the hot traffic.
-[[nodiscard]] HotSpotResult run_hotspot_buffered(std::uint32_t ports,
-                                                 double rate,
-                                                 double hot_fraction,
-                                                 std::uint32_t queue_capacity,
-                                                 sim::Cycle cycles,
-                                                 std::uint64_t seed,
-                                                 bool combining = false);
+/// switches (§2.1.1) for the hot traffic.  A non-null `auditor` watches
+/// the buffered omega as a Contended scope: every rejected injection is
+/// tallied under conflicts_detected() — the Fig 2.1 negative control.
+[[nodiscard]] HotSpotResult run_hotspot_buffered(
+    std::uint32_t ports, double rate, double hot_fraction,
+    std::uint32_t queue_capacity, sim::Cycle cycles, std::uint64_t seed,
+    bool combining = false, sim::ConflictAuditor* auditor = nullptr);
 
 struct LockFarmResult {
   std::uint64_t total_acquisitions = 0;

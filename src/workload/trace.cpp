@@ -84,8 +84,19 @@ Trace Trace::uniform(std::uint32_t processors, std::uint32_t modules,
 
 ReplayResult replay_on_cfm(const Trace& trace, std::uint32_t processors,
                            std::uint32_t bank_cycle) {
+  return replay_on_cfm_instrumented(trace, processors, bank_cycle, nullptr,
+                                    nullptr);
+}
+
+ReplayResult replay_on_cfm_instrumented(const Trace& trace,
+                                        std::uint32_t processors,
+                                        std::uint32_t bank_cycle,
+                                        sim::TxnTracer* tracer,
+                                        sim::ConflictAuditor* auditor) {
   trace.validate(processors);
   core::CfmMemory mem(core::CfmConfig::make(processors, bank_cycle));
+  if (tracer != nullptr) mem.set_txn_trace(*tracer);
+  if (auditor != nullptr) mem.set_audit(*auditor);
   const auto banks = mem.config().banks;
 
   struct PerProc {
@@ -124,6 +135,11 @@ ReplayResult replay_on_cfm(const Trace& trace, std::uint32_t processors,
           st.queue.back().issue <= now) {
         const auto rec = st.queue.back();
         st.queue.pop_back();
+        if (tracer != nullptr) {
+          // The record could have started at rec.issue; any gap until now
+          // was spent behind this processor's previous access.
+          tracer->queued_since(mem.txn_unit(), p, rec.issue);
+        }
         if (rec.is_write) {
           const std::vector<sim::Word> data(banks, rec.offset + 1);
           st.op = mem.issue(now, p, core::BlockOpKind::Write, rec.offset, data);

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/audit.hpp"
+#include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::workload {
@@ -74,6 +76,15 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay_on_cfm(const Trace& trace,
                                          std::uint32_t processors,
                                          std::uint32_t bank_cycle);
+
+/// Instrumented replay: attaches the transaction tracer and/or conflict
+/// auditor to the replay memory.  Each record's trace `issue` cycle feeds
+/// the tracer's queue hints, so a record that waited behind its
+/// processor's previous access shows the wait as a Queue span.  Passing
+/// both null is exactly replay_on_cfm.
+[[nodiscard]] ReplayResult replay_on_cfm_instrumented(
+    const Trace& trace, std::uint32_t processors, std::uint32_t bank_cycle,
+    sim::TxnTracer* tracer, sim::ConflictAuditor* auditor);
 
 /// Replays the same trace against the conventional contended memory
 /// (module field used; conflicts retried with Uniform[1, beta] back-off).

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cfm/cfm_memory.hpp"
+#include "sim/audit.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -32,6 +33,8 @@ TEST_P(CfmRandomOps, SameBlockChaosStaysConsistent) {
   const auto shape = GetParam();
   CfmMemory mem(CfmConfig::make(shape.processors, shape.bank_cycle),
                 shape.policy);
+  cfm::sim::ConflictAuditor auditor;
+  mem.set_audit(auditor);
   const auto banks = mem.config().banks;
   cfm::sim::Rng rng(1234 + shape.processors + shape.bank_cycle);
   const cfm::sim::BlockAddr target = 42;
@@ -92,6 +95,10 @@ TEST_P(CfmRandomOps, SameBlockChaosStaysConsistent) {
   for (Cycle extra = 0; extra < 10 * banks; ++extra) mem.tick(t++);
 
   EXPECT_GT(completed_reads, 20u);
+  // Same-block chaos shares data, never banks: the runtime auditor must
+  // see zero conflict-freedom violations.
+  EXPECT_GT(auditor.checks_performed(), 0u);
+  EXPECT_EQ(auditor.violations(), 0u);
   const auto final_block = mem.peek_block(target);
   const Word v = final_block[0];
   for (const Word w : final_block) {
@@ -117,6 +124,8 @@ TEST_P(CfmDistinctBlocks, NeverConflictsNeverStretches) {
   const auto shape = GetParam();
   CfmMemory mem(CfmConfig::make(shape.processors, shape.bank_cycle),
                 shape.policy);
+  cfm::sim::ConflictAuditor auditor;
+  mem.set_audit(auditor);
   const auto banks = mem.config().banks;
   const auto beta = mem.config().block_access_time();
   cfm::sim::Rng rng(99 + shape.processors);
@@ -162,6 +171,8 @@ TEST_P(CfmDistinctBlocks, NeverConflictsNeverStretches) {
   EXPECT_GT(completed, 100u);
   EXPECT_EQ(mem.counters().get("read_restarts"), 0u);
   EXPECT_EQ(mem.counters().get("ops_aborted"), 0u);
+  EXPECT_GT(auditor.checks_performed(), 0u);
+  EXPECT_EQ(auditor.violations(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -241,7 +241,7 @@ struct HierRig {
     for (std::uint32_t c = 0; c < 8; ++c) {
       auto* sink = &traces[c];
       sys.cluster_memory(c).set_trace(
-          [sink](const std::string& line) { sink->push_back(line); });
+          [sink](std::string_view line) { sink->emplace_back(line); });
     }
   }
 };

@@ -330,7 +330,7 @@ TEST(TraceLog, EmitsOnlyWhenEnabled) {
   log.lazy(1, "t", [&](std::ostream&) { ++calls; });
   EXPECT_EQ(calls, 0);  // disabled: the formatter must not run
   std::vector<std::string> lines;
-  log.set_sink([&](const std::string& s) { lines.push_back(s); });
+  log.set_sink([&](std::string_view s) { lines.emplace_back(s); });
   log.emit(7, "bank", "hello");
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], "cycle 7 [bank] hello");

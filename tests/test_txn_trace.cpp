@@ -1,0 +1,260 @@
+// The transaction tracer: lifecycle records, the attribution invariant
+// (per-phase cycle sums equal end-to-end latency, by construction of
+// end()'s stall folding), queue hints, the bounded-capacity drop path,
+// and the three exports (report section, span samples, Chrome trace).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cfm/cfm_memory.hpp"
+#include "sim/report.hpp"
+#include "sim/rng.hpp"
+#include "sim/txn_trace.hpp"
+
+namespace {
+
+using namespace cfm;
+using cfm::sim::Cycle;
+using cfm::sim::TxnPhase;
+using cfm::sim::TxnTracer;
+
+// ---- direct API --------------------------------------------------------
+
+TEST(TxnTrace, LifecycleAndAttributionFolding) {
+  TxnTracer tracer;
+  const auto unit = tracer.add_unit("u");
+  const auto id = tracer.begin(unit, 10, 2, "read", 7);
+  ASSERT_NE(id, sim::kNoTxn);
+  tracer.span(id, TxnPhase::Bank, 10, 14, 3);
+  tracer.span(id, TxnPhase::Drain, 14, 15);
+  tracer.end(id, 20, true);
+
+  const auto* rec = tracer.find(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->proc, 2u);
+  EXPECT_EQ(rec->kind, "read");
+  EXPECT_EQ(rec->offset, 7u);
+  EXPECT_EQ(rec->enqueued, 10u);  // no queue hint: enqueued == issued
+  EXPECT_EQ(rec->completed, 20u);
+  EXPECT_TRUE(rec->ok);
+  ASSERT_EQ(rec->spans.size(), 2u);
+  EXPECT_EQ(rec->spans[0].detail, 3u);
+  // 4 bank + 1 drain cycles claimed; end() folds the missing 5 into Stall.
+  EXPECT_EQ(rec->attr[static_cast<int>(TxnPhase::Bank)], 4u);
+  EXPECT_EQ(rec->attr[static_cast<int>(TxnPhase::Drain)], 1u);
+  EXPECT_EQ(rec->attr[static_cast<int>(TxnPhase::Stall)], 5u);
+  EXPECT_EQ(rec->attr_total(), rec->latency());
+  EXPECT_EQ(tracer.started(), 1u);
+  EXPECT_EQ(tracer.completed(), 1u);
+}
+
+TEST(TxnTrace, QueueHintBecomesQueueSpan) {
+  TxnTracer tracer;
+  const auto unit = tracer.add_unit("u");
+  tracer.queued_since(unit, 0, 4);
+  const auto id = tracer.begin(unit, 10, 0, "read", 1);
+  tracer.end(id, 12, true);
+
+  const auto* rec = tracer.find(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->enqueued, 4u);
+  EXPECT_EQ(rec->issued, 10u);
+  ASSERT_FALSE(rec->spans.empty());
+  EXPECT_EQ(rec->spans[0].phase, TxnPhase::Queue);
+  EXPECT_EQ(rec->spans[0].begin, 4u);
+  EXPECT_EQ(rec->spans[0].end, 10u);
+  EXPECT_EQ(rec->attr[static_cast<int>(TxnPhase::Queue)], 6u);
+  EXPECT_EQ(rec->attr_total(), rec->latency());
+
+  // The hint was consumed: the next begin() is unqueued again.
+  const auto id2 = tracer.begin(unit, 20, 0, "read", 1);
+  const auto* rec2 = tracer.find(id2);
+  ASSERT_NE(rec2, nullptr);
+  EXPECT_EQ(rec2->enqueued, 20u);
+}
+
+TEST(TxnTrace, AbortedAndRestartedTransactions) {
+  TxnTracer tracer;
+  const auto unit = tracer.add_unit("u");
+  const auto id = tracer.begin(unit, 0, 0, "swap", 9);
+  tracer.restart(id, 5, "write_overlap");
+  tracer.restart(id, 9, "write_overlap");
+  tracer.end(id, 12, false);
+
+  const auto* rec = tracer.find(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->ok);
+  EXPECT_EQ(rec->restarts, 2u);
+  EXPECT_EQ(rec->events.size(), 2u);
+  EXPECT_EQ(tracer.aborted(), 1u);
+  EXPECT_EQ(tracer.completed(), 0u);
+}
+
+TEST(TxnTrace, CapacityCapDropsButStillCounts) {
+  TxnTracer tracer;
+  tracer.set_capacity(2);
+  const auto unit = tracer.add_unit("u");
+  EXPECT_NE(tracer.begin(unit, 0, 0, "read", 0), sim::kNoTxn);
+  EXPECT_NE(tracer.begin(unit, 1, 1, "read", 1), sim::kNoTxn);
+  const auto dropped = tracer.begin(unit, 2, 2, "read", 2);
+  EXPECT_EQ(dropped, sim::kNoTxn);
+  EXPECT_EQ(tracer.started(), 3u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  // All mutators must no-op on kNoTxn.
+  tracer.span(dropped, TxnPhase::Bank, 2, 3);
+  tracer.restart(dropped, 3, "x");
+  tracer.end(dropped, 4, true);
+  EXPECT_EQ(tracer.completed(), 0u);
+}
+
+// ---- CfmMemory integration ---------------------------------------------
+
+TEST(TxnTrace, CfmReadProducesOneBankSpanPerBank) {
+  core::CfmMemory mem(core::CfmConfig::make(4));  // b = 4, c = 1
+  TxnTracer tracer;
+  mem.set_txn_trace(tracer);
+  const auto banks = mem.config().banks;
+  const auto beta = mem.config().block_access_time();
+
+  (void)mem.issue(0, 0, core::BlockOpKind::Read, 11);
+  Cycle t = 0;
+  for (; t < 4 * banks; ++t) mem.tick(t);
+
+  ASSERT_EQ(tracer.completed(), 1u);
+  const auto doc = tracer.to_json();
+  const auto& spans = doc.at("spans").as_array();
+  ASSERT_FALSE(spans.empty());
+  const auto& first = spans.front();
+  EXPECT_EQ(first.at("kind").as_string(), "read");
+  std::uint64_t bank_spans = 0;
+  for (const auto& s : first.at("spans").as_array()) {
+    if (s.at("phase").as_string() == "bank") ++bank_spans;
+  }
+  EXPECT_EQ(bank_spans, banks);
+  EXPECT_EQ(first.at("completed").as_uint() - first.at("enqueued").as_uint(),
+            beta);
+}
+
+TEST(TxnTrace, CfmDrainSpanAppearsWhenBankCycleExceedsOne) {
+  core::CfmMemory mem(core::CfmConfig::make(4, 2));  // b = 8, c = 2
+  TxnTracer tracer;
+  mem.set_txn_trace(tracer);
+  const auto banks = mem.config().banks;
+
+  (void)mem.issue(0, 1, core::BlockOpKind::Read, 3);
+  Cycle t = 0;
+  for (; t < 6 * banks; ++t) mem.tick(t);
+
+  ASSERT_EQ(tracer.completed(), 1u);
+  const auto doc = tracer.to_json();
+  const auto& first = doc.at("spans").as_array().front();
+  bool has_drain = false;
+  for (const auto& s : first.at("spans").as_array()) {
+    if (s.at("phase").as_string() == "drain") has_drain = true;
+  }
+  EXPECT_TRUE(has_drain) << "c = 2 must leave a c-1 cycle drain span";
+}
+
+TEST(TxnTrace, CfmAttributionSumsEqualLatencyUnderChaos) {
+  // Same-block chaos: restarts, aborts, swaps — the invariant must hold
+  // for every completed record regardless.
+  core::CfmMemory mem(core::CfmConfig::make(8),
+                      core::ConsistencyPolicy::EarliestWins);
+  TxnTracer tracer;
+  mem.set_txn_trace(tracer);
+  const auto banks = mem.config().banks;
+  sim::Rng rng(77);
+  std::vector<core::CfmMemory::OpToken> live(8, core::CfmMemory::kNoOp);
+  Cycle t = 0;
+  for (; t < 3000; ++t) {
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      if (live[p] != core::CfmMemory::kNoOp &&
+          mem.take_result(live[p]).has_value()) {
+        live[p] = core::CfmMemory::kNoOp;
+      }
+      if (live[p] == core::CfmMemory::kNoOp && rng.chance(0.4)) {
+        const double pick = rng.uniform();
+        const auto kind = pick < 0.4   ? core::BlockOpKind::Read
+                          : pick < 0.8 ? core::BlockOpKind::Write
+                                       : core::BlockOpKind::Swap;
+        live[p] = kind == core::BlockOpKind::Read
+                      ? mem.issue(t, p, kind, 42)
+                      : mem.issue(t, p, kind, 42,
+                                  std::vector<sim::Word>(banks, t));
+      }
+    }
+    mem.tick(t);
+  }
+  EXPECT_GT(tracer.completed(), 100u);
+
+  const auto doc = tracer.to_json(1u << 20);
+  std::uint64_t checked = 0;
+  for (const auto& rec : doc.at("spans").as_array()) {
+    if (!rec.at("ok").as_bool()) continue;
+    std::uint64_t attr_sum = 0;
+    for (const auto& [phase, cycles] : rec.at("attr").as_object()) {
+      attr_sum += cycles.as_uint();
+    }
+    const auto latency =
+        rec.at("completed").as_uint() - rec.at("enqueued").as_uint();
+    ASSERT_EQ(attr_sum, latency) << "attribution leak in " << rec.dump();
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+  EXPECT_FALSE(doc.at("spans_truncated").as_bool());
+}
+
+// ---- exports -----------------------------------------------------------
+
+TEST(TxnTrace, ReportSectionAndChromeExport) {
+  core::CfmMemory mem(core::CfmConfig::make(4));
+  TxnTracer tracer;
+  mem.set_txn_trace(tracer);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    (void)mem.issue(0, p, core::BlockOpKind::Read, 100 + p);
+  }
+  Cycle t = 0;
+  for (; t < 32; ++t) mem.tick(t);
+  ASSERT_EQ(tracer.completed(), 4u);
+
+  sim::Report report("txn_test");
+  tracer.to_report(report);
+  const auto doc = sim::Json::parse(report.to_json().dump());
+  const auto& section = doc.at("txn_trace");
+  EXPECT_EQ(section.at("started").as_uint(), 4u);
+  EXPECT_EQ(section.at("completed").as_uint(), 4u);
+  EXPECT_EQ(section.at("dropped").as_uint(), 0u);
+  EXPECT_TRUE(section.at("attribution").is_object());
+  EXPECT_TRUE(section.at("latency").is_object());
+  EXPECT_TRUE(section.at("units").at("cfm").is_object());
+
+  // Chrome export: per-span "X" events plus a flow arrow per txn, on one
+  // lane per (unit, proc).
+  sim::ChromeTrace chrome;
+  tracer.to_chrome(chrome);
+  const auto events = chrome.to_json();
+  ASSERT_TRUE(events.is_array());
+  std::uint64_t durations = 0;
+  std::uint64_t flows = 0;
+  for (const auto& e : events.as_array()) {
+    const auto& ph = e.at("ph").as_string();
+    if (ph == "X") ++durations;
+    if (ph == "s" || ph == "f") ++flows;
+  }
+  EXPECT_GE(durations, 4u * 4u);  // >= banks spans per read
+  EXPECT_GE(flows, 2u * 4u);      // begin + end arrow per txn
+}
+
+TEST(TxnTrace, SpanSampleTruncationIsFlagged) {
+  TxnTracer tracer;
+  const auto unit = tracer.add_unit("u");
+  for (Cycle i = 0; i < 10; ++i) {
+    const auto id = tracer.begin(unit, i, 0, "read", i);
+    tracer.end(id, i + 1, true);
+  }
+  const auto doc = tracer.to_json(/*max_span_records=*/3);
+  EXPECT_EQ(doc.at("spans").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("spans_truncated").as_bool());
+}
+
+}  // namespace

@@ -6,8 +6,13 @@ Usage: validate_report.py REPORT.json [REPORT.json ...]
 Checks the schema marker, the required top-level sections, and the shape
 of each statistics container (stats need the six moment fields,
 histograms need buckets/total/quantiles, tables must be lists of
-objects).  Exits nonzero on the first invalid report — used by the CI
-bench-reports job and handy locally after `--json-out`.
+objects).  Reports produced with --txn-trace / --audit additionally get
+their "txn_trace" and "audit" sections checked: span records must have
+monotonic cycles and per-phase attribution sums equal to end-to-end
+latency, and an audit section with violations > 0 fails validation (the
+conflict-freedom invariant broke).  Exits nonzero on the first invalid
+report — used by the CI bench-reports and audit jobs and handy locally
+after `--json-out`.
 """
 import json
 import sys
@@ -72,11 +77,96 @@ def validate(path):
         for i, row in enumerate(rows):
             if not isinstance(row, dict):
                 fail(path, f"table '{name}' row {i} is not an object")
+    extras = []
+    if "txn_trace" in doc:
+        validate_txn_trace(path, doc["txn_trace"])
+        extras.append(f"txn_trace ({doc['txn_trace']['completed']} txns)")
+    if "audit" in doc:
+        validate_audit(path, doc["audit"])
+        extras.append(f"audit ({doc['audit']['checks']} checks)")
     n_rows = sum(len(r) for r in doc["tables"].values())
     print(f"{path}: ok — name={doc['name']!r}, "
           f"{len(doc['params'])} params, {len(doc['metrics'])} metrics, "
           f"{len(doc['tables'])} tables ({n_rows} rows), "
-          f"{len(doc['stats'])} stats, {len(doc['histograms'])} histograms")
+          f"{len(doc['stats'])} stats, {len(doc['histograms'])} histograms"
+          + "".join(f", {e}" for e in extras))
+
+
+PHASES = ("queue", "stall", "cache", "bank", "network", "coherence",
+          "modify", "drain")
+
+
+def validate_txn_trace(path, section):
+    """The "txn_trace" section: counters, attribution histograms, and the
+    sampled span records, whose per-phase attribution must sum exactly to
+    the end-to-end latency (the tracer's stall-folding invariant)."""
+    if not isinstance(section, dict):
+        fail(path, "'txn_trace' is not an object")
+    for key in ("started", "completed", "aborted", "dropped", "attribution",
+                "attribution_cycles", "latency", "units", "spans",
+                "spans_truncated"):
+        if key not in section:
+            fail(path, f"txn_trace missing '{key}'")
+    for key in ("started", "completed", "aborted", "dropped"):
+        if not isinstance(section[key], int) or section[key] < 0:
+            fail(path, f"txn_trace.{key} is not a non-negative int")
+    if section["completed"] + section["aborted"] > section["started"]:
+        fail(path, "txn_trace: completed + aborted exceeds started")
+    if not isinstance(section["spans"], list):
+        fail(path, "txn_trace.spans is not a list")
+    for i, rec in enumerate(section["spans"]):
+        where = f"txn_trace.spans[{i}]"
+        for key in ("id", "unit", "proc", "kind", "enqueued", "issued",
+                    "completed", "ok", "restarts", "attr", "spans"):
+            if key not in rec:
+                fail(path, f"{where} missing '{key}'")
+        if rec["issued"] < rec["enqueued"]:
+            fail(path, f"{where}: issued before enqueued")
+        spans = rec["spans"]
+        for j, span in enumerate(spans):
+            if span["phase"] not in PHASES:
+                fail(path, f"{where}.spans[{j}]: unknown phase "
+                           f"{span['phase']!r}")
+            if span["end"] < span["begin"]:
+                fail(path, f"{where}.spans[{j}]: end before begin")
+            if j > 0 and span["begin"] < spans[j - 1]["begin"]:
+                fail(path, f"{where}.spans[{j}]: cycles not monotonic")
+        if rec["ok"]:
+            if rec["completed"] is None:
+                fail(path, f"{where}: ok but no completion cycle")
+            latency = rec["completed"] - rec["enqueued"]
+            attr_sum = sum(rec["attr"].values())
+            if attr_sum != latency:
+                fail(path, f"{where}: attribution sums to {attr_sum}, "
+                           f"latency is {latency}")
+
+
+def validate_audit(path, section):
+    """The "audit" section: per-scope counter shape, and the hard gate —
+    a ConflictFree scope reporting violations means the simulated machine
+    broke the paper's invariant."""
+    if not isinstance(section, dict):
+        fail(path, "'audit' is not an object")
+    for key in ("violations", "conflicts_detected", "checks", "scopes",
+                "samples"):
+        if key not in section:
+            fail(path, f"audit missing '{key}'")
+    if not isinstance(section["scopes"], dict):
+        fail(path, "audit.scopes is not an object")
+    for name, scope in section["scopes"].items():
+        for key in ("kind", "checks", "issues"):
+            if key not in scope:
+                fail(path, f"audit scope '{name}' missing '{key}'")
+        if scope["kind"] not in ("conflict_free", "contended"):
+            fail(path, f"audit scope '{name}' has unknown kind "
+                       f"{scope['kind']!r}")
+    if not isinstance(section["samples"], list):
+        fail(path, "audit.samples is not a list")
+    if section["violations"] > 0:
+        kinds = sorted({s.get("kind", "?") for s in section["samples"]})
+        fail(path, f"audit reports {section['violations']} conflict-freedom "
+                   f"violation(s) ({', '.join(kinds)}) — the CFM invariant "
+                   f"broke")
 
 
 def main(argv):
