@@ -43,25 +43,31 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nsimulated (cycle-level channel fabric), r = 0.03:\n");
-  std::printf("%-10s %-12s %-12s\n", "lambda", "analytic", "simulated");
+  std::printf("%-10s %-12s %-12s %-10s\n", "lambda", "analytic", "simulated",
+              "unfinished");
   for (const double l : {0.9, 0.8, 0.7, 0.5, 0.3}) {
     const auto measured = workload::measure_partial_cfm(64, 8, 17, 0.03, l,
                                                         300000, 7);
-    std::printf("%-10.1f %-12.3f %-12.3f\n", l, partial.efficiency(0.03, l),
-                measured.efficiency);
+    std::printf("%-10.1f %-12.3f %-12.3f %-10llu\n", l,
+                partial.efficiency(0.03, l), measured.efficiency,
+                static_cast<unsigned long long>(measured.unfinished));
     auto row = sim::Json::object();
     row["lambda"] = l;
     row["analytic"] = partial.efficiency(0.03, l);
     row["simulated"] = measured.efficiency;
+    row["unfinished"] = measured.unfinished;
     report.add_row("simulated_r0_03", std::move(row));
   }
   const auto conv_sim = workload::measure_conventional(64, 64, 17, 0.03,
                                                        300000, 7);
-  std::printf("%-10s %-12.3f %-12.3f\n", "conv(64)",
-              conventional.efficiency(0.03), conv_sim.efficiency);
+  std::printf("%-10s %-12.3f %-12.3f %-10llu\n", "conv(64)",
+              conventional.efficiency(0.03), conv_sim.efficiency,
+              static_cast<unsigned long long>(conv_sim.unfinished));
   report.add_scalar("conventional_analytic_r0_03",
                     conventional.efficiency(0.03));
   report.add_scalar("conventional_sim_r0_03", conv_sim.efficiency);
+  report.add_scalar("conventional_sim_unfinished_r0_03",
+                    static_cast<double>(conv_sim.unfinished));
 
   std::printf("\nShape check (paper): the partial-CFM curves are ordered by\n"
               "locality and all sit above the 64-module conventional curve,\n"

@@ -14,6 +14,9 @@
 //   --txn-trace <path>  attach the TxnTracer and write its Chrome trace
 //                       (chrome://tracing / Perfetto format) to <path>;
 //                       the "txn_trace" report section rides --json-out
+//   --fault-plan <spec> deterministic fault schedule (sim::FaultPlan
+//                       grammar, e.g. "bank_dead@100+500:bank=3"); only
+//                       benches that model degradation consume it
 #pragma once
 
 #include <cstdio>
@@ -27,12 +30,16 @@ namespace cfm::bench {
 struct Options {
   std::string json_out;   ///< empty = table output only
   std::string txn_trace_out;  ///< empty = transaction tracing off
+  std::string fault_plan;     ///< empty = no injected faults
   bool audit = false;         ///< attach the conflict auditor
 };
 
-/// Parses `--json-out <path>` / `--json-out=<path>`, `--audit`, and
-/// `--txn-trace <path>` / `--txn-trace=<path>`.  Unknown arguments print
-/// usage and exit(2) so a typo cannot silently drop the report.
+/// Parses `--json-out <path>` / `--json-out=<path>`, `--audit`,
+/// `--txn-trace <path>` / `--txn-trace=<path>`, and `--fault-plan <spec>`
+/// / `--fault-plan=<spec>`.  Unknown arguments print usage and exit(2) so
+/// a typo cannot silently drop the report.  The fault-plan spec itself is
+/// validated by the consuming bench (sim::FaultPlan::parse throws
+/// std::invalid_argument; benches exit(2) on a malformed spec).
 inline Options parse_options(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -45,12 +52,16 @@ inline Options parse_options(int argc, char** argv) {
       opts.txn_trace_out = argv[++i];
     } else if (arg.rfind("--txn-trace=", 0) == 0) {
       opts.txn_trace_out = arg.substr(sizeof("--txn-trace=") - 1);
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      opts.fault_plan = argv[++i];
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      opts.fault_plan = arg.substr(sizeof("--fault-plan=") - 1);
     } else if (arg == "--audit") {
       opts.audit = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json-out <path>] [--audit] "
-                   "[--txn-trace <path>]\n",
+                   "[--txn-trace <path>] [--fault-plan <spec>]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -58,6 +58,131 @@ void CfmCacheSystem::set_txn_trace(sim::TxnTracer& tracer) {
   tracer_unit_ = tracer.add_unit("cache");
 }
 
+void CfmCacheSystem::set_fault_injector(const sim::FaultInjector& injector,
+                                        std::uint32_t spare_banks,
+                                        sim::Cycle timeout) {
+  faults_ = &injector;
+  next_spare_ = module_.bank_count();
+  module_.provision_spares(spare_banks);
+  remap_.resize(cfg_.banks);
+  for (sim::BankId b = 0; b < cfg_.banks; ++b) remap_[b] = b;
+  dead_.assign(cfg_.banks, false);
+  fault_timeout_ =
+      timeout != 0 ? timeout : sim::Cycle{8} * cfg_.block_access_time();
+}
+
+sim::Word CfmCacheSystem::bank_access(sim::Cycle now, sim::BankId bank,
+                                      mem::WordOp op, sim::BlockAddr block,
+                                      sim::Word value) {
+  if (faults_ != nullptr) [[unlikely]] {
+    // Degraded mode: the logical slot may be served by a spare, which
+    // inherits the dead bank's word slice (same backing store).
+    return module_.bank(remap_[bank]).access_as(now, op, block, bank, value);
+  }
+  return module_.bank(bank).access(now, op, block, value);
+}
+
+void CfmCacheSystem::fail_request(sim::Cycle now, sim::ProcessorId p) {
+  auto& c = ctls_.at(p);
+  Request& r = *c.req;
+  Outcome out;
+  out.kind = r.kind;
+  out.timed_out = true;
+  out.issued = r.issued;
+  out.completed = now;
+  out.proto_retries = r.retries;
+  counters_.inc("fault_timeouts");
+  if (tracer_) tracer_->end(r.txn, now, false);
+  log_.lazy(now, "fault_timeout", [&](std::ostream& os) {
+    os << req_kind_name(r.kind) << " proc " << p << " offset " << r.offset;
+  });
+  results_.emplace(r.id, std::move(out));
+  c.req.reset();
+  if (c.proto.has_value() && !c.proto_is_remote_wb) c.proto.reset();
+  c.stage = Stage::Idle;
+}
+
+void CfmCacheSystem::check_faults(sim::Cycle now) {
+  const bool paused = faults_->module_paused(now, module_.id());
+  if (paused && !halted_) {
+    counters_.inc("brownouts");
+    if (audit_) audit_->on_injected(audit_scope_, now, "module_brownout");
+  }
+  bool dead_unmapped = false;
+  for (sim::BankId b = 0; b < cfg_.banks; ++b) {
+    if (faults_->bank_dead(now, module_.id(), b)) {
+      if (!dead_[b]) {
+        dead_[b] = true;
+        counters_.inc("bank_failures");
+        if (audit_) audit_->on_injected(audit_scope_, now, "bank_failure");
+        if (next_spare_ < module_.bank_count()) {
+          remap_[b] = next_spare_++;
+          counters_.inc("bank_remaps");
+          // Reconfiguration flushes in-flight tours: each restarts from
+          // scratch in place (progress 0 at the current slot).  Restart —
+          // not lose-and-retry — because a write-back must rewrite every
+          // word and an rmw must not re-enter the fill path.
+          for (auto& c : ctls_) {
+            if (c.proto.has_value() && c.proto->fate == Fate::InFlight &&
+                c.proto->progress > 0) {
+              c.proto->progress = 0;
+              c.proto->bank0_passed = false;
+              c.proto->tour_start = now;
+              counters_.inc("fault_restarts");
+            }
+          }
+        } else {
+          counters_.inc("bank_failures_unmapped");
+        }
+      }
+    } else if (dead_[b]) {
+      // Fault window over; a remapped slot keeps its spare.
+      dead_[b] = false;
+    }
+    if (dead_[b] && remap_[b] == b) dead_unmapped = true;
+  }
+  const bool halted = paused || dead_unmapped;
+  if (halted && !halted_) {
+    halt_since_ = now;
+    // Freeze point: a tour cannot continue on the AT schedule after an
+    // arbitrary pause (it would revisit some banks and miss others), so
+    // every interrupted tour restarts from scratch when service resumes.
+    for (auto& c : ctls_) {
+      if (c.proto.has_value() && c.proto->fate == Fate::InFlight &&
+          c.proto->progress > 0) {
+        c.proto->progress = 0;
+        c.proto->bank0_passed = false;
+        counters_.inc("fault_restarts");
+      }
+    }
+  }
+  if (!halted && halted_) {
+    // Service resumes: untoured primitives re-anchor to the current slot
+    // (done_at and the audit β check key off tour_start).
+    for (auto& c : ctls_) {
+      if (c.proto.has_value() && c.proto->fate == Fate::InFlight &&
+          c.proto->progress == 0) {
+        c.proto->tour_start = now;
+      }
+    }
+  }
+  halted_ = halted;
+  if (halted_ && now >= halt_since_ + fault_timeout_) {
+    // Bounded latency: give up on requests that waited out the whole
+    // fault window.  Atomic write-backs (Modify / RmwWb) hold the only
+    // dirty copy of their block and must wait for service instead.
+    for (sim::ProcessorId p = 0; p < cfg_.processors; ++p) {
+      auto& c = ctls_.at(p);
+      if (!c.req.has_value()) continue;
+      if (c.stage == Stage::Modify || c.stage == Stage::RmwWb ||
+          c.stage == Stage::LocalHit) {
+        continue;
+      }
+      if (now >= c.req->issued + fault_timeout_) fail_request(now, p);
+    }
+  }
+}
+
 bool CfmCacheSystem::quiescent(sim::ProcessorId p) const {
   const auto& c = ctls_.at(p);
   return !c.req.has_value() && !c.proto.has_value() && c.remote_wb_queue.empty();
@@ -413,8 +538,7 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
       if (op.progress == 0) {
         att.insert(now, op.offset, OpKind::ProtoWriteBack, op.id, op.proc);
       }
-      module_.bank(bank).access(now, mem::WordOp::Write, op.offset,
-                                op.buf[bank]);
+      bank_access(now, bank, mem::WordOp::Write, op.offset, op.buf[bank]);
       // Write-back tours are coherence work, not demand data movement.
       if (tracer_) {
         tracer_->span(op.txn, sim::TxnPhase::Coherence, now, now + 1, bank);
@@ -455,7 +579,7 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
           return;
         }
       }
-      op.buf[bank] = module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+      op.buf[bank] = bank_access(now, bank, mem::WordOp::Read, op.offset);
       if (tracer_) {
         tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
       }
@@ -512,7 +636,7 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
           });
         }
       }
-      op.buf[bank] = module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+      op.buf[bank] = bank_access(now, bank, mem::WordOp::Read, op.offset);
       if (tracer_) {
         tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
       }
@@ -533,9 +657,11 @@ void CfmCacheSystem::proto_step(sim::Cycle now, ProtoOp& op) {
 }
 
 void CfmCacheSystem::tick(sim::Cycle now) {
+  if (faults_ != nullptr) [[unlikely]] check_faults(now);
   for (sim::ProcessorId p = 0; p < cfg_.processors; ++p) {
     controller_step(now, p);
   }
+  if (halted_) return;  // fault pause: primitive tours are frozen
   for (auto& c : ctls_) {
     if (c.proto.has_value() && c.proto->fate == Fate::InFlight &&
         c.proto->tour_start <= now) {

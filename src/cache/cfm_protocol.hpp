@@ -44,6 +44,7 @@
 #include "mem/module.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -75,6 +76,9 @@ class CfmCacheSystem {
     ReqKind kind = ReqKind::Load;
     bool local_hit = false;          ///< served without any memory op
     bool remote_dirty = false;       ///< had to trigger a remote write-back
+    /// Gave up after waiting out a fault window (degraded mode only); the
+    /// request completed without performing its memory operation.
+    bool timed_out = false;
     sim::Cycle issued = 0;
     sim::Cycle completed = 0;
     std::uint32_t proto_retries = 0;
@@ -141,6 +145,20 @@ class CfmCacheSystem {
   /// schedule and β checks over every protocol primitive's tour — the
   /// coherence layer must preserve conflict freedom (§5.2's premise).
   void set_audit(sim::ConflictAuditor& auditor);
+
+  /// Enables degraded mode, mirroring CfmMemory's: a dead bank's AT slot
+  /// remaps onto a spare (same module, same directory coupling), a module
+  /// brownout freezes primitive tours (interrupted tours go through the
+  /// normal Table 5.2 retry machinery on resume), and a request stuck
+  /// behind an unserviceable machine for `timeout` cycles (default 8β)
+  /// completes with Outcome::timed_out — except atomic write-backs, which
+  /// hold the only dirty copy and must wait for service to resume.
+  void set_fault_injector(const sim::FaultInjector& injector,
+                          std::uint32_t spare_banks = 1,
+                          sim::Cycle timeout = 0);
+  [[nodiscard]] const sim::FaultInjector* fault_injector() const noexcept {
+    return faults_;
+  }
 
   /// Attaches the transaction tracer: every processor request (load /
   /// store / rmw) becomes a transaction with cache-hit spans, per-bank
@@ -220,6 +238,10 @@ class CfmCacheSystem {
       sim::ProcessorId q, sim::BlockAddr offset) const;
   void trigger_remote_wb(sim::ProcessorId owner, sim::BlockAddr offset);
   void complete(sim::Cycle now, sim::ProcessorId p);
+  void check_faults(sim::Cycle now);
+  void fail_request(sim::Cycle now, sim::ProcessorId p);
+  sim::Word bank_access(sim::Cycle now, sim::BankId bank, mem::WordOp op,
+                        sim::BlockAddr block, sim::Word value = 0);
 
   core::CfmConfig cfg_;
   Params params_;
@@ -239,6 +261,15 @@ class CfmCacheSystem {
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;
   sim::TxnTracer* tracer_ = nullptr;
   sim::TxnTracer::UnitId tracer_unit_ = 0;
+
+  // ---- degraded mode (all inert while faults_ == nullptr) --------------
+  const sim::FaultInjector* faults_ = nullptr;
+  std::vector<sim::BankId> remap_;  ///< logical bank -> physical bank
+  std::vector<bool> dead_;          ///< per logical bank
+  sim::BankId next_spare_ = 0;      ///< next unused physical spare index
+  bool halted_ = false;             ///< brownout or unmapped dead bank
+  sim::Cycle halt_since_ = 0;       ///< start of the current halt window
+  sim::Cycle fault_timeout_ = 0;    ///< bounded-latency give-up threshold
 };
 
 }  // namespace cfm::cache

@@ -140,15 +140,37 @@ void DirectoryProtocol::tick(sim::Cycle now) {
   // Start any pending transaction whose block is free (home-order FIFO).
   for (auto& p : pending_) {
     if (p.started) continue;
+    if (now < p.resend_at) continue;  // retransmitting a dropped request
     auto& dir = directory_[p.offset];
-    if (!dir.busy) start(now, p);
+    if (dir.busy) continue;
+    if (faults_ != nullptr && faults_->drop_message(now)) [[unlikely]] {
+      // The request message was lost before reaching the home node.
+      ++message_drops_;
+      counters_.inc("message_drops");
+      if (audit_) audit_->on_injected(audit_scope_, now, "message_drop");
+      if (tracer_) tracer_->event(p.txn, now, "message_drop");
+      if (++p.drops > max_drop_retries_) {
+        // Retry bound exhausted: fail the request so the processor never
+        // waits unbounded.  Retires below without ever occupying the home.
+        p.started = true;
+        p.failed = true;
+        p.done_at = now;
+        p.out.issued = p.issued;
+        ++message_failures_;
+      } else {
+        p.resend_at = now + params_.local_miss_cycles;  // one message round
+      }
+      continue;
+    }
+    start(now, p);
   }
   // Retire finished transactions.
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->started && now >= it->done_at) {
-      directory_[it->offset].busy = false;
+      if (!it->failed) directory_[it->offset].busy = false;
       it->out.completed = now;
-      if (tracer_) tracer_->end(it->txn, now, true);
+      it->out.timed_out = it->failed;
+      if (tracer_) tracer_->end(it->txn, now, !it->failed);
       results_.emplace(it->id, it->out);
       busy_.at(it->proc).reset();
       it = pending_.erase(it);

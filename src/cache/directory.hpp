@@ -23,6 +23,7 @@
 
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
@@ -47,6 +48,7 @@ class DirectoryProtocol {
     sim::Cycle completed = 0;
     bool remote = false;
     bool dirty_third_party = false;
+    bool timed_out = false;     ///< request message lost beyond retry bound
     std::uint32_t invalidations = 0;
   };
 
@@ -82,6 +84,25 @@ class DirectoryProtocol {
   /// CFM protocol's tour-embedded coherence avoids.
   void set_audit(sim::ConflictAuditor& auditor);
 
+  /// Enables fault awareness: each request message rolls the injector's
+  /// MessageDrop faults when it is about to be granted by the home node; a
+  /// dropped message is retransmitted after a local round-trip, up to
+  /// `max_retries` times, then the request completes with timed_out set —
+  /// latency stays bounded either way.  Non-const because drop_message
+  /// draws from the injector's seeded RNG; under ParallelEngine give the
+  /// directory its own injector (it ticks in its own domain).
+  void set_fault_injector(sim::FaultInjector& injector,
+                          std::uint32_t max_retries = 3) {
+    faults_ = &injector;
+    max_drop_retries_ = max_retries;
+  }
+  [[nodiscard]] std::uint64_t message_drops() const noexcept {
+    return message_drops_;
+  }
+  [[nodiscard]] std::uint64_t message_failures() const noexcept {
+    return message_failures_;
+  }
+
   /// Attaches the transaction tracer (unit "directory"): each request gets
   /// a Network span for its message round-trips and a Coherence span for
   /// the invalidation + acknowledgement round.
@@ -108,6 +129,9 @@ class DirectoryProtocol {
     sim::Cycle done_at = 0;
     Outcome out;
     bool started = false;
+    bool failed = false;               ///< drop-retry bound exhausted
+    sim::Cycle resend_at = 0;          ///< earliest retransmit after a drop
+    std::uint32_t drops = 0;
     sim::TxnId txn = sim::kNoTxn;
   };
 
@@ -127,6 +151,10 @@ class DirectoryProtocol {
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;
   sim::TxnTracer* tracer_ = nullptr;
   sim::TxnTracer::UnitId tracer_unit_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint32_t max_drop_retries_ = 3;
+  std::uint64_t message_drops_ = 0;
+  std::uint64_t message_failures_ = 0;
 };
 
 }  // namespace cfm::cache

@@ -124,6 +124,19 @@ class HierarchicalCfm {
     global_mem_->set_audit(auditor);
   }
 
+  /// Enables degraded mode in every member memory (cluster CFMs and the
+  /// global CFM each get `spare_banks` spares; see
+  /// CfmMemory::set_fault_injector).  Member ops aborted by a fault
+  /// timeout come back as phase retries, so processor requests still
+  /// complete once the fault window closes.
+  void set_fault_injector(sim::FaultInjector& injector,
+                          std::uint32_t spare_banks = 1) {
+    for (auto& mem : cluster_mem_) {
+      mem->set_fault_injector(injector, spare_banks);
+    }
+    global_mem_->set_fault_injector(injector, spare_banks);
+  }
+
   /// Attaches the transaction tracer: the member memories trace their
   /// tours, and unit "hier" records each processor request's lifecycle
   /// (L1 hit span, per-phase events, completion) across both levels.

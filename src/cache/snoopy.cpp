@@ -242,8 +242,20 @@ void SnoopyBus::tick(sim::Cycle now) {
     bus_current_.reset();
     apply_txn(now, txn);
   }
+  // Fault: a browned-out bus arbiter grants nothing new; in-flight
+  // transactions finish, local cache work continues, and the queue drains
+  // once the window closes.
+  if (faults_ != nullptr) [[unlikely]] {
+    const bool paused = faults_->module_paused(now, 0);
+    if (paused && !bus_paused_) {
+      counters_.inc("brownouts");
+      if (audit_) audit_->on_injected(audit_scope_, now, "module_brownout");
+    }
+    bus_paused_ = paused;
+    if (paused && !bus_queue_.empty()) ++faulted_stalls_;
+  }
   // Start the next one.
-  if (!bus_current_.has_value() && !bus_queue_.empty()) {
+  if (!bus_paused_ && !bus_current_.has_value() && !bus_queue_.empty()) {
     bus_current_ = bus_queue_.front();
     bus_queue_.pop_front();
     bus_wait_.add(static_cast<double>(now - bus_current_->enqueued));

@@ -19,6 +19,7 @@
 #include "cfm/block_engine.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "sim/txn_trace.hpp"
 #include "sim/types.hpp"
@@ -82,6 +83,17 @@ class SnoopyBus {
   /// CFM protocol eliminates (negative-control side of the audit).
   void set_audit(sim::ConflictAuditor& auditor);
 
+  /// Enables fault awareness: while the injector pauses module 0 the bus
+  /// arbiter grants no new transactions (queued work drains afterwards, so
+  /// latency stays bounded by the fault window).  Stall cycles are
+  /// classified as injected, not contention.
+  void set_fault_injector(const sim::FaultInjector& injector) {
+    faults_ = &injector;
+  }
+  [[nodiscard]] std::uint64_t faulted_stall_cycles() const noexcept {
+    return faulted_stalls_;
+  }
+
   /// Attaches the transaction tracer (unit "snoopy"): requests get cache
   /// spans on local hits, bus-occupancy Network spans, and rmw Modify
   /// spans; rmw ownership steals trace as restarts.
@@ -140,6 +152,9 @@ class SnoopyBus {
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;
   sim::TxnTracer* tracer_ = nullptr;
   sim::TxnTracer::UnitId tracer_unit_ = 0;
+  const sim::FaultInjector* faults_ = nullptr;
+  bool bus_paused_ = false;
+  std::uint64_t faulted_stalls_ = 0;
 };
 
 }  // namespace cfm::cache

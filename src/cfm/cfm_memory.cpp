@@ -31,6 +31,20 @@ void CfmMemory::set_txn_trace(sim::TxnTracer& tracer) {
   tracer_unit_ = tracer.add_unit("cfm");
 }
 
+void CfmMemory::set_fault_injector(const sim::FaultInjector& injector,
+                                   std::uint32_t spare_banks,
+                                   sim::Cycle timeout) {
+  faults_ = &injector;
+  next_spare_ = module_.bank_count();
+  module_.provision_spares(spare_banks);
+  remap_.resize(cfg_.banks);
+  for (sim::BankId b = 0; b < cfg_.banks; ++b) remap_[b] = b;
+  dead_.assign(cfg_.banks, false);
+  fault_timeout_ =
+      timeout != 0 ? timeout
+                   : sim::Cycle{8} * cfg_.block_access_time();
+}
+
 namespace {
 
 [[nodiscard]] const char* op_kind_name(BlockOpKind kind) noexcept {
@@ -94,6 +108,7 @@ CfmMemory::OpToken CfmMemory::issue(sim::Cycle now, sim::ProcessorId p,
 }
 
 void CfmMemory::tick(sim::Cycle now) {
+  if (faults_ != nullptr) [[unlikely]] check_faults(now);
   for (auto& slot : inflight_) {
     if (!slot.has_value()) continue;
     if (slot->drain_until != sim::kNeverCycle) {
@@ -101,9 +116,89 @@ void CfmMemory::tick(sim::Cycle now) {
       if (now + 1 >= slot->drain_until) finish(now, *slot, OpStatus::Completed);
       continue;
     }
+    if (halted_) continue;  // fault pause: address tours are frozen
     if (slot->tour_start > now) continue;  // restart back-off pending
     step_op(now, *slot);
   }
+}
+
+void CfmMemory::check_faults(sim::Cycle now) {
+  const bool paused = faults_->module_paused(now, module_.id());
+  if (paused && !halted_) {
+    counters_.inc("brownouts");
+    if (audit_) audit_->on_injected(audit_scope_, now, "module_brownout");
+  }
+  bool dead_unmapped = false;
+  for (sim::BankId b = 0; b < cfg_.banks; ++b) {
+    if (faults_->bank_dead(now, module_.id(), b)) {
+      if (!dead_[b]) {
+        dead_[b] = true;
+        counters_.inc("bank_failures");
+        if (audit_) audit_->on_injected(audit_scope_, now, "bank_failure");
+        if (next_spare_ < module_.bank_count()) {
+          // Remap the logical slot onto a spare.  The AT schedule is
+          // untouched (the indirection is purely logical→physical), so
+          // every schedule/occupancy invariant still holds; reconfiguring
+          // flushes the address tours, so every op restarts this slot on
+          // the repaired machine.
+          remap_[b] = next_spare_++;
+          counters_.inc("bank_remaps");
+          for (auto& slot : inflight_) {
+            if (!slot.has_value()) continue;
+            if (slot->drain_until != sim::kNeverCycle) continue;
+            if (slot->tour_start > now) continue;
+            if (slot->fault_at == sim::kNeverCycle) slot->fault_at = now;
+            restart(now, *slot, at_.bank_at(now, slot->proc),
+                    "fault_restarts");
+          }
+        } else {
+          counters_.inc("bank_failures_unmapped");
+        }
+      }
+    } else if (dead_[b]) {
+      // Fault window over.  A remapped slot keeps its spare (the spare
+      // owns the slot now); an unmapped one simply resumes service.
+      dead_[b] = false;
+    }
+    if (dead_[b] && remap_[b] == b) dead_unmapped = true;
+  }
+  const bool halted = paused || dead_unmapped;
+  if (!halted && halted_) {
+    // Service resumes: re-synchronise every interrupted tour with the AT
+    // schedule (a stale tour_start would break the bank congruence).
+    for (auto& slot : inflight_) {
+      if (!slot.has_value()) continue;
+      if (slot->drain_until != sim::kNeverCycle) continue;
+      if (slot->tour_start > now) continue;
+      restart(now, *slot, at_.bank_at(now, slot->proc), "fault_restarts");
+    }
+  }
+  halted_ = halted;
+  if (halted_) {
+    // Bounded latency: an op that has waited out the whole fault window
+    // fails with Aborted instead of hanging until (maybe never) repair.
+    for (auto& slot : inflight_) {
+      if (!slot.has_value()) continue;
+      if (slot->drain_until != sim::kNeverCycle) continue;
+      if (slot->fault_at == sim::kNeverCycle) {
+        slot->fault_at = now;
+      } else if (now >= slot->fault_at + fault_timeout_) {
+        counters_.inc("fault_aborts");
+        abort_write(now, *slot, at_.bank_at(now, slot->proc));
+      }
+    }
+  }
+}
+
+sim::Word CfmMemory::bank_access(sim::Cycle now, sim::BankId bank,
+                                 mem::WordOp op, sim::BlockAddr block,
+                                 sim::Word value) {
+  if (faults_ != nullptr) [[unlikely]] {
+    // Degraded mode: the logical slot may be served by a spare, which
+    // inherits the dead bank's word slice (same backing store).
+    return module_.bank(remap_[bank]).access_as(now, op, block, bank, value);
+  }
+  return module_.bank(bank).access(now, op, block, value);
 }
 
 void CfmMemory::attach(sim::Engine& engine) {
@@ -188,6 +283,11 @@ void CfmMemory::finish(sim::Cycle now, InFlight& op, OpStatus status) {
               os << "op " << op.token << " proc " << op.proc;
             });
   counters_.inc(status == OpStatus::Completed ? "ops_completed" : "ops_aborted");
+  if (status == OpStatus::Completed &&
+      op.fault_at != sim::kNeverCycle) [[unlikely]] {
+    recovery_latency_.add(
+        static_cast<double>(result.completed - op.fault_at));
+  }
   if (status == OpStatus::Completed) {
     if (audit_) {
       audit_->on_block_complete(audit_scope_, op.tour_start, result.completed);
@@ -276,8 +376,7 @@ bool CfmMemory::handle_write_side(sim::Cycle now, InFlight& op,
     os << "op " << op.token << " proc " << op.proc << " bank " << bank
        << " value " << op.write_buf[bank];
   });
-  module_.bank(bank).access(now, mem::WordOp::Write, op.offset,
-                            op.write_buf[bank]);
+  bank_access(now, bank, mem::WordOp::Write, op.offset, op.write_buf[bank]);
   if (tracer_ != nullptr) [[unlikely]] {
     tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
   }
@@ -307,8 +406,7 @@ bool CfmMemory::handle_read_side(sim::Cycle now, InFlight& op,
     // position >= 0), so reading it right now starts the fresh tour on
     // the new version.
   }
-  op.read_buf[bank] =
-      module_.bank(bank).access(now, mem::WordOp::Read, op.offset);
+  op.read_buf[bank] = bank_access(now, bank, mem::WordOp::Read, op.offset);
   if (tracer_ != nullptr) [[unlikely]] {
     tracer_->span(op.txn, sim::TxnPhase::Bank, now, now + 1, bank);
   }

@@ -35,6 +35,7 @@
 #include "mem/module.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/txn_trace.hpp"
@@ -117,6 +118,37 @@ class CfmMemory {
   /// run starts.
   void set_audit(sim::ConflictAuditor& auditor);
 
+  /// Enables degraded mode: the memory consults `injector` every tick and
+  /// reacts to its faults —
+  ///
+  ///   * a dead bank's AT slot is remapped onto one of `spare_banks`
+  ///     freshly provisioned spare banks (same backing store, so service
+  ///     continues with the same data) and every in-flight tour restarts
+  ///     on the reconfigured machine; the AT schedule itself is untouched
+  ///     (remapping is a pure logical→physical indirection), so the
+  ///     ConflictAuditor's schedule and occupancy checks stay green;
+  ///   * a module brownout pauses address tours for its window; tours
+  ///     restart when service resumes;
+  ///   * an unserviceable machine (brownout in progress, or a dead bank
+  ///     with no spare left) aborts ops that waited longer than `timeout`
+  ///     cycles (default 8β), so every access completes — possibly with
+  ///     OpStatus::Aborted — within bounded latency instead of hanging.
+  ///
+  /// Injected faults are reported to the auditor via on_injected and
+  /// never count as violations.  Call before the run starts.  The
+  /// injector-free fast path costs one pointer compare per tick.
+  void set_fault_injector(const sim::FaultInjector& injector,
+                          std::uint32_t spare_banks = 1,
+                          sim::Cycle timeout = 0);
+  [[nodiscard]] const sim::FaultInjector* fault_injector() const noexcept {
+    return faults_;
+  }
+  /// Completion − fault-hit cycle for every op that was interrupted by a
+  /// fault (remap or brownout) and still completed.
+  [[nodiscard]] const sim::RunningStat& fault_recovery() const noexcept {
+    return recovery_latency_;
+  }
+
   /// Attaches the transaction tracer: every issued op becomes a traced
   /// transaction with per-bank-visit spans, restart events, and drain
   /// attribution.  Call before the run starts.
@@ -148,9 +180,15 @@ class CfmMemory {
     /// published at tour_start + beta.
     sim::Cycle drain_until = sim::kNeverCycle;
     sim::TxnId txn = sim::kNoTxn;
+    /// First cycle a fault (remap / brownout) interrupted this op, for
+    /// the recovery-latency statistic.
+    sim::Cycle fault_at = sim::kNeverCycle;
   };
 
   [[nodiscard]] OpKind att_kind(const InFlight& op) const noexcept;
+  void check_faults(sim::Cycle now);
+  sim::Word bank_access(sim::Cycle now, sim::BankId bank, mem::WordOp op,
+                        sim::BlockAddr block, sim::Word value = 0);
   void step_op(sim::Cycle now, InFlight& op);
   bool handle_write_side(sim::Cycle now, InFlight& op, sim::BankId bank);
   bool handle_read_side(sim::Cycle now, InFlight& op, sim::BankId bank);
@@ -175,6 +213,15 @@ class CfmMemory {
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;
   sim::TxnTracer* tracer_ = nullptr;
   sim::TxnTracer::UnitId tracer_unit_ = 0;
+
+  // ---- degraded mode (all inert while faults_ == nullptr) --------------
+  const sim::FaultInjector* faults_ = nullptr;
+  std::vector<sim::BankId> remap_;  ///< logical bank -> physical bank
+  std::vector<bool> dead_;          ///< per logical bank
+  sim::BankId next_spare_ = 0;      ///< next unused physical spare index
+  bool halted_ = false;             ///< brownout or unmapped dead bank
+  sim::Cycle fault_timeout_ = 0;    ///< bounded-latency abort threshold
+  sim::RunningStat recovery_latency_;
 };
 
 }  // namespace cfm::core

@@ -137,6 +137,39 @@ void ClusterSystem::tick(sim::Cycle now) {
         p.done_at = res->completed;
       }
     } else if (now >= p.arrives) {
+      if (faults_ != nullptr && !p.drop_checked &&
+          faults_->drop_message(now)) [[unlikely]] {
+        // The request was lost on the link.  Retransmit (another full
+        // link flight) up to the bound, then give up with Aborted so the
+        // requester never waits unbounded.
+        const auto hops = cluster_hops(
+            cfg_.topology, static_cast<std::uint32_t>(memories_.size()),
+            p.src, p.dst);
+        ++link_drops_;
+        if (tracer_) tracer_->event(p.txn, now, "link_drop");
+        if (p.retransmits < max_retransmits_) {
+          ++p.retransmits;
+          p.arrives =
+              now + static_cast<sim::Cycle>(hops) * cfg_.link_latency;
+          if (tracer_) {
+            tracer_->span(p.txn, sim::TxnPhase::Network, now, p.arrives,
+                          hops);
+          }
+        } else {
+          ++link_failures_;
+          BlockOpResult res;
+          res.status = OpStatus::Aborted;
+          res.issued = p.issued;
+          res.completed = now + 1;
+          if (tracer_) tracer_->end(p.txn, now + 1, false);
+          results_.emplace(p.id, std::move(res));
+          it = queue_.erase(it);
+          continue;
+        }
+        ++it;
+        continue;
+      }
+      p.drop_checked = true;
       // Find an idle free-slot port in the destination cluster.
       auto& mem = *memories_[p.dst];
       for (std::uint32_t port = first_port; port < cfg_.total_slots; ++port) {

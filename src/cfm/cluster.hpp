@@ -112,6 +112,30 @@ class ClusterSystem {
   /// remote service, and return hop as one transaction.
   void set_txn_trace(sim::TxnTracer& tracer);
 
+  /// Enables degraded mode across the whole system: every member memory
+  /// consults `injector` (spare-bank remap + brownout handling, see
+  /// CfmMemory::set_fault_injector), and the inter-cluster link drops
+  /// requests per the injector's MessageDrop faults.  A dropped request is
+  /// retransmitted over the link up to `max_retransmits` times, then the
+  /// request completes with OpStatus::Aborted — bounded latency either
+  /// way.  Non-const: link drops draw from the injector's seeded RNG, and
+  /// the link mover ticks in the shared domain.
+  void set_fault_injector(sim::FaultInjector& injector,
+                          std::uint32_t spare_banks = 1,
+                          std::uint32_t max_retransmits = 3) {
+    faults_ = &injector;
+    max_retransmits_ = max_retransmits;
+    for (auto& mem : memories_) {
+      mem->set_fault_injector(injector, spare_banks);
+    }
+  }
+  [[nodiscard]] std::uint64_t link_drops() const noexcept {
+    return link_drops_;
+  }
+  [[nodiscard]] std::uint64_t link_failures() const noexcept {
+    return link_failures_;
+  }
+
  private:
   struct Pending {
     RequestId id = 0;
@@ -125,6 +149,8 @@ class ClusterSystem {
     CfmMemory::OpToken op = CfmMemory::kNoOp;
     std::optional<sim::Cycle> done_at;   ///< memory op completed, returning
     sim::TxnId txn = sim::kNoTxn;
+    std::uint32_t retransmits = 0;       ///< link drops survived so far
+    bool drop_checked = false;           ///< one drop roll per link flight
   };
 
   std::vector<std::unique_ptr<CfmMemory>> memories_;
@@ -134,6 +160,10 @@ class ClusterSystem {
   RequestId next_id_ = 1;
   sim::TxnTracer* tracer_ = nullptr;
   sim::TxnTracer::UnitId tracer_unit_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint32_t max_retransmits_ = 3;
+  std::uint64_t link_drops_ = 0;
+  std::uint64_t link_failures_ = 0;
 };
 
 }  // namespace cfm::core

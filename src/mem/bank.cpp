@@ -9,6 +9,11 @@ Bank::Bank(sim::BankId index, std::uint32_t cycle_time, BackingStore& store)
 
 sim::Word Bank::access(sim::Cycle now, WordOp op, sim::BlockAddr block,
                        sim::Word value) {
+  return access_as(now, op, block, index_, value);
+}
+
+sim::Word Bank::access_as(sim::Cycle now, WordOp op, sim::BlockAddr block,
+                          sim::BankId word_index, sim::Word value) {
   // The AT-space partitioning must keep banks conflict-free; a violation
   // here is a scheduling bug in the caller, not a runtime condition.
   assert(!busy(now) && "bank conflict: AT-space schedule violated");
@@ -18,8 +23,8 @@ sim::Word Bank::access(sim::Cycle now, WordOp op, sim::BlockAddr block,
   busy_until_ = now + cycle_time_;
   ++accesses_;
   busy_cycles_ += cycle_time_;
-  if (op == WordOp::Read) return store_.read_word(block, index_);
-  store_.write_word(block, index_, value);
+  if (op == WordOp::Read) return store_.read_word(block, word_index);
+  store_.write_word(block, word_index, value);
   return value;
 }
 

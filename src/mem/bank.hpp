@@ -38,6 +38,13 @@ class Bank {
   sim::Word access(sim::Cycle now, WordOp op, sim::BlockAddr block,
                    sim::Word value = 0);
 
+  /// Like access(), but serves word `word_index` of the block instead of
+  /// this bank's own index.  Degraded mode uses this to let a *spare*
+  /// physical bank stand in for a dead logical bank: the spare inherits
+  /// the dead bank's word slice while keeping its own occupancy state.
+  sim::Word access_as(sim::Cycle now, WordOp op, sim::BlockAddr block,
+                      sim::BankId word_index, sim::Word value = 0);
+
   /// Total word accesses served (for utilization accounting, §3.4).
   [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
   [[nodiscard]] std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }

@@ -25,6 +25,11 @@ class Module {
   [[nodiscard]] std::uint32_t bank_count() const noexcept {
     return static_cast<std::uint32_t>(banks_.size());
   }
+  /// Banks the AT schedule addresses (bank_count() minus spares).
+  [[nodiscard]] std::uint32_t logical_bank_count() const noexcept {
+    return static_cast<std::uint32_t>(banks_.size()) - spares_;
+  }
+  [[nodiscard]] std::uint32_t spare_count() const noexcept { return spares_; }
   [[nodiscard]] Bank& bank(sim::BankId i) { return banks_.at(i); }
   [[nodiscard]] const Bank& bank(sim::BankId i) const { return banks_.at(i); }
   [[nodiscard]] BackingStore& store() noexcept { return store_; }
@@ -50,10 +55,19 @@ class Module {
   sim::ConflictAuditor::ScopeId set_audit(sim::ConflictAuditor& auditor,
                                           std::uint32_t beta);
 
+  /// Appends `count` spare banks for graceful degradation.  Spares sit at
+  /// physical indices [logical_bank_count(), bank_count()) and serve a
+  /// dead logical bank's word slice via Bank::access_as once the owner
+  /// remaps onto them.  Safe to call before or after set_audit().
+  void provision_spares(std::uint32_t count);
+
  private:
   sim::ModuleId id_;
   BackingStore store_;
   std::vector<Bank> banks_;
+  std::uint32_t spares_ = 0;
+  sim::ConflictAuditor* audit_ = nullptr;
+  sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };
 
 }  // namespace cfm::mem

@@ -16,7 +16,9 @@ OmegaTopology::OmegaTopology(std::uint32_t ports)
 
 std::vector<OmegaTopology::PathStep> OmegaTopology::route(Port src,
                                                           Port dst) const {
-  assert(src < ports_ && dst < ports_);
+  if (src >= ports_ || dst >= ports_) {
+    throw std::invalid_argument("omega route: port out of range");
+  }
   std::vector<PathStep> path;
   path.reserve(stages_);
   Port line = src;
@@ -38,7 +40,10 @@ std::vector<OmegaTopology::PathStep> OmegaTopology::route(Port src,
 
 std::optional<StageStates> SyncOmega::schedule_for_permutation(
     const OmegaTopology& topo, const std::vector<Port>& perm) {
-  assert(perm.size() == topo.ports());
+  if (perm.size() != topo.ports()) {
+    throw std::invalid_argument(
+        "permutation size must equal the omega port count");
+  }
   // -1 = unconstrained, otherwise the required SwitchState.
   std::vector<std::vector<int>> states(
       topo.stages(), std::vector<int>(topo.switches_per_stage(), -1));
@@ -83,6 +88,23 @@ SwitchState SyncOmega::switch_state(sim::Cycle t, std::uint32_t stage,
   return per_slot_[t % topo_.ports()].at(stage).at(sw);
 }
 
+bool SyncOmega::path_faulty(sim::Cycle t, Port input) const {
+  if (faults_ == nullptr) return false;
+  const auto& states = per_slot_[t % topo_.ports()];
+  Port line = input;
+  for (std::uint32_t s = 0; s < topo_.stages(); ++s) {
+    line = topo_.shuffle(line);
+    const auto sw = line >> 1;
+    const auto in_port = line & 1;
+    const auto out_port = states[s][sw] == SwitchState::Straight
+                              ? in_port
+                              : (in_port ^ 1u);
+    line = (line & ~Port{1}) | out_port;
+    if (faults_->omega_link_faulty(t, s, line)) return true;
+  }
+  return false;
+}
+
 Port SyncOmega::output_for(sim::Cycle t, Port input) const {
   const auto& states = per_slot_[t % topo_.ports()];
   Port line = input;
@@ -117,6 +139,12 @@ void SyncOmega::attach_audit(sim::Engine& engine,
   checker->on(sim::Phase::Network, [this, &auditor, scope](sim::Cycle now) {
     for (Port in = 0; in < ports(); ++in) {
       audit_outputs_[in] = output_for(now, in);
+      if (faults_ != nullptr && path_faulty(now, in)) [[unlikely]] {
+        // Injected link fault on this input's path — classified apart
+        // from genuine permutation violations.
+        auditor.on_injected(scope, now, "omega_link");
+        ++faulted_traversals_;
+      }
     }
     auditor.on_omega_slot(scope, now, audit_outputs_);
   });

@@ -16,6 +16,7 @@
 #include "net/permutation.hpp"
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::net {
@@ -95,6 +96,20 @@ class SyncOmega {
     return switch_state(slot_, stage, sw);
   }
 
+  /// Enables link-fault awareness: path_faulty() consults `injector` for
+  /// OmegaLink faults, and the attach_audit checker classifies faulted
+  /// traversals via on_injected (never as violations).
+  void set_fault_injector(const sim::FaultInjector& injector) {
+    faults_ = &injector;
+  }
+  /// True iff `input`'s path at slot t crosses a faulted (stage, line)
+  /// link.  Always false without an injector.
+  [[nodiscard]] bool path_faulty(sim::Cycle t, Port input) const;
+  /// Audit-observed traversals that crossed a faulted link.
+  [[nodiscard]] std::uint64_t faulted_traversals() const noexcept {
+    return faulted_traversals_;
+  }
+
   /// Derives the conflict-free state table for an arbitrary permutation,
   /// or nullopt if the permutation cannot pass the omega in one slot.
   /// Exposed for property tests (uniform shifts always succeed; most
@@ -107,6 +122,8 @@ class SyncOmega {
   std::vector<StageStates> per_slot_;  ///< index = t mod ports
   sim::Cycle slot_ = 0;                ///< engine-aligned slot (attach())
   std::vector<std::uint32_t> audit_outputs_;  ///< reusable traversal buffer
+  const sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t faulted_traversals_ = 0;
 };
 
 }  // namespace cfm::net

@@ -34,7 +34,9 @@ PartialOmega::PartialOmega(std::uint32_t ports, std::uint32_t modules)
 }
 
 Port PartialOmega::bank_for(sim::Cycle t, Port p, std::uint32_t module) const {
-  assert(p < ports() && module < modules_);
+  if (p >= ports() || module >= modules_) {
+    throw std::invalid_argument("bank_for: port or module out of range");
+  }
   const auto sub = banks_per_module();
   // Clock-driven columns shift within the module subtree; the processor
   // enters the subtree at port (p mod sub) — its contention set.
@@ -63,12 +65,23 @@ PartialCfmFabric::PartialCfmFabric(std::uint32_t processors,
   if (modules == 0 || processors % modules != 0) {
     throw std::invalid_argument("modules must divide processors");
   }
-  assert(beta_ > 0);
+  if (beta_ == 0) {
+    throw std::invalid_argument("block access time must be positive");
+  }
 }
 
 sim::Cycle PartialCfmFabric::try_access(std::uint32_t p, std::uint32_t module,
                                         sim::Cycle now) {
-  assert(p < n_ && module < m_);
+  if (p >= n_ || module >= m_) {
+    throw std::invalid_argument("try_access: processor or module out of range");
+  }
+  if (faults_ != nullptr && faults_->module_paused(now, module)) [[unlikely]] {
+    // Browned-out module: the access is rejected like a conflict (the
+    // caller backs off and retries), but classified as injected.
+    ++faulted_rejects_;
+    if (audit_) audit_->on_injected(audit_scope_, now, "module_brownout");
+    return sim::kNeverCycle;
+  }
   const auto idx = module * channels_per_module() + channel_of(p);
   auto& until = busy_until_[idx];
   if (now < until) {

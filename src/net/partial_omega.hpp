@@ -24,6 +24,7 @@
 
 #include "net/omega.hpp"
 #include "sim/audit.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::net {
@@ -132,6 +133,16 @@ class PartialCfmFabric {
                           m_ * channels_per_module(), beta_, /*beta=*/0);
   }
 
+  /// Enables fault awareness: try_access against a browned-out module is
+  /// rejected (caller backs off, as for a conflict) and classified as
+  /// injected rather than contention.
+  void set_fault_injector(const sim::FaultInjector& injector) {
+    faults_ = &injector;
+  }
+  [[nodiscard]] std::uint64_t faulted_rejects() const noexcept {
+    return faulted_rejects_;
+  }
+
   /// Fraction of (module, channel) pairs occupied by a block access at
   /// `now` — the fabric's instantaneous utilization.
   [[nodiscard]] double busy_fraction(sim::Cycle now) const;
@@ -150,6 +161,8 @@ class PartialCfmFabric {
   std::uint64_t conflicts_ = 0;
   sim::ConflictAuditor* audit_ = nullptr;
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;
+  const sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t faulted_rejects_ = 0;
 };
 
 }  // namespace cfm::net

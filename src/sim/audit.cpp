@@ -42,6 +42,11 @@ void ConflictAuditor::flag(Scope& s, ScopeId id, Cycle now,
 void ConflictAuditor::on_bank_access(ScopeId scope, Cycle now, BankId bank) {
   auto& s = scopes_[scope];
   s.checks.inc("bank_accesses");
+  if (bank >= s.busy_until.size()) {
+    // Spare banks provisioned for degraded mode may join after the scope
+    // was registered; they still get the overlap check.
+    s.busy_until.resize(bank + 1, 0);
+  }
   auto& busy = s.busy_until[bank];
   if (now < busy) {
     flag(s, scope, now, "bank_conflict",
@@ -118,6 +123,7 @@ void ConflictAuditor::on_module_access(ScopeId scope, Cycle now,
                                        std::uint32_t hold) {
   auto& s = scopes_[scope];
   s.checks.inc("module_accesses");
+  if (resource >= s.busy_until.size()) s.busy_until.resize(resource + 1, 0);
   auto& busy = s.busy_until[resource];
   if (now < busy) {
     flag(s, scope, now, "module_conflict",
@@ -141,6 +147,13 @@ void ConflictAuditor::on_phase_stall(ScopeId scope, Cycle now, Cycle cycles) {
   if (cycles == 0) return;
   flag(s, scope, now, "phase_stall",
        std::to_string(cycles) + "-cycle alignment stall");
+}
+
+void ConflictAuditor::on_injected(ScopeId scope, Cycle /*now*/,
+                                  std::string_view kind) {
+  auto& s = scopes_[scope];
+  s.checks.inc("injected_checks");
+  s.injected.inc(std::string(kind));
 }
 
 namespace {
@@ -169,6 +182,12 @@ std::uint64_t ConflictAuditor::conflicts_detected() const {
   return total;
 }
 
+std::uint64_t ConflictAuditor::injected_detected() const {
+  std::uint64_t total = 0;
+  for (const auto& s : scopes_) total += sum_counters(s.injected);
+  return total;
+}
+
 std::uint64_t ConflictAuditor::checks_performed() const {
   std::uint64_t total = 0;
   for (const auto& s : scopes_) total += sum_counters(s.checks);
@@ -188,6 +207,7 @@ Json ConflictAuditor::to_json() const {
   Json doc = Json::object();
   doc["violations"] = violations();
   doc["conflicts_detected"] = conflicts_detected();
+  doc["injected"] = injected_detected();
   doc["checks"] = checks_performed();
   Json scopes = Json::object();
   for (const auto& s : scopes_) {
@@ -203,6 +223,9 @@ Json ConflictAuditor::to_json() const {
     Json issues = Json::object();
     for (const auto& [name, value] : s.issues.all()) issues[name] = value;
     sj["issues"] = std::move(issues);
+    Json injected = Json::object();
+    for (const auto& [name, value] : s.injected.all()) injected[name] = value;
+    sj["injected"] = std::move(injected);
     scopes[s.name] = std::move(sj);
   }
   doc["scopes"] = std::move(scopes);

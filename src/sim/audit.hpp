@@ -119,6 +119,14 @@ class ConflictAuditor {
   /// (Monarch/OMP, §2.1.2–2.1.3).  Counted once per stalled access.
   void on_phase_stall(ScopeId scope, Cycle now, Cycle cycles);
 
+  /// A deliberately injected fault (bank failure, brownout, dropped
+  /// message, faulted omega link) was observed by the scope's unit.
+  /// Tallied separately from genuine invariant violations: a degraded
+  /// machine that recovers cleanly must still report violations() == 0
+  /// while its injected event counts explain the recovery work.  `kind`
+  /// must be a stable literal; it becomes a counter.
+  void on_injected(ScopeId scope, Cycle now, std::string_view kind);
+
   // ---- aggregation (call only while no tick is in flight) --------------
 
   /// Invariant breaks summed over ConflictFree scopes.  Zero on every CFM
@@ -127,6 +135,9 @@ class ConflictAuditor {
   /// Contention events summed over Contended scopes.  Positive on the
   /// conventional / phase-aligned negative controls.
   [[nodiscard]] std::uint64_t conflicts_detected() const;
+  /// Injected-fault observations summed over all scopes (on_injected) —
+  /// never counted as violations or conflicts.
+  [[nodiscard]] std::uint64_t injected_detected() const;
   /// Total individual checks performed (for "audited N accesses" claims).
   [[nodiscard]] std::uint64_t checks_performed() const;
 
@@ -156,6 +167,7 @@ class ConflictAuditor {
     std::uint64_t perm_stamp = 0;
     CounterSet checks;
     CounterSet issues;
+    CounterSet injected;  ///< fault-injection observations, never violations
     std::vector<Violation> samples;
   };
 

@@ -94,6 +94,11 @@ EfficiencyResult run_closed_loop(std::uint32_t processors, std::uint32_t beta,
   out.efficiency = access_time.count() == 0
                        ? 1.0
                        : static_cast<double>(beta) / access_time.mean();
+  // Accesses still retrying when the budget ran out were never recorded;
+  // report them so callers can see (and bound) the survivorship bias.
+  for (const auto& st : procs) {
+    if (st.access.has_value()) ++out.unfinished;
+  }
   return out;
 }
 
@@ -143,32 +148,61 @@ AccessDriver::AccessDriver(std::string name, sim::DomainId domain,
       procs_(memory.config().processors),
       shard_(shard) {}
 
+std::uint64_t AccessDriver::in_flight() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& st : procs_) {
+    if (st.op != core::CfmMemory::kNoOp || st.pending_retry) ++n;
+  }
+  return n;
+}
+
 void AccessDriver::tick_phase(sim::Phase, sim::Cycle now) {
   auto& access_time = shard_.stat("access_time");
+  const auto beta = mem_.config().block_access_time();
   for (std::uint32_t p = 0; p < procs_.size(); ++p) {
     auto& st = procs_[p];
     if (st.op != core::CfmMemory::kNoOp) {
       if (auto result = mem_.take_result(st.op)) {
-        assert(result->status == core::OpStatus::Completed);
-        access_time.add(static_cast<double>(result->completed - st.issued));
-        ++completed_;
-        shard_.counters.inc("ops_completed");
-        st.op = core::CfmMemory::kNoOp;
+        if (result->status == core::OpStatus::Completed) {
+          access_time.add(static_cast<double>(result->completed - st.issued));
+          ++completed_;
+          shard_.counters.inc("ops_completed");
+          st.op = core::CfmMemory::kNoOp;
+          st.retries = 0;
+        } else if (st.retries < kMaxRetries) {
+          // The memory aborted us off a faulted unit (bounded-latency
+          // path).  Retry the same access after a jittered back-off;
+          // latency keeps accumulating against the original issue.
+          ++st.retries;
+          shard_.counters.inc("ops_retried");
+          st.op = core::CfmMemory::kNoOp;
+          st.pending_retry = true;
+          st.retry_at = now + 1 + rng_.below(2 * beta);
+        } else {
+          ++failed_;
+          shard_.counters.inc("ops_failed");
+          st.op = core::CfmMemory::kNoOp;
+          st.retries = 0;
+        }
       }
     }
-    if (st.op == core::CfmMemory::kNoOp && rng_.chance(rate_)) {
+    if (st.op != core::CfmMemory::kNoOp) continue;
+    const bool retrying = st.pending_retry;
+    if (retrying ? now < st.retry_at : !rng_.chance(rate_)) continue;
+    if (!retrying) {
       // Closed loop: the access is generated and issued in the same
       // cycle, so the queue hint records a zero wait — the driver never
       // holds work back, which the txn trace then shows explicitly.
       if (auto* tracer = mem_.txn_tracer()) {
         tracer->queued_since(mem_.txn_unit(), p, now);
       }
-      // Distinct blocks per processor: the efficiency experiment is
-      // about *bank* conflicts, not same-address races.
-      st.op = mem_.issue(now, p, core::BlockOpKind::Read,
-                         1000 + p * 7919 + (now % 97));
       st.issued = now;
     }
+    // Distinct blocks per processor: the efficiency experiment is
+    // about *bank* conflicts, not same-address races.
+    st.op = mem_.issue(now, p, core::BlockOpKind::Read,
+                       1000 + p * 7919 + (now % 97));
+    st.pending_retry = false;
   }
 }
 
@@ -200,6 +234,8 @@ EfficiencyResult measure_cfm(std::uint32_t processors, std::uint32_t bank_cycle,
   out.mean_access_time = mean_time;
   out.efficiency =
       completed == 0 ? 1.0 : static_cast<double>(beta) / mean_time;
+  out.unfinished = driver.in_flight();
+  out.failed = driver.failed();
   return out;
 }
 

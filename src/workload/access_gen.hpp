@@ -37,12 +37,26 @@ class AccessDriver final : public sim::Component {
   void tick_phase(sim::Phase phase, sim::Cycle now) override;
 
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  /// Accesses that exhausted the bounded retry budget (only possible when
+  /// the memory runs with a fault injector).
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  /// Accesses still outstanding (issued or awaiting a retry slot) — the
+  /// population a fixed cycle budget cuts off mid-flight.
+  [[nodiscard]] std::uint64_t in_flight() const noexcept;
 
  private:
   struct ProcState {
     core::CfmMemory::OpToken op = core::CfmMemory::kNoOp;
     sim::Cycle issued = 0;
+    sim::Cycle retry_at = 0;
+    std::uint32_t retries = 0;
+    bool pending_retry = false;
   };
+
+  /// Aborted accesses (bounded-latency fault path) retry this many times
+  /// with jittered back-off before counting as failed, so every access
+  /// resolves within a bounded number of fault windows.
+  static constexpr std::uint32_t kMaxRetries = 8;
 
   core::CfmMemory& mem_;
   double rate_;
@@ -50,6 +64,7 @@ class AccessDriver final : public sim::Component {
   std::vector<ProcState> procs_;
   sim::StatShard& shard_;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
 };
 
 struct EfficiencyResult {
@@ -58,6 +73,13 @@ struct EfficiencyResult {
   double mean_retries = 0.0;
   std::uint64_t completed = 0;
   std::uint64_t conflicts = 0;
+  /// Accesses still in flight when the cycle budget ran out.  These are
+  /// *not* in the mean: a fixed budget preferentially cuts off the
+  /// longest-waiting accesses, so a large unfinished count flags a
+  /// survivorship-biased (optimistic) mean_access_time.
+  std::uint64_t unfinished = 0;
+  /// Accesses that exhausted the fault-retry budget (zero without faults).
+  std::uint64_t failed = 0;
 };
 
 /// Conventional interleaved memory: n processors, m modules, beta-cycle

@@ -1,0 +1,312 @@
+// Tests for the fault-injection & graceful-degradation subsystem:
+// FaultPlan grammar, injector windows, CfmMemory's spare-bank remap and
+// bounded-latency contract (serial and 4-thread ParallelEngine), the
+// closed-loop survivorship-bias accounting, the Uniform[1, beta] back-off
+// draw, and the assert->invalid_argument guard conversions.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "cfm/cfm_memory.hpp"
+#include "mem/conventional.hpp"
+#include "net/circuit_omega.hpp"
+#include "net/omega.hpp"
+#include "net/partial_omega.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/rng.hpp"
+#include "workload/access_gen.hpp"
+
+namespace {
+
+using namespace cfm;
+using sim::FaultInjector;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::FaultSpec;
+
+// ------------------------------------------------------------ grammar --
+
+TEST(FaultPlan, ParsesEveryKind) {
+  const auto plan = FaultPlan::parse(
+      "bank_dead@100+500:module=1,bank=3;"
+      "brownout@200+50:module=0;"
+      "omega_link@10:stage=2,link=5;"
+      "drop@0:prob=0.25");
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::BankDead);
+  EXPECT_EQ(plan.specs()[0].at, 100u);
+  EXPECT_EQ(plan.specs()[0].duration, 500u);
+  EXPECT_EQ(plan.specs()[0].module, 1u);
+  EXPECT_EQ(plan.specs()[0].bank, 3u);
+  EXPECT_EQ(plan.specs()[1].kind, FaultKind::ModuleBrownout);
+  EXPECT_EQ(plan.specs()[2].kind, FaultKind::OmegaLink);
+  EXPECT_EQ(plan.specs()[2].stage, 2u);
+  EXPECT_EQ(plan.specs()[2].link, 5u);
+  EXPECT_EQ(plan.specs()[3].kind, FaultKind::MessageDrop);
+  EXPECT_DOUBLE_EQ(plan.specs()[3].probability, 0.25);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  const char* text =
+      "bank_dead@100+500:module=1,bank=3;brownout@200+50:module=0;"
+      "drop@0:prob=0.25";
+  const auto plan = FaultPlan::parse(text);
+  const auto again = FaultPlan::parse(plan.to_string());
+  ASSERT_EQ(again.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(again.specs()[i].kind, plan.specs()[i].kind) << i;
+    EXPECT_EQ(again.specs()[i].at, plan.specs()[i].at) << i;
+    EXPECT_EQ(again.specs()[i].duration, plan.specs()[i].duration) << i;
+    EXPECT_EQ(again.specs()[i].module, plan.specs()[i].module) << i;
+    EXPECT_EQ(again.specs()[i].bank, plan.specs()[i].bank) << i;
+    EXPECT_DOUBLE_EQ(again.specs()[i].probability,
+                     plan.specs()[i].probability)
+        << i;
+  }
+}
+
+TEST(FaultPlan, MalformedTextThrows) {
+  // A typo must not silently run a clean machine.
+  EXPECT_THROW((void)FaultPlan::parse("bank_dead"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("nonsense@10"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bank_dead@"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bank_dead@abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bank_dead@5:bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop@0:prob=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop@0:prob=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse(";"), std::invalid_argument);
+}
+
+TEST(FaultInjector, QueriesHonorTheFaultWindow) {
+  FaultPlan plan;
+  FaultSpec dead;
+  dead.kind = FaultKind::BankDead;
+  dead.at = 100;
+  dead.duration = 50;
+  dead.module = 0;
+  dead.bank = 3;
+  plan.add(dead);
+  const FaultInjector inj(plan);
+  EXPECT_FALSE(inj.bank_dead(99, 0, 3));
+  EXPECT_TRUE(inj.bank_dead(100, 0, 3));
+  EXPECT_TRUE(inj.bank_dead(149, 0, 3));
+  EXPECT_FALSE(inj.bank_dead(150, 0, 3));
+  EXPECT_FALSE(inj.bank_dead(120, 0, 4));  // other bank
+  EXPECT_FALSE(inj.bank_dead(120, 1, 3));  // other module
+  EXPECT_TRUE(inj.any_active(120));
+  EXPECT_FALSE(inj.any_active(200));
+}
+
+// ---------------------------------------------- CFM degraded operation --
+
+// Property: with one bank stuck dead and a spare provisioned, every
+// issued access completes, conflict freedom holds (zero genuine
+// violations) and the injected fault is classified separately.
+TEST(CfmDegradation, DeadBankWithSpareCompletesEveryAccess) {
+  const auto cfg = core::CfmConfig::make(8, 2);
+  core::CfmMemory mem(cfg);
+  sim::ConflictAuditor auditor;
+  mem.set_audit(auditor);
+  FaultInjector inj(FaultPlan::parse("bank_dead@100:module=0,bank=3"));
+  mem.set_fault_injector(inj, /*spare_banks=*/1);
+
+  sim::Rng rng(99);
+  struct Slot {
+    core::CfmMemory::OpToken op = core::CfmMemory::kNoOp;
+    sim::Cycle issued = 0;
+  };
+  std::array<Slot, 8> slots;
+  std::uint64_t completed = 0;
+  sim::Cycle worst = 0;
+  for (sim::Cycle now = 0; now < 4000; ++now) {
+    for (sim::ProcessorId p = 0; p < 8; ++p) {
+      auto& s = slots[p];
+      if (s.op != core::CfmMemory::kNoOp) {
+        if (auto r = mem.take_result(s.op)) {
+          ASSERT_EQ(r->status, core::OpStatus::Completed)
+              << "access aborted at " << r->completed;
+          worst = std::max(worst, r->completed - r->issued);
+          ++completed;
+          s.op = core::CfmMemory::kNoOp;
+        }
+      }
+      if (s.op == core::CfmMemory::kNoOp && rng.chance(0.3)) {
+        s.issued = now;
+        s.op = mem.issue(now, p, core::BlockOpKind::Read, 7 + p * 131);
+      }
+    }
+    mem.tick(now);
+  }
+
+  EXPECT_GT(completed, 500u);
+  EXPECT_EQ(mem.counters().get("bank_remaps"), 1u);
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GE(auditor.injected_detected(), 1u);
+  // Bounded latency: the remap costs at most one restarted tour.
+  const auto beta = cfg.block_access_time();
+  EXPECT_LE(worst, sim::Cycle{3} * beta);
+  // Ops interrupted by the failure recovered (stat only counts them).
+  EXPECT_LE(mem.fault_recovery().max(), 3.0 * beta);
+}
+
+// The same property must hold when the memory ticks inside a 4-thread
+// ParallelEngine: the injector's const queries are the only cross-domain
+// surface, and serial/parallel runs stay bit-identical.
+TEST(CfmDegradation, ParallelEngineMatchesSerialUnderFaults) {
+  struct Run {
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    double mean = 0.0;
+    std::uint64_t violations = 0;
+  };
+  auto run = [](std::unique_ptr<sim::Engine> engine) {
+    core::CfmMemory mem(core::CfmConfig::make(8, 2));
+    sim::ConflictAuditor auditor;
+    mem.set_audit(auditor);
+    FaultInjector inj(
+        FaultPlan::parse("bank_dead@500:module=0,bank=5;"
+                         "brownout@3000+60:module=0"));
+    mem.set_fault_injector(inj, 1);
+    const auto domain = engine->allocate_domain();
+    mem.attach(*engine, domain);
+    workload::AccessDriver driver("fault.driver", domain, mem, 0.25, 4321,
+                                  engine->shard(domain));
+    engine->add(driver);
+    engine->run_for(8000);
+    Run out;
+    out.completed = driver.completed();
+    out.failed = driver.failed();
+    const auto& shard = engine->shard(domain);
+    if (const auto it = shard.running.find("access_time");
+        it != shard.running.end()) {
+      out.mean = it->second.mean();
+    }
+    out.violations = auditor.violations();
+    return out;
+  };
+
+  const auto serial = run(sim::Engine::make(sim::EngineConfig{1}));
+  const auto parallel = run(sim::Engine::make(sim::EngineConfig{4}));
+  EXPECT_GT(serial.completed, 1000u);
+  EXPECT_EQ(serial.failed, 0u);
+  EXPECT_EQ(serial.violations, 0u);
+  EXPECT_EQ(parallel.completed, serial.completed);
+  EXPECT_EQ(parallel.failed, serial.failed);
+  EXPECT_DOUBLE_EQ(parallel.mean, serial.mean);
+  EXPECT_EQ(parallel.violations, serial.violations);
+}
+
+// Without a spare the machine halts on the dead bank; the watchdog must
+// still answer every access within the fault timeout (status Aborted, so
+// the caller can retry or fail over).
+TEST(CfmDegradation, UnmappedFaultKeepsLatencyBounded) {
+  const auto cfg = core::CfmConfig::make(4, 2);
+  core::CfmMemory mem(cfg);
+  FaultInjector inj(FaultPlan::parse("bank_dead@50:module=0,bank=2"));
+  const sim::Cycle timeout = 64;
+  mem.set_fault_injector(inj, /*spare_banks=*/0, timeout);
+
+  const auto op = mem.issue(60, 0, core::BlockOpKind::Read, 42);
+  sim::Cycle now = 60;
+  std::optional<core::BlockOpResult> res;
+  while (now < 60 + 10 * timeout) {
+    mem.tick(now++);
+    if ((res = mem.take_result(op))) break;
+  }
+  ASSERT_TRUE(res.has_value()) << "access never resolved";
+  EXPECT_NE(res->status, core::OpStatus::Completed);
+  EXPECT_LE(res->completed - res->issued,
+            timeout + cfg.block_access_time() + 1);
+  EXPECT_GE(mem.counters().get("fault_aborts"), 1u);
+  EXPECT_GE(mem.counters().get("bank_failures_unmapped"), 1u);
+}
+
+// ------------------------------------- closed-loop measurement honesty --
+
+TEST(ClosedLoop, ShortBudgetReportsUnfinishedAccesses) {
+  // One module, saturating rate, tiny budget: most processors are still
+  // retrying when the run is cut off.  Those accesses are excluded from
+  // the mean (survivorship), so the result must disclose them.
+  const auto r = workload::measure_conventional(8, 1, 17, 0.9, 60, 13);
+  EXPECT_GT(r.unfinished, 0u);
+  // A long budget drains the backlog at a modest rate: near-zero leftover
+  // relative to completions.
+  const auto big = workload::measure_conventional(8, 8, 17, 0.01, 200000, 13);
+  EXPECT_GT(big.completed, 1000u);
+  EXPECT_LE(big.unfinished, 8u);  // at most one in-flight access per proc
+}
+
+TEST(ClosedLoop, CfmMeasurementReportsUnfinished) {
+  const auto r = workload::measure_cfm(8, 2, 0.9, 300, 17);
+  // Closed loop: whatever is still in flight is at most one per
+  // processor, and it is reported rather than silently dropped.
+  EXPECT_LE(r.unfinished, 8u);
+  EXPECT_EQ(r.failed, 0u);
+}
+
+// --------------------------------------------- Uniform[1, beta] draws --
+
+TEST(Rng, BetweenIsInclusiveOnBothEnds) {
+  // §3.4.1's back-off is Uniform[1, beta]: rng.between(1, beta) must be
+  // able to return both endpoints and nothing outside them.
+  sim::Rng rng(7);
+  constexpr std::uint64_t kBeta = 5;
+  std::array<std::uint64_t, kBeta + 1> hits{};
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.between(1, kBeta);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, kBeta);
+    ++hits[v];
+  }
+  for (std::uint64_t v = 1; v <= kBeta; ++v) {
+    // Each value should land ~4000 times; even a loose bound catches an
+    // off-by-one that would zero an endpoint.
+    EXPECT_GT(hits[v], 3000u) << "value " << v;
+    EXPECT_LT(hits[v], 5000u) << "value " << v;
+  }
+}
+
+// ------------------------------- guard conversions (release-safe APIs) --
+
+TEST(InputValidation, OmegaRouteRejectsOutOfRangePorts) {
+  const net::OmegaTopology topo(8);
+  EXPECT_THROW((void)topo.route(8, 0), std::invalid_argument);
+  EXPECT_THROW((void)topo.route(0, 9), std::invalid_argument);
+}
+
+TEST(InputValidation, OmegaPermutationScheduleRejectsWrongSize) {
+  const net::OmegaTopology topo(8);
+  const std::vector<net::Port> wrong(4, 0);
+  EXPECT_THROW((void)net::SyncOmega::schedule_for_permutation(topo, wrong),
+               std::invalid_argument);
+}
+
+TEST(InputValidation, PartialFabricRejectsBadConfigAndArgs) {
+  EXPECT_THROW(net::PartialCfmFabric(8, 3, 17), std::invalid_argument);
+  EXPECT_THROW(net::PartialCfmFabric(8, 4, 0), std::invalid_argument);
+  net::PartialCfmFabric fabric(8, 4, 17);
+  EXPECT_THROW((void)fabric.try_access(8, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)fabric.try_access(0, 4, 0), std::invalid_argument);
+}
+
+TEST(InputValidation, BufferedOmegaRejectsZeroCapacityOrService) {
+  EXPECT_THROW(net::BufferedOmega(8, 0, 1), std::invalid_argument);
+  EXPECT_THROW(net::BufferedOmega(8, 4, 0), std::invalid_argument);
+}
+
+TEST(InputValidation, ConventionalMemoryRejectsZeroModulesOrBeta) {
+  EXPECT_THROW(mem::ConventionalMemory(0, 17), std::invalid_argument);
+  EXPECT_THROW(mem::ConventionalMemory(8, 0), std::invalid_argument);
+}
+
+}  // namespace

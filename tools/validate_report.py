@@ -84,6 +84,9 @@ def validate(path):
     if "audit" in doc:
         validate_audit(path, doc["audit"])
         extras.append(f"audit ({doc['audit']['checks']} checks)")
+    if "faults" in doc["tables"]:
+        validate_faults(path, doc["tables"]["faults"])
+        extras.append(f"faults ({len(doc['tables']['faults'])} scenarios)")
     n_rows = sum(len(r) for r in doc["tables"].values())
     print(f"{path}: ok — name={doc['name']!r}, "
           f"{len(doc['params'])} params, {len(doc['metrics'])} metrics, "
@@ -144,13 +147,17 @@ def validate_txn_trace(path, section):
 def validate_audit(path, section):
     """The "audit" section: per-scope counter shape, and the hard gate —
     a ConflictFree scope reporting violations means the simulated machine
-    broke the paper's invariant."""
+    broke the paper's invariant.  Injected-fault events ride in separate
+    "injected" counters and are *not* violations."""
     if not isinstance(section, dict):
         fail(path, "'audit' is not an object")
     for key in ("violations", "conflicts_detected", "checks", "scopes",
                 "samples"):
         if key not in section:
             fail(path, f"audit missing '{key}'")
+    if "injected" in section and (not isinstance(section["injected"], int)
+                                  or section["injected"] < 0):
+        fail(path, "audit.injected is not a non-negative int")
     if not isinstance(section["scopes"], dict):
         fail(path, "audit.scopes is not an object")
     for name, scope in section["scopes"].items():
@@ -160,6 +167,8 @@ def validate_audit(path, section):
         if scope["kind"] not in ("conflict_free", "contended"):
             fail(path, f"audit scope '{name}' has unknown kind "
                        f"{scope['kind']!r}")
+        if "injected" in scope and not isinstance(scope["injected"], dict):
+            fail(path, f"audit scope '{name}' injected is not an object")
     if not isinstance(section["samples"], list):
         fail(path, "audit.samples is not a list")
     if section["violations"] > 0:
@@ -167,6 +176,34 @@ def validate_audit(path, section):
         fail(path, f"audit reports {section['violations']} conflict-freedom "
                    f"violation(s) ({', '.join(kinds)}) — the CFM invariant "
                    f"broke")
+
+
+FAULT_ROW_KEYS = ("scenario", "plan", "completed", "failed", "unfinished",
+                  "max_access_time", "violations", "injected_detected")
+
+
+def validate_faults(path, rows):
+    """The "faults" table from bench_fault_degradation: every scenario row
+    carries the degradation metrics, reports zero *genuine* violations
+    (injected events are classified separately), and the clean baseline
+    reports no injected events at all."""
+    if not rows:
+        fail(path, "tables.faults is empty")
+    for i, row in enumerate(rows):
+        where = f"tables.faults[{i}]"
+        for key in FAULT_ROW_KEYS:
+            if key not in row:
+                fail(path, f"{where} missing '{key}'")
+        for key in ("completed", "failed", "unfinished", "violations",
+                    "injected_detected"):
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(path, f"{where}.{key} is not a non-negative int")
+        check_number(path, f"{where}.max_access_time", row["max_access_time"])
+        if row["violations"] != 0:
+            fail(path, f"{where}: scenario {row['scenario']!r} reports "
+                       f"{row['violations']} genuine conflict violation(s)")
+        if row["scenario"] == "baseline" and row["injected_detected"] != 0:
+            fail(path, f"{where}: clean baseline reports injected faults")
 
 
 def main(argv):
