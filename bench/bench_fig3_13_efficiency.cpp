@@ -12,13 +12,14 @@
 int main(int argc, char** argv) {
   using namespace cfm;
   const auto opts = bench::parse_options(argc, argv);
+  const std::uint64_t seed = opts.seed.value_or(42);
   const analytic::ConventionalModel model{8, 8, 17};
   sim::Report report("fig3_13_efficiency");
   report.set_param("processors", 8);
   report.set_param("modules", 8);
   report.set_param("block_words", 16);
   report.set_param("beta", 17);
-  report.set_param("seed", 42);
+  report.set_param("seed", seed);
 
   std::printf("Fig 3.13 — Memory access efficiency "
               "(n=8, m=8, block size=16, beta=17)\n\n");
@@ -27,8 +28,9 @@ int main(int argc, char** argv) {
   for (const double r :
        {0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05,
         0.055, 0.06}) {
-    const auto conv = workload::measure_conventional(8, 8, 17, r, 400000, 42);
-    const auto cfm = workload::measure_cfm(8, 2, r, 60000, 42);
+    const auto conv =
+        workload::measure_conventional(8, 8, 17, r, 400000, seed);
+    const auto cfm = workload::measure_cfm(8, 2, r, 60000, seed);
     std::printf("%-8.3f %-20.3f %-20.3f %-14.3f %-10llu\n", r,
                 model.efficiency(r), conv.efficiency, cfm.efficiency,
                 static_cast<unsigned long long>(conv.unfinished +

@@ -17,13 +17,14 @@ int main(int argc, char** argv) {
   constexpr std::size_t kAccesses = 4000;
   constexpr cfm::sim::Cycle kSpan = 4000;  // dense: backlog forms
   const auto opts = bench::parse_options(argc, argv);
+  const std::uint64_t seed = opts.seed.value_or(77);
   sim::Report report("trace_replay");
   report.set_param("processors", kProcs);
   report.set_param("beta", kBeta);
   report.set_param("accesses", kAccesses);
   report.set_param("issue_span", kSpan);
   report.set_param("write_fraction", 0.3);
-  report.set_param("seed", 77);
+  report.set_param("seed", seed);
 
   std::printf("Trace replay — %zu block accesses over %llu issue cycles, "
               "%u processors\n\n",
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   };
 
   const auto cfm_trace = Trace::uniform(kProcs, 1, 256, kAccesses, kSpan,
-                                        0.3, 77);
+                                        0.3, seed);
   sim::TxnTracer tracer;
   sim::ConflictAuditor auditor;
   const bool instrument = opts.audit || !opts.txn_trace_out.empty();
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t modules : {8u, 16u, 32u}) {
     // Same issue pattern (same seed), spread over this machine's modules.
     const auto trace = Trace::uniform(kProcs, modules, 256, kAccesses, kSpan,
-                                      0.3, 77);
+                                      0.3, seed);
     const auto conv = replay_on_conventional(trace, kProcs, modules, kBeta, 3);
     char name[64];
     std::snprintf(name, sizeof name, "conventional, %u modules", modules);

@@ -17,10 +17,14 @@
 //   --fault-plan <spec> deterministic fault schedule (sim::FaultPlan
 //                       grammar, e.g. "bank_dead@100+500:bank=3"); only
 //                       benches that model degradation consume it
+//   --seed <u64>        override the bench's built-in workload seed, so
+//                       campaigns and CI can vary seeds without a rebuild
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "sim/report.hpp"
@@ -32,36 +36,66 @@ struct Options {
   std::string txn_trace_out;  ///< empty = transaction tracing off
   std::string fault_plan;     ///< empty = no injected faults
   bool audit = false;         ///< attach the conflict auditor
+  /// Workload seed override; benches use `opts.seed.value_or(<default>)`
+  /// so the built-in numbers stay reproducible when the flag is absent.
+  std::optional<std::uint64_t> seed;
 };
 
 /// Parses `--json-out <path>` / `--json-out=<path>`, `--audit`,
-/// `--txn-trace <path>` / `--txn-trace=<path>`, and `--fault-plan <spec>`
-/// / `--fault-plan=<spec>`.  Unknown arguments print usage and exit(2) so
-/// a typo cannot silently drop the report.  The fault-plan spec itself is
-/// validated by the consuming bench (sim::FaultPlan::parse throws
-/// std::invalid_argument; benches exit(2) on a malformed spec).
+/// `--txn-trace <path>` / `--txn-trace=<path>`, `--fault-plan <spec>` /
+/// `--fault-plan=<spec>`, and `--seed <u64>` / `--seed=<u64>`.  Unknown
+/// arguments print usage and exit(2) so a typo cannot silently drop the
+/// report; a value flag given as the last argument with no value is
+/// diagnosed explicitly ("missing value for --json-out") instead of
+/// falling through to the generic usage message.  The fault-plan spec
+/// itself is validated by the consuming bench (sim::FaultPlan::parse
+/// throws std::invalid_argument; benches exit(2) on a malformed spec).
 inline Options parse_options(int argc, char** argv) {
   Options opts;
+  // Consumes `--flag <value>` / `--flag=<value>`; exits with a pointed
+  // diagnostic when the value is missing.
+  const auto value_flag = [&](int& i, const std::string& arg,
+                              const char* flag,
+                              std::string& out) -> bool {
+    if (arg == flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      out = argv[++i];
+      return true;
+    }
+    const std::string prefix = std::string(flag) + "=";
+    if (arg.rfind(prefix, 0) == 0) {
+      out = arg.substr(prefix.size());
+      return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json-out" && i + 1 < argc) {
-      opts.json_out = argv[++i];
-    } else if (arg.rfind("--json-out=", 0) == 0) {
-      opts.json_out = arg.substr(sizeof("--json-out=") - 1);
-    } else if (arg == "--txn-trace" && i + 1 < argc) {
-      opts.txn_trace_out = argv[++i];
-    } else if (arg.rfind("--txn-trace=", 0) == 0) {
-      opts.txn_trace_out = arg.substr(sizeof("--txn-trace=") - 1);
-    } else if (arg == "--fault-plan" && i + 1 < argc) {
-      opts.fault_plan = argv[++i];
-    } else if (arg.rfind("--fault-plan=", 0) == 0) {
-      opts.fault_plan = arg.substr(sizeof("--fault-plan=") - 1);
+    std::string seed_text;
+    if (value_flag(i, arg, "--json-out", opts.json_out) ||
+        value_flag(i, arg, "--txn-trace", opts.txn_trace_out) ||
+        value_flag(i, arg, "--fault-plan", opts.fault_plan)) {
+      continue;
+    }
+    if (value_flag(i, arg, "--seed", seed_text)) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(seed_text.c_str(), &end, 0);
+      if (end == seed_text.c_str() || *end != '\0') {
+        std::fprintf(stderr, "%s: --seed wants an unsigned integer, got '%s'\n",
+                     argv[0], seed_text.c_str());
+        std::exit(2);
+      }
+      opts.seed = static_cast<std::uint64_t>(v);
     } else if (arg == "--audit") {
       opts.audit = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json-out <path>] [--audit] "
-                   "[--txn-trace <path>] [--fault-plan <spec>]\n",
+                   "[--txn-trace <path>] [--fault-plan <spec>] "
+                   "[--seed <u64>]\n",
                    argv[0]);
       std::exit(2);
     }

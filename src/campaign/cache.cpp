@@ -1,0 +1,79 @@
+#include "campaign/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace cfm::campaign {
+
+namespace fs = std::filesystem;
+using sim::Json;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::path_for(const PointSpec& point) const {
+  return (fs::path(dir_) / (point.cache_key() + ".json")).string();
+}
+
+std::optional<sim::Json> ResultCache::load(const PointSpec& point) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream is(path_for(point));
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  Json entry;
+  try {
+    entry = Json::parse(buf.str());
+  } catch (const sim::JsonParseError&) {
+    return std::nullopt;  // truncated / corrupt entry: clean miss
+  }
+  if (!entry.is_object() || !entry.contains("key") ||
+      !entry.contains("result")) {
+    return std::nullopt;
+  }
+  // Guard against hash collisions and stale schemas: the stored spec
+  // must match the requesting point exactly, not just its hash.
+  if (!(entry.at("key") == point.canonical())) return std::nullopt;
+  return entry.at("result");
+}
+
+void ResultCache::store(const PointSpec& point, const sim::Json& result) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("campaign cache: cannot create '" + dir_ +
+                             "': " + ec.message());
+  }
+  Json entry = Json::object();
+  entry["key"] = point.canonical();
+  entry["result"] = result;
+  const std::string path = path_for(point);
+  // Per-thread temp name: duplicate grid points (e.g. a repeated axis
+  // value) may store concurrently from different pool workers.
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("campaign cache: cannot write '" + tmp + "'");
+    }
+    entry.dump_to(os, 2);
+    os << '\n';
+    if (!os.flush()) {
+      throw std::runtime_error("campaign cache: short write to '" + tmp + "'");
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("campaign cache: cannot publish '" + path +
+                             "': " + ec.message());
+  }
+}
+
+}  // namespace cfm::campaign

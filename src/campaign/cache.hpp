@@ -1,0 +1,51 @@
+// Content-addressed result cache for campaign grid points.
+//
+// Every executed point stores its result document under
+// `<dir>/<cache_key>.json` where cache_key is the FNV-1a hash of the
+// point's canonical spec (which embeds the cfm-point/v1 schema version).
+// Re-running a campaign therefore re-executes only changed or new
+// points, and an interrupted campaign resumes from whatever the previous
+// run managed to store.
+//
+// Each entry stores the full canonical spec alongside the result and
+// load() verifies it matches the requesting point byte-for-byte: a hash
+// collision, a stale schema, or a corrupt / truncated file (a campaign
+// killed mid-write) all read as a clean miss and the point simply runs
+// again.  Stores are atomic (write to a temp file, then rename) so a
+// parallel or interrupted campaign never publishes a half-written entry.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "campaign/scenario.hpp"
+#include "sim/report.hpp"
+
+namespace cfm::campaign {
+
+class ResultCache {
+ public:
+  /// `dir` empty disables the cache (every lookup misses, stores are
+  /// dropped).  The directory is created lazily on the first store.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// The entry file path for a point (meaningful even before it exists).
+  [[nodiscard]] std::string path_for(const PointSpec& point) const;
+
+  /// Cached result for the point, or nullopt on miss, corrupt entry, or
+  /// spec mismatch.
+  [[nodiscard]] std::optional<sim::Json> load(const PointSpec& point) const;
+
+  /// Stores the result atomically.  Throws std::runtime_error when the
+  /// entry cannot be written — losing cache writes silently would turn
+  /// "resume" into "silently re-run everything".
+  void store(const PointSpec& point, const sim::Json& result) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace cfm::campaign

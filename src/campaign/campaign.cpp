@@ -1,0 +1,252 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "sim/parallel_engine.hpp"
+
+namespace cfm::campaign {
+namespace {
+
+using sim::Json;
+
+std::string describe(const PointSpec& point) {
+  std::ostringstream os;
+  for (const auto& [key, value] : point.params.as_object()) {
+    os << ' ' << key << '=' << value.dump();
+  }
+  return os.str();
+}
+
+/// One grid point's in-flight execution state.
+struct PointRun {
+  PointSpec spec;
+  Json result;        ///< run_point document, or {"error": ...} on failure
+  bool cached = false;
+  bool failed = false;
+};
+
+/// Executes one point with the scenario's bounded retry budget.  A
+/// faulted run (anything thrown out of run_point) retries up to
+/// `retries` more times before the point is recorded as failed; the
+/// runner is deterministic, so retries only help for environmental
+/// faults (OOM, cache I/O races), exactly the bounded-retry contract.
+void execute_with_retry(PointRun& run, std::uint32_t retries) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      run.result = run_point(run.spec);
+      run.failed = false;
+      return;
+    } catch (const std::exception& e) {
+      if (attempt >= retries) {
+        Json err = Json::object();
+        err["error"] = std::string(e.what());
+        run.result = std::move(err);
+        run.failed = true;
+        return;
+      }
+    }
+  }
+}
+
+// ---- aggregation ------------------------------------------------------
+
+Json aggregate(const Scenario& scenario, const std::vector<PointRun>& runs) {
+  Json report = Json::object();
+  report["schema"] = "cfm-campaign-report/v1";
+  report["name"] = scenario.name();
+  Json spec = scenario.to_json();
+  report["spec_hash"] = sim::canonical_hash_hex(spec);
+  report["spec"] = std::move(spec);
+
+  Json axes = Json::object();
+  for (const auto& [key, values] : scenario.axes()) {
+    axes[key] = Json::array(values);
+  }
+  report["axes"] = std::move(axes);
+
+  // Per-point rows (expansion order) + the merged containers.
+  Json points = Json::array();
+  Json merged_counters = Json::object();
+  std::map<std::string, sim::StatSummary> merged_stats;
+  std::uint64_t violations = 0, conflicts = 0, checks = 0;
+  std::uint64_t points_with_violations = 0;
+  std::set<std::string> metric_keys;
+  for (const auto& run : runs) {
+    Json row = Json::object();
+    row["key"] = run.spec.cache_key();
+    row["params"] = run.spec.params;
+    if (run.failed) {
+      row["error"] = run.result.at("error");
+      points.push_back(std::move(row));
+      continue;
+    }
+    row["metrics"] = run.result.at("metrics");
+    for (const auto& [name, value] : run.result.at("metrics").as_object()) {
+      if (value.is_number()) metric_keys.insert(name);
+    }
+    if (run.result.contains("counters")) {
+      merged_counters =
+          sim::merge_counters_json(merged_counters, run.result.at("counters"));
+    }
+    if (run.result.contains("stats")) {
+      for (const auto& [name, summary] : run.result.at("stats").as_object()) {
+        const auto parsed = sim::stat_summary_from_json(summary);
+        auto [it, fresh] = merged_stats.emplace(name, parsed);
+        if (!fresh) it->second = sim::merge_stat_summaries(it->second, parsed);
+      }
+    }
+    std::uint64_t point_violations = 0;
+    if (run.result.contains("audit")) {
+      const auto& audit = run.result.at("audit");
+      point_violations = audit.at("violations").as_uint();
+      violations += point_violations;
+      conflicts += audit.at("conflicts_detected").as_uint();
+      checks += audit.at("checks").as_uint();
+      if (point_violations > 0) ++points_with_violations;
+    }
+    row["audit_violations"] = point_violations;
+    points.push_back(std::move(row));
+  }
+  report["points"] = std::move(points);
+  report["counters"] = std::move(merged_counters);
+  Json stats = Json::object();
+  for (const auto& [name, summary] : merged_stats) {
+    stats[name] = sim::to_json(summary);
+  }
+  report["stats"] = std::move(stats);
+
+  // Per-axis tables: group the grid by each axis value (file order) and
+  // report the mean of every numeric metric over the group.
+  Json tables = Json::object();
+  for (const auto& [axis, values] : scenario.axes()) {
+    Json rows = Json::array();
+    for (const auto& value : values) {
+      Json row = Json::object();
+      row[axis] = value;
+      std::size_t group = 0;
+      std::map<std::string, sim::RunningStat> per_metric;
+      for (const auto& run : runs) {
+        if (run.failed || !(run.spec.params.at(axis) == value)) continue;
+        ++group;
+        for (const auto& name : metric_keys) {
+          if (run.result.at("metrics").contains(name)) {
+            per_metric[name].add(run.result.at("metrics").at(name).as_double());
+          }
+        }
+      }
+      row["points"] = group;
+      for (const auto& [name, stat] : per_metric) row[name] = stat.mean();
+      rows.push_back(std::move(row));
+    }
+    tables["by_" + axis] = std::move(rows);
+  }
+  report["tables"] = std::move(tables);
+
+  Json audit = Json::object();
+  audit["violations"] = violations;
+  audit["conflicts_detected"] = conflicts;
+  audit["checks"] = checks;
+  audit["points_with_violations"] = points_with_violations;
+  report["audit"] = std::move(audit);
+
+  Json totals = Json::object();
+  totals["points"] = runs.size();
+  report["totals"] = std::move(totals);
+  return report;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& options) {
+  const auto specs = scenario.expand();
+  ResultCache cache(options.cache_dir);
+
+  std::vector<PointRun> runs(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) runs[i].spec = specs[i];
+
+  CampaignResult out;
+  out.points = runs.size();
+
+  std::mutex progress_mx;
+  std::size_t announced = 0;
+  const auto progress = [&](const PointRun& run, const char* what) {
+    if (!options.progress) return;
+    std::lock_guard<std::mutex> lock(progress_mx);
+    std::ostringstream os;
+    os << '[' << ++announced << '/' << runs.size() << "] "
+       << run.spec.cache_key() << describe(run.spec) << ": " << what;
+    if (run.failed) os << " (" << run.result.at("error").as_string() << ')';
+    options.progress(os.str());
+  };
+
+  // Pass 1 (serial): serve cache hits — the resume path.
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (auto hit = cache.load(runs[i].spec)) {
+      runs[i].result = std::move(*hit);
+      runs[i].cached = true;
+      ++out.cached;
+      progress(runs[i], "cached");
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  // Pass 2 (sharded): run the misses concurrently.  Each job touches only
+  // its own PointRun slot; progress and cache stores synchronize
+  // internally.  Cache I/O errors must not escape a pool thread (that
+  // would terminate) — the first one is captured and rethrown after the
+  // pool drains.
+  std::string cache_error;
+  const auto run_one = [&](std::size_t index) {
+    PointRun& run = runs[index];
+    execute_with_retry(run, scenario.retries());
+    if (!run.failed) {
+      try {
+        cache.store(run.spec, run.result);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(progress_mx);
+        if (cache_error.empty()) cache_error = e.what();
+      }
+      progress(run, "ran");
+    } else {
+      progress(run, "FAILED");
+    }
+  };
+  unsigned jobs = options.jobs != 0
+                      ? options.jobs
+                      : std::max(1u, std::thread::hardware_concurrency());
+  if (misses.size() < jobs) jobs = static_cast<unsigned>(misses.size());
+  if (jobs <= 1) {
+    for (const auto index : misses) run_one(index);
+  } else {
+    sim::WorkerPool pool(jobs - 1);  // the calling thread participates
+    pool.run(misses.size(), [&](std::size_t j) { run_one(misses[j]); });
+  }
+  if (!cache_error.empty()) {
+    throw std::runtime_error("campaign: cache store failed: " + cache_error);
+  }
+
+  for (const auto& run : runs) {
+    if (run.cached) continue;
+    if (run.failed) {
+      ++out.failed;
+    } else {
+      ++out.executed;
+    }
+  }
+
+  out.report = aggregate(scenario, runs);
+  out.audit_violations = out.report.at("audit").at("violations").as_uint();
+  return out;
+}
+
+}  // namespace cfm::campaign

@@ -1,0 +1,79 @@
+// Campaign execution: sharded sweep runs + the aggregated report.
+//
+// run_campaign expands a Scenario to its grid, serves every point it can
+// from the content-addressed ResultCache, runs the misses concurrently on
+// a sim::WorkerPool (parallelism *across* simulations — each point gets
+// its own serial Engine, complementing the ParallelEngine's parallelism
+// within one), applies the scenario's bounded retry budget to faulted
+// points, and merges the per-point results into one deterministic
+// `cfm-campaign-report/v1` document:
+//
+//   { "schema":    "cfm-campaign-report/v1",
+//     "name":      "<scenario name>",
+//     "spec":      { ...canonical scenario... },
+//     "spec_hash": "<16 hex>",
+//     "axes":      { "<axis>": [values...] },
+//     "points":    [ { "key", "params", "metrics", "audit_violations" } ],
+//     "counters":  { ...merged CounterSets over all points... },
+//     "stats":     { ...merged stat summaries (Chan) over all points... },
+//     "tables":    { "by_<axis>": [ { "<axis>": v, "points": k,
+//                                     "<metric>": mean-over-group } ] },
+//     "audit":     { "violations", "conflicts_detected", "checks",
+//                    "points_with_violations" },
+//     "totals":    { "points": N } }
+//
+// The report is a pure function of the spec and the per-point results —
+// no wall-clock, no executed/cached provenance — so re-running a fully
+// cached campaign reproduces it byte-identically (the cache-hit
+// determinism CI asserts).  Execution provenance streams to the progress
+// sink and the CampaignResult counters instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/cache.hpp"
+#include "campaign/scenario.hpp"
+#include "sim/report.hpp"
+
+namespace cfm::campaign {
+
+struct CampaignOptions {
+  /// Result-cache directory; empty disables caching entirely.
+  std::string cache_dir = ".cfm-cache";
+  /// Concurrent point executions (the WorkerPool adds workers so that
+  /// total parallelism equals `jobs`); 0 = hardware concurrency.
+  unsigned jobs = 0;
+  /// Streaming per-point progress lines ("[k/N] <key> <params>: ran").
+  /// Null disables progress output.  Called under a mutex from pool
+  /// threads; lines arrive in completion order.
+  std::function<void(const std::string&)> progress;
+};
+
+struct CampaignResult {
+  sim::Json report = sim::Json::object();  ///< cfm-campaign-report/v1
+  std::size_t points = 0;    ///< grid cardinality
+  std::size_t executed = 0;  ///< ran (or re-ran) this invocation
+  std::size_t cached = 0;    ///< served from the result cache
+  std::size_t failed = 0;    ///< exhausted the bounded retry budget
+  std::uint64_t audit_violations = 0;  ///< summed over conflict-free points
+
+  /// 0 clean; 3 when any conflict-free point reported an audit
+  /// violation; 4 when any point failed outright.  Failure dominates.
+  [[nodiscard]] int exit_code() const noexcept {
+    if (failed > 0) return 4;
+    if (audit_violations > 0) return 3;
+    return 0;
+  }
+};
+
+/// Runs the scenario's grid.  Throws std::invalid_argument for spec
+/// errors (from expand()) and std::runtime_error for cache I/O failures;
+/// per-point simulation faults are retried and then recorded in
+/// `failed`, never thrown.
+[[nodiscard]] CampaignResult run_campaign(const Scenario& scenario,
+                                          const CampaignOptions& options = {});
+
+}  // namespace cfm::campaign

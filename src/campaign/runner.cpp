@@ -1,0 +1,188 @@
+#include "campaign/runner.hpp"
+
+#include <optional>
+#include <string>
+
+#include "cfm/config.hpp"
+#include "sim/audit.hpp"
+#include "sim/fault.hpp"
+#include "workload/access_gen.hpp"
+#include "workload/lock_workload.hpp"
+#include "workload/trace.hpp"
+
+namespace cfm::campaign {
+namespace {
+
+using sim::Json;
+
+/// Logical workload seed: the explicit "seed" axis value when given,
+/// otherwise the content-derived stream (both flow through rng_seed()'s
+/// canonical hash, so either way two distinct points never share one).
+std::uint64_t effective_seed(const PointSpec& point) {
+  return point.rng_seed();
+}
+
+Json audit_section(const sim::ConflictAuditor& auditor) {
+  Json out = Json::object();
+  out["violations"] = auditor.violations();
+  out["conflicts_detected"] = auditor.conflicts_detected();
+  out["checks"] = auditor.checks_performed();
+  return out;
+}
+
+Json efficiency_metrics(const workload::EfficiencyResult& r) {
+  Json m = Json::object();
+  m["efficiency"] = r.efficiency;
+  m["mean_access_time"] = r.mean_access_time;
+  m["mean_retries"] = r.mean_retries;
+  m["completed"] = r.completed;
+  m["conflicts"] = r.conflicts;
+  m["unfinished"] = r.unfinished;
+  m["failed"] = r.failed;
+  return m;
+}
+
+Json run_cfm(const PointSpec& point) {
+  const auto n = static_cast<std::uint32_t>(point.param_u64("n"));
+  const auto c = static_cast<std::uint32_t>(point.param_u64("c"));
+  const double rate = point.param_double("rate");
+  const auto cycles = point.param_u64("cycles");
+  const std::uint64_t seed = effective_seed(point);
+
+  sim::ConflictAuditor auditor;
+  sim::CounterSet counters;
+  sim::RunningStat access_time;
+  std::optional<sim::FaultInjector> injector;
+  workload::CfmRunHooks hooks;
+  if (point.audit) hooks.auditor = &auditor;
+  if (!point.fault_plan.empty()) {
+    injector.emplace(sim::FaultPlan::parse(point.fault_plan), seed);
+    hooks.injector = &*injector;
+    if (point.has_param("spares")) {
+      hooks.spare_banks = static_cast<std::uint32_t>(point.param_u64("spares"));
+    }
+  }
+  hooks.counters_out = &counters;
+  hooks.access_time_out = &access_time;
+
+  const auto r =
+      workload::measure_cfm_instrumented(n, c, rate, cycles, seed, hooks);
+
+  Json out = Json::object();
+  out["metrics"] = efficiency_metrics(r);
+  out["counters"] = sim::to_json(counters);
+  Json stats = Json::object();
+  stats["access_time"] = sim::to_json(access_time);
+  out["stats"] = std::move(stats);
+  if (point.audit) out["audit"] = audit_section(auditor);
+  return out;
+}
+
+Json run_conventional(const PointSpec& point) {
+  const auto r = workload::measure_conventional(
+      static_cast<std::uint32_t>(point.param_u64("n")),
+      static_cast<std::uint32_t>(point.param_u64("m")),
+      static_cast<std::uint32_t>(point.param_u64("beta")),
+      point.param_double("rate"), point.param_u64("cycles"),
+      effective_seed(point));
+  Json out = Json::object();
+  out["metrics"] = efficiency_metrics(r);
+  return out;
+}
+
+Json run_partial_cfm(const PointSpec& point) {
+  const auto r = workload::measure_partial_cfm(
+      static_cast<std::uint32_t>(point.param_u64("n")),
+      static_cast<std::uint32_t>(point.param_u64("m")),
+      static_cast<std::uint32_t>(point.param_u64("beta")),
+      point.param_double("rate"), point.param_double("locality"),
+      point.param_u64("cycles"), effective_seed(point));
+  Json out = Json::object();
+  out["metrics"] = efficiency_metrics(r);
+  return out;
+}
+
+Json run_trace_replay(const PointSpec& point) {
+  const auto n = static_cast<std::uint32_t>(point.param_u64("n"));
+  const auto c = static_cast<std::uint32_t>(point.param_u64("c"));
+  const auto trace = workload::Trace::uniform(
+      n, 1, point.param_u64("blocks"),
+      static_cast<std::size_t>(point.param_u64("accesses")),
+      point.param_u64("span"), point.param_double("write_fraction"),
+      effective_seed(point));
+  sim::ConflictAuditor auditor;
+  const auto r = workload::replay_on_cfm_instrumented(
+      trace, n, c, nullptr, point.audit ? &auditor : nullptr);
+  Json m = Json::object();
+  m["mean_latency"] = r.mean_latency;
+  m["completed"] = r.completed;
+  m["aborted_writes"] = r.aborted_writes;
+  m["restarts"] = r.restarts;
+  m["unfinished"] = r.unfinished;
+  m["makespan"] = r.makespan;
+  Json out = Json::object();
+  out["metrics"] = std::move(m);
+  if (point.audit) out["audit"] = audit_section(auditor);
+  return out;
+}
+
+Json run_lock(const PointSpec& point) {
+  const auto contenders =
+      static_cast<std::uint32_t>(point.param_u64("contenders"));
+  const auto hold = static_cast<std::uint32_t>(point.param_u64("hold"));
+  const auto cycles = point.param_u64("cycles");
+  const std::uint64_t seed = effective_seed(point);
+  const auto& variant = point.params.at("variant").as_string();
+  workload::LockFarmResult r;
+  if (variant == "cfm") {
+    r = workload::run_lock_farm_cfm(contenders, hold, cycles, seed);
+  } else if (variant == "cached") {
+    r = workload::run_lock_farm_cached(contenders, hold, cycles, seed);
+  } else {
+    r = workload::run_lock_farm_snoopy(contenders, hold, cycles, seed);
+  }
+  Json m = Json::object();
+  m["total_acquisitions"] = r.total_acquisitions;
+  m["throughput"] = r.throughput;
+  m["mean_acquire_latency"] = r.mean_acquire_latency;
+  m["mean_transfer_cycles"] = r.mean_transfer_cycles;
+  m["min_per_proc"] = r.min_per_proc;
+  m["max_per_proc"] = r.max_per_proc;
+  m["aux_pressure"] = r.aux_pressure;
+  Json out = Json::object();
+  out["metrics"] = std::move(m);
+  return out;
+}
+
+Json run_tradeoff(const PointSpec& point) {
+  // One Table 3.3 row: the same arithmetic enumerate_tradeoffs applies
+  // to its whole column (w = l/b, beta = b + c - 1, n = b/c), checked
+  // divisible at expansion.
+  const auto l = static_cast<std::uint32_t>(point.param_u64("block_bits"));
+  const auto b = static_cast<std::uint32_t>(point.param_u64("b"));
+  const auto c = static_cast<std::uint32_t>(point.param_u64("c"));
+  Json m = Json::object();
+  m["banks"] = b;
+  m["word_bits"] = l / b;
+  m["memory_latency"] = b + c - 1;
+  m["processors"] = b / c;
+  Json out = Json::object();
+  out["metrics"] = std::move(m);
+  return out;
+}
+
+}  // namespace
+
+sim::Json run_point(const PointSpec& point) {
+  switch (point.workload) {
+    case WorkloadKind::Cfm: return run_cfm(point);
+    case WorkloadKind::Conventional: return run_conventional(point);
+    case WorkloadKind::PartialCfm: return run_partial_cfm(point);
+    case WorkloadKind::TraceReplay: return run_trace_replay(point);
+    case WorkloadKind::Lock: return run_lock(point);
+    case WorkloadKind::Tradeoff: return run_tradeoff(point);
+  }
+  throw std::invalid_argument("campaign: unknown workload kind");
+}
+
+}  // namespace cfm::campaign

@@ -25,8 +25,11 @@ struct CfmConfig {
   [[nodiscard]] std::uint32_t block_bits() const noexcept {
     return banks * word_bits;  // l = b*w
   }
+  /// Rounded up: a 4-bit-word machine (Table 3.3's narrow configs) still
+  /// occupies whole bytes of backing store, so b*w not divisible by 8
+  /// must not truncate to a zero-byte block.
   [[nodiscard]] std::uint32_t block_bytes() const noexcept {
-    return block_bits() / 8;
+    return (block_bits() + 7) / 8;
   }
   [[nodiscard]] std::uint32_t block_access_time() const noexcept {
     return banks + bank_cycle - 1;  // beta = b + c - 1

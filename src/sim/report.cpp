@@ -495,6 +495,64 @@ CounterSet counters_from_json(const Json& j) {
   return out;
 }
 
+Json to_json(const StatSummary& s) {
+  return Json::object({{"count", Json(s.count)},
+                       {"mean", Json(s.mean)},
+                       {"min", Json(s.min)},
+                       {"max", Json(s.max)},
+                       {"stddev", Json(s.stddev)},
+                       {"sum", Json(s.sum)}});
+}
+
+StatSummary merge_stat_summaries(const StatSummary& a, const StatSummary& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  StatSummary out;
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  const double n = na + nb;
+  const double delta = b.mean - a.mean;
+  out.count = a.count + b.count;
+  out.sum = a.sum + b.sum;
+  out.mean = a.mean + delta * nb / n;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  // Chan's parallel variance on the *sample* variance RunningStat reports
+  // (m2 = stddev^2 * (count - 1)).
+  const double m2a = a.stddev * a.stddev * (na - 1.0);
+  const double m2b = b.stddev * b.stddev * (nb - 1.0);
+  const double m2 = m2a + m2b + delta * delta * na * nb / n;
+  out.stddev = out.count > 1 ? std::sqrt(m2 / (n - 1.0)) : 0.0;
+  return out;
+}
+
+std::uint64_t canonical_hash(const Json& value) {
+  const std::string text = value.dump();
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string canonical_hash_hex(const Json& value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::uint64_t h = canonical_hash(value);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+Json merge_counters_json(const Json& a, const Json& b) {
+  CounterSet merged = counters_from_json(a);
+  merged.merge(counters_from_json(b));
+  return to_json(merged);
+}
+
 // ---- Report -----------------------------------------------------------
 
 Report::Report(std::string name) : name_(std::move(name)) {}

@@ -139,6 +139,30 @@ struct StatSummary {
 };
 [[nodiscard]] StatSummary stat_summary_from_json(const Json& j);
 [[nodiscard]] CounterSet counters_from_json(const Json& j);
+/// Serializes a StatSummary with the same six fields to_json(RunningStat)
+/// emits, so summaries merged outside a RunningStat stay schema-compatible.
+[[nodiscard]] Json to_json(const StatSummary& s);
+/// Combines two summaries as if their sample streams were concatenated
+/// (parallel-variance / Chan's formula for the stddev).  Exact for count,
+/// sum, min, max, mean; stddev matches RunningStat::merge to rounding.
+[[nodiscard]] StatSummary merge_stat_summaries(const StatSummary& a,
+                                               const StatSummary& b);
+
+// ---- canonical hashing & JSON-level merging ---------------------------
+//
+// Json::dump(-1) is already canonical (sorted object keys, shortest
+// round-trip doubles, exact 64-bit integers), so hashing the compact dump
+// gives a stable content address for any JSON value — the campaign
+// subsystem keys its result cache on it.
+
+/// FNV-1a 64-bit hash of the canonical compact serialization.
+[[nodiscard]] std::uint64_t canonical_hash(const Json& value);
+/// canonical_hash rendered as 16 lowercase hex digits (cache file names).
+[[nodiscard]] std::string canonical_hash_hex(const Json& value);
+
+/// Merges two counter-set JSON objects (as produced by
+/// to_json(CounterSet)) through CounterSet::merge; counters are additive.
+[[nodiscard]] Json merge_counters_json(const Json& a, const Json& b);
 
 // ---- Report -----------------------------------------------------------
 

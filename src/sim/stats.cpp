@@ -1,6 +1,7 @@
 #include "sim/stats.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace cfm::sim {
 
@@ -54,6 +55,18 @@ void Histogram::add(double x) noexcept {
   } else {
     ++buckets_[idx];
   }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (width_ != other.width_ || buckets_.size() != other.buckets_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: bucket geometry mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double Histogram::quantile(double q) const noexcept {

@@ -40,6 +40,11 @@ class Histogram {
   Histogram(double bucket_width, std::size_t bucket_count);
 
   void add(double x) noexcept;
+  /// Adds `other`'s buckets into this histogram.  Throws
+  /// std::invalid_argument unless the geometries (bucket width and bucket
+  /// count) match — rebinning across shapes would silently distort the
+  /// distribution.
+  void merge(const Histogram& other);
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }

@@ -209,11 +209,23 @@ void AccessDriver::tick_phase(sim::Phase, sim::Cycle now) {
 EfficiencyResult measure_cfm(std::uint32_t processors, std::uint32_t bank_cycle,
                              double rate, sim::Cycle cycles,
                              std::uint64_t seed) {
+  return measure_cfm_instrumented(processors, bank_cycle, rate, cycles, seed,
+                                  CfmRunHooks{});
+}
+
+EfficiencyResult measure_cfm_instrumented(std::uint32_t processors,
+                                          std::uint32_t bank_cycle, double rate,
+                                          sim::Cycle cycles, std::uint64_t seed,
+                                          const CfmRunHooks& hooks) {
   // Runs on the component scheduler: the memory ticks in its own domain
   // (Phase::Memory) and the driver issues in the same domain
   // (Phase::Issue), reproducing the classic issue-then-tick cycle order.
   sim::Engine engine;
   core::CfmMemory memory(core::CfmConfig::make(processors, bank_cycle));
+  if (hooks.auditor != nullptr) memory.set_audit(*hooks.auditor);
+  if (hooks.injector != nullptr) {
+    memory.set_fault_injector(*hooks.injector, hooks.spare_banks);
+  }
   const auto beta = memory.config().block_access_time();
   const auto domain = engine.allocate_domain();
   memory.attach(engine, domain);
@@ -221,6 +233,16 @@ EfficiencyResult measure_cfm(std::uint32_t processors, std::uint32_t bank_cycle,
                       engine.shard(domain));
   engine.add(driver);
   engine.run_for(cycles);
+  if (hooks.counters_out != nullptr) {
+    hooks.counters_out->merge(engine.shard(domain).counters);
+    hooks.counters_out->merge(memory.counters());
+  }
+  if (hooks.access_time_out != nullptr) {
+    const auto found = engine.shard(domain).running.find("access_time");
+    if (found != engine.shard(domain).running.end()) {
+      hooks.access_time_out->merge(found->second);
+    }
+  }
 
   const auto& shard = engine.shard(domain);
   const auto it = shard.running.find("access_time");

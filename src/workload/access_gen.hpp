@@ -102,4 +102,26 @@ struct EfficiencyResult {
                                            double rate, sim::Cycle cycles,
                                            std::uint64_t seed);
 
+/// Optional instrumentation for measure_cfm_instrumented.  All pointers
+/// may be null; null everything is exactly measure_cfm.  This is the one
+/// machine builder benches and the campaign executor share: the campaign
+/// runner attaches the auditor / fault injector here instead of growing a
+/// parallel construction path.
+struct CfmRunHooks {
+  sim::ConflictAuditor* auditor = nullptr;       ///< ConflictFree scope
+  const sim::FaultInjector* injector = nullptr;  ///< degraded-mode faults
+  std::uint32_t spare_banks = 1;                 ///< for dead-bank remap
+  /// Merged driver-shard counters (ops_completed / ops_retried /
+  /// ops_failed) plus the memory's own counters, written on return.
+  sim::CounterSet* counters_out = nullptr;
+  /// The full access_time RunningStat (count/mean/min/max/stddev/sum),
+  /// richer than EfficiencyResult's mean — campaign reports merge these
+  /// across grid points.
+  sim::RunningStat* access_time_out = nullptr;
+};
+
+[[nodiscard]] EfficiencyResult measure_cfm_instrumented(
+    std::uint32_t processors, std::uint32_t bank_cycle, double rate,
+    sim::Cycle cycles, std::uint64_t seed, const CfmRunHooks& hooks);
+
 }  // namespace cfm::workload

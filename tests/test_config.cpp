@@ -16,6 +16,19 @@ TEST(Config, DerivedQuantities) {
   EXPECT_TRUE(cfg.conflict_free());
 }
 
+TEST(Config, BlockBytesRoundsUpSubByteBlocks) {
+  // w=4, c=1, n=1 -> b=1: a 4-bit block must occupy one byte, not zero.
+  const auto narrow = CfmConfig::make(1, 1, 4);
+  EXPECT_EQ(narrow.block_bits(), 4u);
+  EXPECT_EQ(narrow.block_bytes(), 1u);
+  // w=4, c=1, n=3 -> b=3: 12 bits -> 2 bytes (was 1 by truncation).
+  const auto odd = CfmConfig::make(3, 1, 4);
+  EXPECT_EQ(odd.block_bits(), 12u);
+  EXPECT_EQ(odd.block_bytes(), 2u);
+  // Byte-aligned blocks are unchanged.
+  EXPECT_EQ(CfmConfig::make(4, 2, 16).block_bytes(), 16u);
+}
+
 TEST(Config, ValidateRejectsNonConflictFree) {
   CfmConfig cfg;
   cfg.processors = 4;

@@ -1,0 +1,157 @@
+// cfm_campaign — run a scenario file's sweep grid as one schedulable,
+// cacheable unit of work.
+//
+//   cfm_campaign <scenario.json> [options]
+//
+//   --json-out <path>   write the cfm-campaign-report/v1 document
+//   --cache-dir <dir>   result cache location (default .cfm-cache)
+//   --no-cache          disable the result cache entirely
+//   --jobs <n>          concurrent point executions (default: hardware)
+//   --dry-run           expand + validate the grid, print it, run nothing
+//   --quiet             suppress per-point progress lines
+//
+// Exit codes: 0 clean, 2 usage / spec error, 3 audit-violation rollup
+// (a conflict-free point broke the paper's invariant), 4 a point failed
+// after its bounded retries, 1 the report artifact could not be written.
+//
+// The summary line ("N points — E executed, C cached, ...") is machine-
+// readable on purpose: CI greps it to assert a fully cached second pass.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string scenario_path;
+  std::string json_out;
+  std::string cache_dir = ".cfm-cache";
+  unsigned jobs = 0;
+  bool dry_run = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s <scenario.json> [--json-out <path>] "
+               "[--cache-dir <dir>] [--no-cache] [--jobs <n>] [--dry-run] "
+               "[--quiet]\n",
+               argv0);
+  std::exit(code);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opts;
+  const auto value_of = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out") {
+      opts.json_out = value_of(i, "--json-out");
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = value_of(i, "--cache-dir");
+    } else if (arg == "--no-cache") {
+      opts.cache_dir.clear();
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<unsigned>(
+          std::strtoul(value_of(i, "--jobs").c_str(), nullptr, 10));
+    } else if (arg == "--dry-run") {
+      opts.dry_run = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0], 2);
+    } else if (opts.scenario_path.empty()) {
+      opts.scenario_path = arg;
+    } else {
+      usage(argv[0], 2);
+    }
+  }
+  if (opts.scenario_path.empty()) usage(argv[0], 2);
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cfm;
+  const auto cli = parse_cli(argc, argv);
+
+  campaign::Scenario scenario;
+  try {
+    scenario = campaign::Scenario::load_file(cli.scenario_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", cli.scenario_path.c_str(), e.what());
+    return 2;
+  }
+
+  if (cli.dry_run) {
+    std::vector<campaign::PointSpec> points;
+    try {
+      points = scenario.expand();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", cli.scenario_path.c_str(), e.what());
+      return 2;
+    }
+    campaign::ResultCache cache(cli.cache_dir);
+    std::size_t hits = 0;
+    for (const auto& point : points) {
+      const bool hit = cache.load(point).has_value();
+      hits += hit ? 1 : 0;
+      std::printf("%s %s%s\n", point.cache_key().c_str(),
+                  point.params.dump().c_str(), hit ? " [cached]" : "");
+    }
+    std::printf("campaign '%s' (dry run): %zu points, %zu already cached\n",
+                scenario.name().c_str(), points.size(), hits);
+    return 0;
+  }
+
+  campaign::CampaignOptions options;
+  options.cache_dir = cli.cache_dir;
+  options.jobs = cli.jobs;
+  if (!cli.quiet) {
+    options.progress = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    };
+  }
+
+  campaign::CampaignResult result;
+  try {
+    result = campaign::run_campaign(scenario, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", cli.scenario_path.c_str(), e.what());
+    return 2;
+  }
+
+  std::printf("campaign '%s': %zu points — %zu executed, %zu cached, "
+              "%zu failed; audit violations: %llu\n",
+              scenario.name().c_str(), result.points, result.executed,
+              result.cached, result.failed,
+              static_cast<unsigned long long>(result.audit_violations));
+
+  if (!cli.json_out.empty()) {
+    std::ofstream os(cli.json_out);
+    if (os) {
+      result.report.dump_to(os, 2);
+      os << '\n';
+    }
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                   cli.json_out.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", cli.json_out.c_str());
+  }
+  return result.exit_code();
+}

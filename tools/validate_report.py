@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a cfm-bench-report/v1 JSON document.
+"""Validate a cfm-bench-report/v1 or cfm-campaign-report/v1 JSON document.
 
 Usage: validate_report.py REPORT.json [REPORT.json ...]
 
@@ -10,14 +10,20 @@ objects).  Reports produced with --txn-trace / --audit additionally get
 their "txn_trace" and "audit" sections checked: span records must have
 monotonic cycles and per-phase attribution sums equal to end-to-end
 latency, and an audit section with violations > 0 fails validation (the
-conflict-freedom invariant broke).  Exits nonzero on the first invalid
-report — used by the CI bench-reports and audit jobs and handy locally
-after `--json-out`.
+conflict-freedom invariant broke).  Campaign reports (from cfm_campaign)
+are dispatched on their schema marker instead: the point count must
+equal the sweep-grid cardinality, every point needs its content-address
+key and either metrics or an error, the per-axis tables must cover each
+axis value once, and a nonzero audit rollup fails validation.  Exits
+nonzero on the first invalid report — used by the CI bench-reports,
+audit, and campaign jobs and handy locally after `--json-out`.
 """
 import json
+import math
 import sys
 
 SCHEMA = "cfm-bench-report/v1"
+CAMPAIGN_SCHEMA = "cfm-campaign-report/v1"
 REQUIRED = ("schema", "name", "params", "metrics", "counters", "stats",
             "histograms", "tables")
 STAT_FIELDS = ("count", "mean", "min", "max", "stddev", "sum")
@@ -38,6 +44,9 @@ def validate(path):
         doc = json.load(f)
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
+    if doc.get("schema") == CAMPAIGN_SCHEMA:
+        validate_campaign(path, doc)
+        return
     for key in REQUIRED:
         if key not in doc:
             fail(path, f"missing required key '{key}'")
@@ -204,6 +213,89 @@ def validate_faults(path, rows):
                        f"{row['violations']} genuine conflict violation(s)")
         if row["scenario"] == "baseline" and row["injected_detected"] != 0:
             fail(path, f"{where}: clean baseline reports injected faults")
+
+
+CAMPAIGN_REQUIRED = ("schema", "name", "spec", "spec_hash", "axes", "points",
+                     "counters", "stats", "tables", "audit", "totals")
+
+
+def validate_campaign(path, doc):
+    """A cfm-campaign-report/v1 document from cfm_campaign: the aggregate
+    over one expanded sweep grid.  The grid is self-describing — the point
+    count must equal the product of the axis lengths — and the report is a
+    pure function of the spec plus per-point results, so validation can be
+    strict about internal consistency."""
+    for key in CAMPAIGN_REQUIRED:
+        if key not in doc:
+            fail(path, f"missing required key '{key}'")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        fail(path, "name must be a non-empty string")
+    spec_hash = doc["spec_hash"]
+    if (not isinstance(spec_hash, str) or len(spec_hash) != 16
+            or any(ch not in "0123456789abcdef" for ch in spec_hash)):
+        fail(path, "spec_hash is not 16 lowercase hex digits")
+    for section in ("spec", "axes", "counters", "stats", "tables", "audit",
+                    "totals"):
+        if not isinstance(doc[section], dict):
+            fail(path, f"'{section}' is not an object")
+    axes = doc["axes"]
+    grid = math.prod(len(v) for v in axes.values()) if axes else 1
+    for axis, values in axes.items():
+        if not isinstance(values, list) or not values:
+            fail(path, f"axis '{axis}' is not a non-empty list")
+    points = doc["points"]
+    if not isinstance(points, list):
+        fail(path, "'points' is not a list")
+    if len(points) != grid:
+        fail(path, f"{len(points)} points but the axes span a grid of {grid}")
+    if doc["totals"].get("points") != len(points):
+        fail(path, "totals.points disagrees with the points list")
+    failed = 0
+    violations_sum = 0
+    for i, point in enumerate(points):
+        where = f"points[{i}]"
+        for key in ("key", "params"):
+            if key not in point:
+                fail(path, f"{where} missing '{key}'")
+        key = point["key"]
+        if (not isinstance(key, str) or len(key) != 16
+                or any(ch not in "0123456789abcdef" for ch in key)):
+            fail(path, f"{where}.key is not 16 lowercase hex digits")
+        if not isinstance(point["params"], dict):
+            fail(path, f"{where}.params is not an object")
+        for axis in axes:
+            if axis not in point["params"]:
+                fail(path, f"{where}.params missing swept axis '{axis}'")
+        if "error" in point:
+            failed += 1
+        elif "metrics" not in point or not isinstance(point["metrics"], dict):
+            fail(path, f"{where} has neither metrics nor an error")
+        violations_sum += point.get("audit_violations", 0)
+    for axis, values in axes.items():
+        table = doc["tables"].get(f"by_{axis}")
+        if not isinstance(table, list):
+            fail(path, f"tables missing 'by_{axis}' for swept axis")
+        if len(table) != len(values):
+            fail(path, f"table 'by_{axis}' has {len(table)} rows for "
+                       f"{len(values)} axis values")
+        if sum(row.get("points", 0) for row in table) != grid - failed:
+            fail(path, f"table 'by_{axis}' groups don't cover the grid")
+    audit = doc["audit"]
+    for key in ("violations", "conflicts_detected", "checks",
+                "points_with_violations"):
+        if not isinstance(audit.get(key), int) or audit[key] < 0:
+            fail(path, f"audit.{key} is not a non-negative int")
+    if audit["violations"] != violations_sum:
+        fail(path, f"audit rollup says {audit['violations']} violations, "
+                   f"points sum to {violations_sum}")
+    if failed:
+        fail(path, f"{failed} point(s) recorded an execution error")
+    if audit["violations"] > 0:
+        fail(path, f"audit rollup reports {audit['violations']} "
+                   f"conflict-freedom violation(s) — the CFM invariant broke")
+    print(f"{path}: ok — campaign {doc['name']!r}, {len(points)} points over "
+          f"{len(axes)} axes, {len(doc['tables'])} tables, "
+          f"{len(doc['stats'])} stats, audit checks={audit['checks']}")
 
 
 def main(argv):
