@@ -19,6 +19,7 @@
 #include "sim/rng.hpp"
 #include "sim/txn_trace.hpp"
 #include "workload/access_gen.hpp"
+#include "workload/hier_driver.hpp"
 
 namespace {
 
@@ -180,6 +181,66 @@ void BM_ParallelHierarchical(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelHierarchical)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// ---- batch-tick + quiescence fast path --------------------------------
+//
+// The headline fast-path scenario (DESIGN.md §12): a 64-processor
+// hierarchical CFM machine under the wake-aware think-time workload.
+// Between requests processors think for tens to hundreds of cycles, so
+// the machine is mostly idle-but-correct; the fast path turns those
+// stretches into component skips, span dispatches and clock jumps.
+// Axes: range(0) = fast path off/on, range(1) = max_span.  Reported
+// items/sec == simulated cycles/sec; the stored-baseline CI gate
+// (tools/check_throughput.py) requires fast@span64 / off >= 5x and no
+// >15% absolute regression vs bench/baselines/sim_throughput.json.
+void BM_FastPathHierarchical(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  const auto span = static_cast<sim::Cycle>(state.range(1));
+  auto engine = sim::Engine::make(
+      sim::EngineConfig{.num_threads = 1, .fast_path = fast,
+                        .max_span = span});
+  cache::HierarchicalCfm sys({.clusters = 8, .procs_per_cluster = 8});
+  workload::HierDriver driver("bench.think_driver", *engine, sys,
+                              {.think_min = 128, .think_max = 1024,
+                               .shared_fraction = 0.1, .barrier = true},
+                              /*seed=*/0xbea7ULL,
+                              engine->shard(sim::kSharedDomain));
+  sys.attach(*engine);
+  engine->run_for(512);  // warm the caches, fill the miss pipelines
+  constexpr sim::Cycle kChunk = 1024;
+  for (auto _ : state) engine->run_for(kChunk);
+  state.SetItemsProcessed(state.iterations() * kChunk);
+  state.counters["completed"] = static_cast<double>(driver.completed());
+}
+BENCHMARK(BM_FastPathHierarchical)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 7})
+    ->Args({1, 64})
+    ->UseRealTime();
+
+// The same machine under ParallelEngine: span dispatches amortize the
+// worker-pool handoff (one per domain per span instead of per cycle).
+void BM_FastPathHierarchicalParallel(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  auto engine = sim::Engine::make(
+      sim::EngineConfig{.num_threads = 4, .fast_path = fast, .max_span = 64});
+  cache::HierarchicalCfm sys({.clusters = 8, .procs_per_cluster = 8});
+  workload::HierDriver driver("bench.think_driver", *engine, sys,
+                              {.think_min = 128, .think_max = 1024,
+                               .shared_fraction = 0.1, .barrier = true},
+                              /*seed=*/0xbea7ULL,
+                              engine->shard(sim::kSharedDomain));
+  sys.attach(*engine);
+  engine->run_for(512);
+  constexpr sim::Cycle kChunk = 1024;
+  for (auto _ : state) engine->run_for(kChunk);
+  state.SetItemsProcessed(state.iterations() * kChunk);
+}
+BENCHMARK(BM_FastPathHierarchicalParallel)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime();
+
 void BM_EfficiencyExperiment(benchmark::State& state) {
   for (auto _ : state) {
     const auto r = workload::measure_conventional(8, 8, 17, 0.03, 10000, 42);
@@ -231,6 +292,14 @@ int main(int argc, char** argv) {
       opts.json_out = argv[++i];
     } else if (arg.rfind("--json-out=", 0) == 0) {
       opts.json_out = arg.substr(sizeof("--json-out=") - 1);
+    } else if (arg == "--fast-path" && i + 1 < argc) {
+      cfm::sim::EngineTuning t = cfm::sim::engine_tuning();
+      t.fast_path = std::string(argv[++i]) != "0";
+      cfm::sim::set_engine_tuning(t);
+    } else if (arg == "--max-span" && i + 1 < argc) {
+      cfm::sim::EngineTuning t = cfm::sim::engine_tuning();
+      t.max_span = static_cast<cfm::sim::Cycle>(std::stoull(argv[++i]));
+      cfm::sim::set_engine_tuning(t);
     } else {
       passthrough.push_back(argv[i]);
     }

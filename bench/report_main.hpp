@@ -19,6 +19,10 @@
 //                       benches that model degradation consume it
 //   --seed <u64>        override the bench's built-in workload seed, so
 //                       campaigns and CI can vary seeds without a rebuild
+//   --fast-path <0|1>   force the engine's batch-tick fast path off/on for
+//                       every engine the bench constructs (DESIGN.md §12);
+//                       bit-exact either way, so this only changes speed
+//   --max-span <N>      cap span fusion at N cycles (default 64)
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,7 @@
 #include <optional>
 #include <string>
 
+#include "sim/engine.hpp"
 #include "sim/report.hpp"
 
 namespace cfm::bench {
@@ -72,33 +77,51 @@ inline Options parse_options(int argc, char** argv) {
     }
     return false;
   };
+  // Numeric flag helper sharing value_flag's spelling rules.
+  const auto uint_flag = [&](int& i, const std::string& arg, const char* flag,
+                             std::optional<std::uint64_t>& out) -> bool {
+    std::string text;
+    if (!value_flag(i, arg, flag, text)) return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0') {
+      std::fprintf(stderr, "%s: %s wants an unsigned integer, got '%s'\n",
+                   argv[0], flag, text.c_str());
+      std::exit(2);
+    }
+    out = static_cast<std::uint64_t>(v);
+    return true;
+  };
+  std::optional<std::uint64_t> fast_path;
+  std::optional<std::uint64_t> max_span;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string seed_text;
     if (value_flag(i, arg, "--json-out", opts.json_out) ||
         value_flag(i, arg, "--txn-trace", opts.txn_trace_out) ||
-        value_flag(i, arg, "--fault-plan", opts.fault_plan)) {
+        value_flag(i, arg, "--fault-plan", opts.fault_plan) ||
+        uint_flag(i, arg, "--seed", opts.seed) ||
+        uint_flag(i, arg, "--fast-path", fast_path) ||
+        uint_flag(i, arg, "--max-span", max_span)) {
       continue;
     }
-    if (value_flag(i, arg, "--seed", seed_text)) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(seed_text.c_str(), &end, 0);
-      if (end == seed_text.c_str() || *end != '\0') {
-        std::fprintf(stderr, "%s: --seed wants an unsigned integer, got '%s'\n",
-                     argv[0], seed_text.c_str());
-        std::exit(2);
-      }
-      opts.seed = static_cast<std::uint64_t>(v);
-    } else if (arg == "--audit") {
+    if (arg == "--audit") {
       opts.audit = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json-out <path>] [--audit] "
                    "[--txn-trace <path>] [--fault-plan <spec>] "
-                   "[--seed <u64>]\n",
+                   "[--seed <u64>] [--fast-path <0|1>] [--max-span <N>]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (fast_path.has_value() || max_span.has_value()) {
+    sim::EngineTuning tuning;
+    if (fast_path.has_value()) tuning.fast_path = *fast_path != 0;
+    if (max_span.has_value()) {
+      tuning.max_span = static_cast<sim::Cycle>(*max_span);
+    }
+    sim::set_engine_tuning(tuning);
   }
   return opts;
 }

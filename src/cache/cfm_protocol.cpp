@@ -232,6 +232,8 @@ void CfmCacheSystem::accept(sim::Cycle now, sim::ProcessorId p, Request req) {
   if (c.req.has_value()) {
     throw std::logic_error("processor already has a request in flight");
   }
+  // Wake a sleeping system: the Memory phase of this cycle must run.
+  if (ticker_ != nullptr) ticker_->set_next_event(sim::Component::kAlways);
   auto& cache = *caches_[p];
   auto* line = cache.find(req.offset);
   c.req = std::move(req);
@@ -661,13 +663,35 @@ void CfmCacheSystem::tick(sim::Cycle now) {
   for (sim::ProcessorId p = 0; p < cfg_.processors; ++p) {
     controller_step(now, p);
   }
-  if (halted_) return;  // fault pause: primitive tours are frozen
-  for (auto& c : ctls_) {
-    if (c.proto.has_value() && c.proto->fate == Fate::InFlight &&
-        c.proto->tour_start <= now) {
-      proto_step(now, *c.proto);
+  if (!halted_) {
+    for (auto& c : ctls_) {
+      if (c.proto.has_value() && c.proto->fate == Fate::InFlight &&
+          c.proto->tour_start <= now) {
+        proto_step(now, *c.proto);
+      }
     }
   }
+  publish_wake();
+}
+
+void CfmCacheSystem::publish_wake() {
+  if (ticker_ == nullptr) return;
+  if (faults_ != nullptr) {
+    // Fault windows open on arbitrary cycles: stay per-cycle.
+    ticker_->set_next_event(sim::Component::kAlways);
+    return;
+  }
+  // Controller state machines are cycle-granular (stage waits, retry
+  // delays, tour steps), so any live request means per-cycle ticking;
+  // with every controller quiescent nothing can change until the next
+  // load/store/rmw re-publishes kAlways.
+  for (sim::ProcessorId p = 0; p < cfg_.processors; ++p) {
+    if (!quiescent(p)) {
+      ticker_->set_next_event(sim::Component::kAlways);
+      return;
+    }
+  }
+  ticker_->set_next_event(sim::kNeverCycle);
 }
 
 void CfmCacheSystem::attach(sim::Engine& engine) {
@@ -676,7 +700,7 @@ void CfmCacheSystem::attach(sim::Engine& engine) {
 
 void CfmCacheSystem::attach(sim::Engine& engine, sim::DomainId domain) {
   domain_ = domain;
-  engine.add(std::make_shared<sim::TickComponent<CfmCacheSystem>>(
+  ticker_ = engine.add(std::make_shared<sim::TickComponent<CfmCacheSystem>>(
       "cache.cfm_protocol", domain, sim::Phase::Memory, *this));
 }
 

@@ -222,6 +222,8 @@ class CfmCacheSystem {
   };
 
   void accept(sim::Cycle now, sim::ProcessorId p, Request req);
+  /// Re-publishes the Phase::Memory quiescence hint after a tick.
+  void publish_wake();
   void controller_step(sim::Cycle now, sim::ProcessorId p);
   void start_primitive(sim::Cycle now, sim::ProcessorId p, core::OpKind kind,
                        sim::BlockAddr offset);
@@ -255,6 +257,9 @@ class CfmCacheSystem {
   sim::TraceLog log_;
   sim::Rng retry_rng_{0x5eedULL};
   sim::DomainId domain_ = sim::kSharedDomain;
+  /// Component registered by attach(); carries the Phase::Memory
+  /// quiescence hint (all controllers quiescent <=> sleep).
+  sim::Component* ticker_ = nullptr;
   ReqId next_req_ = 1;
   std::uint64_t next_proto_ = 1;
   sim::ConflictAuditor* audit_ = nullptr;

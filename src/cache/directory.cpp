@@ -41,6 +41,7 @@ DirectoryProtocol::ReqId DirectoryProtocol::read(sim::Cycle now,
   if (tracer_) q.txn = tracer_->begin(tracer_unit_, now, p, "read", offset);
   busy_.at(p) = q.id;
   pending_.push_back(std::move(q));
+  publish_wake();
   return next_req_ - 1;
 }
 
@@ -57,6 +58,7 @@ DirectoryProtocol::ReqId DirectoryProtocol::write(sim::Cycle now,
   if (tracer_) q.txn = tracer_->begin(tracer_unit_, now, p, "write", offset);
   busy_.at(p) = q.id;
   pending_.push_back(std::move(q));
+  publish_wake();
   return next_req_ - 1;
 }
 
@@ -178,6 +180,16 @@ void DirectoryProtocol::tick(sim::Cycle now) {
       ++it;
     }
   }
+  publish_wake();
+}
+
+void DirectoryProtocol::publish_wake() {
+  if (ticker_ == nullptr) return;
+  // Start eligibility, drop retransmits and fault windows are all
+  // cycle-granular: any pending transaction keeps the machine per-cycle,
+  // a drained machine sleeps until the next read()/write().
+  const bool idle = faults_ == nullptr && pending_.empty();
+  ticker_->set_next_event(idle ? sim::kNeverCycle : sim::Component::kAlways);
 }
 
 void DirectoryProtocol::attach(sim::Engine& engine) {
@@ -186,7 +198,7 @@ void DirectoryProtocol::attach(sim::Engine& engine) {
 
 void DirectoryProtocol::attach(sim::Engine& engine, sim::DomainId domain) {
   domain_ = domain;
-  engine.add(std::make_shared<sim::TickComponent<DirectoryProtocol>>(
+  ticker_ = engine.add(std::make_shared<sim::TickComponent<DirectoryProtocol>>(
       "cache.directory", domain, sim::Phase::Memory, *this));
 }
 

@@ -136,6 +136,8 @@ class DirectoryProtocol {
   };
 
   void start(sim::Cycle now, Pending& p);
+  /// Re-publishes the Phase::Memory quiescence hint (drained <=> sleep).
+  void publish_wake();
 
   Params params_;
   std::unordered_map<sim::BlockAddr, DirEntry> directory_;
@@ -146,6 +148,8 @@ class DirectoryProtocol {
   std::uint64_t acks_ = 0;
   sim::CounterSet counters_;
   sim::DomainId domain_ = sim::kSharedDomain;
+  /// Component registered by attach(); carries the quiescence hint.
+  sim::Component* ticker_ = nullptr;
   ReqId next_req_ = 1;
   sim::ConflictAuditor* audit_ = nullptr;
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;

@@ -83,6 +83,10 @@ HierarchicalCfm::ReqId HierarchicalCfm::read(sim::Cycle now, sim::ProcessorId p,
     q.cls = AccessClass::LocalCluster;
   }
   pending_.push_back(std::move(q));
+  // A sleeping controller must see the new request this very cycle.
+  if (controller_ != nullptr) {
+    controller_->set_next_event(sim::Component::kAlways);
+  }
   return next_req_ - 1;
 }
 
@@ -120,6 +124,10 @@ HierarchicalCfm::ReqId HierarchicalCfm::write(sim::Cycle now, sim::ProcessorId p
     q.cls = AccessClass::LocalCluster;
   }
   pending_.push_back(std::move(q));
+  // A sleeping controller must see the new request this very cycle.
+  if (controller_ != nullptr) {
+    controller_->set_next_event(sim::Component::kAlways);
+  }
   return next_req_ - 1;
 }
 
@@ -160,6 +168,7 @@ void HierarchicalCfm::finish(sim::Cycle now, Pending& p) {
   if (tracer_) tracer_->end(p.txn, now, true);
   results_.emplace(p.id, out);
   proc_busy_.at(p.proc) = false;
+  if (completion_hook_) completion_hook_(now);
   counters_.inc(p.cls == AccessClass::L1Hit          ? "class_l1_hit"
                 : p.cls == AccessClass::LocalCluster ? "class_local"
                 : p.cls == AccessClass::Global       ? "class_global"
@@ -506,6 +515,13 @@ void HierarchicalCfm::advance_pending(sim::Cycle now) {
       ++it;
     }
   }
+  // Every live request needs per-cycle attention (member-op polling and
+  // phase chains are cycle-granular); with none, the controller sleeps
+  // until the next read()/write() re-publishes kAlways.
+  if (controller_ != nullptr) {
+    controller_->set_next_event(pending_.empty() ? sim::kNeverCycle
+                                                 : sim::Component::kAlways);
+  }
 }
 
 void HierarchicalCfm::tick(sim::Cycle now) {
@@ -523,7 +539,7 @@ void HierarchicalCfm::attach(sim::Engine& engine) {
                                                            sim::kSharedDomain);
   controller->on(sim::Phase::Network,
                  [this](sim::Cycle now) { advance_pending(now); });
-  engine.add(std::move(controller));
+  controller_ = engine.add(std::move(controller));
   // Each cluster's CFM is an independent AT-space — its own tick domain.
   // The global CFM is the cross-cluster omega + banks: shared domain.
   for (auto& mem : cluster_mem_) mem->attach(engine, engine.allocate_domain());

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -146,6 +147,13 @@ class HierarchicalCfm {
     return tracer_unit_;
   }
 
+  /// Called (on the driving thread, shared domain) whenever a processor
+  /// request completes — wake-aware drivers use it to re-publish their
+  /// own quiescence hints instead of polling take_result every cycle.
+  void set_completion_hook(std::function<void(sim::Cycle)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
  private:
   enum class Phase : std::uint8_t {
     L1Hit,
@@ -215,6 +223,10 @@ class HierarchicalCfm {
   std::unordered_map<ReqId, Outcome> results_;
   sim::CounterSet counters_;
   ReqId next_req_ = 1;
+  /// Controller component registered by attach(); carries the
+  /// Phase::Network quiescence hint (pending_ empty <=> quiescent).
+  sim::Component* controller_ = nullptr;
+  std::function<void(sim::Cycle)> completion_hook_;
   sim::TxnTracer* tracer_ = nullptr;
   sim::TxnTracer::UnitId tracer_unit_ = 0;
 };

@@ -56,6 +56,7 @@ SnoopyBus::ReqId SnoopyBus::load(sim::Cycle now, sim::ProcessorId p,
     c.stage = Stage::WaitBus;
     enqueue(now, TxnKind::BusRd, p, offset);
   }
+  publish_wake();
   return next_req_ - 1;
 }
 
@@ -95,6 +96,7 @@ SnoopyBus::ReqId SnoopyBus::store(sim::Cycle now, sim::ProcessorId p,
       enqueue(now, TxnKind::BusRdX, p, offset);
     }
   }
+  publish_wake();
   return next_req_ - 1;
 }
 
@@ -127,6 +129,7 @@ SnoopyBus::ReqId SnoopyBus::rmw(sim::Cycle now, sim::ProcessorId p,
     enqueue(now, line != nullptr ? TxnKind::BusUpgr : TxnKind::BusRdX, p,
             offset);
   }
+  publish_wake();
   return next_req_ - 1;
 }
 
@@ -302,6 +305,25 @@ void SnoopyBus::tick(sim::Cycle now) {
       enqueue(now, TxnKind::BusWb, p, c.req->offset);
     }
   }
+  publish_wake();
+}
+
+void SnoopyBus::publish_wake() {
+  if (ticker_ == nullptr) return;
+  // Bus grants, stage deadlines and fault windows are all cycle-granular;
+  // the useful quiescence signal is the fully drained system, common in
+  // think-time workloads.
+  bool idle = faults_ == nullptr && !bus_current_.has_value() &&
+              bus_queue_.empty();
+  if (idle) {
+    for (const auto& c : ctls_) {
+      if (c.req.has_value()) {
+        idle = false;
+        break;
+      }
+    }
+  }
+  ticker_->set_next_event(idle ? sim::kNeverCycle : sim::Component::kAlways);
 }
 
 void SnoopyBus::attach(sim::Engine& engine) {
@@ -310,7 +332,7 @@ void SnoopyBus::attach(sim::Engine& engine) {
 
 void SnoopyBus::attach(sim::Engine& engine, sim::DomainId domain) {
   domain_ = domain;
-  engine.add(std::make_shared<sim::TickComponent<SnoopyBus>>(
+  ticker_ = engine.add(std::make_shared<sim::TickComponent<SnoopyBus>>(
       "cache.snoopy_bus", domain, sim::Phase::Network, *this));
 }
 

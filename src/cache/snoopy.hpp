@@ -134,6 +134,8 @@ class SnoopyBus {
                sim::BlockAddr offset);
   void apply_txn(sim::Cycle now, const Txn& txn);
   void complete(sim::Cycle now, sim::ProcessorId p);
+  /// Re-publishes the Phase::Network quiescence hint (drained <=> sleep).
+  void publish_wake();
 
   Params params_;
   std::vector<std::unique_ptr<DirectCache>> caches_;
@@ -147,6 +149,8 @@ class SnoopyBus {
   std::unordered_map<ReqId, Outcome> results_;
   sim::CounterSet counters_;
   sim::DomainId domain_ = sim::kSharedDomain;
+  /// Component registered by attach(); carries the quiescence hint.
+  sim::Component* ticker_ = nullptr;
   ReqId next_req_ = 1;
   sim::ConflictAuditor* audit_ = nullptr;
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;

@@ -23,14 +23,39 @@ namespace cfm::core {
 
 class AtSpace {
  public:
-  explicit AtSpace(const CfmConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+  explicit AtSpace(const CfmConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+    // The schedule is periodic in b slots, so the whole connection
+    // pattern densifies into one b x n table; the hot per-op lookup
+    // becomes one modulo (shared by every processor the same slot) and
+    // one indexed load instead of a widening multiply + modulo.
+    table_.resize(static_cast<std::size_t>(cfg_.banks) * cfg_.processors);
+    for (std::uint32_t s = 0; s < cfg_.banks; ++s) {
+      for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
+        table_[static_cast<std::size_t>(s) * cfg_.processors + p] =
+            static_cast<sim::BankId>(
+                (s + static_cast<sim::Cycle>(cfg_.bank_cycle) * p) %
+                cfg_.banks);
+      }
+    }
+  }
 
   [[nodiscard]] const CfmConfig& config() const noexcept { return cfg_; }
 
   /// Bank whose *address path* is connected to processor p at slot t.
   [[nodiscard]] sim::BankId bank_at(sim::Cycle t, sim::ProcessorId p) const noexcept {
-    return static_cast<sim::BankId>((t + static_cast<sim::Cycle>(cfg_.bank_cycle) * p) %
-                                    cfg_.banks);
+    return table_[static_cast<std::size_t>(t % cfg_.banks) * cfg_.processors +
+                  p];
+  }
+
+  /// Dense-table row index for slot t; pair with bank_in_slot to hoist
+  /// the modulo out of per-processor loops.
+  [[nodiscard]] std::size_t slot_row(sim::Cycle t) const noexcept {
+    return static_cast<std::size_t>(t % cfg_.banks) * cfg_.processors;
+  }
+  [[nodiscard]] sim::BankId bank_in_slot(std::size_t row,
+                                         sim::ProcessorId p) const noexcept {
+    return table_[row + p];
   }
 
   /// Processor connected to `bank` at slot t, if any.  With c > 1 only
@@ -68,6 +93,8 @@ class AtSpace {
 
  private:
   CfmConfig cfg_;
+  /// bank(t, p) for t in [0, b), p in [0, n): row-major (slot, processor).
+  std::vector<sim::BankId> table_;
 };
 
 }  // namespace cfm::core

@@ -1,5 +1,6 @@
 #include "cfm/cfm_memory.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -104,6 +105,9 @@ CfmMemory::OpToken CfmMemory::issue(sim::Cycle now, sim::ProcessorId p,
   }
   inflight_.at(p) = std::move(op);
   counters_.inc("ops_issued");
+  // A quiescent memory just became actionable: the Memory phase of this
+  // same cycle must tick the fresh tour.
+  if (ticker_ != nullptr) ticker_->set_next_event(sim::Component::kAlways);
   return token;
 }
 
@@ -120,6 +124,67 @@ void CfmMemory::tick(sim::Cycle now) {
     if (slot->tour_start > now) continue;  // restart back-off pending
     step_op(now, *slot);
   }
+  publish_wake(now);
+}
+
+void CfmMemory::publish_wake(sim::Cycle now) {
+  if (ticker_ == nullptr) return;
+  if (faults_ != nullptr) {
+    // Fault windows open and close on arbitrary cycles and remap/abort
+    // timing is observable in traces and counters: stay per-cycle.
+    ticker_->set_next_event(sim::Component::kAlways);
+    return;
+  }
+  sim::Cycle wake = sim::kNeverCycle;
+  for (const auto& slot : inflight_) {
+    if (!slot.has_value()) continue;
+    // Draining tours act again at the tick that publishes the result
+    // (now + 1 >= drain_until); everything else acts at its tour_start,
+    // or immediately next cycle if the tour is already under way.
+    const sim::Cycle w = slot->drain_until != sim::kNeverCycle
+                             ? slot->drain_until - 1
+                             : std::max(slot->tour_start, now + 1);
+    wake = std::min(wake, w);
+  }
+  ticker_->set_next_event(wake);
+}
+
+void CfmMemory::tick_span(sim::Cycle begin, sim::Cycle end) {
+  if (audit_ != nullptr) {
+    // Audited components pin the span to 1: every cycle runs the real
+    // tick so the auditor's per-cycle probes fire exactly as on the
+    // reference path (DESIGN.md §12).
+    for (sim::Cycle t = begin; t < end; ++t) tick(t);
+    return;
+  }
+  for (sim::Cycle t = begin; t < end; ++t) {
+    if (ticker_ != nullptr) {
+      const sim::Cycle w = ticker_->next_event(sim::Phase::Memory);
+      if (w > t) {
+        if (w >= end) return;  // covers kNeverCycle
+        t = w - 1;             // provably idle: nothing external can
+        continue;              // mutate us mid-span (tick_span contract)
+      }
+    }
+    tick(t);
+  }
+}
+
+sim::Cycle CfmMemory::next_completion_hint(sim::Cycle now) const {
+  (void)now;
+  if (faults_ != nullptr || !results_.empty()) return sim::Component::kAlways;
+  sim::Cycle hint = sim::kNeverCycle;
+  for (const auto& slot : inflight_) {
+    if (!slot.has_value()) continue;
+    // tour_start + beta is when this tour would complete if nothing
+    // restarts it; restarts and swap write phases only push completion
+    // later, so the minimum over slots is a valid lower bound.
+    const sim::Cycle w = slot->drain_until != sim::kNeverCycle
+                             ? slot->drain_until
+                             : at_.completion(slot->tour_start);
+    hint = std::min(hint, w);
+  }
+  return hint;
 }
 
 void CfmMemory::check_faults(sim::Cycle now) {
@@ -207,7 +272,7 @@ void CfmMemory::attach(sim::Engine& engine) {
 
 void CfmMemory::attach(sim::Engine& engine, sim::DomainId domain) {
   domain_ = domain;
-  engine.add(std::make_shared<sim::TickComponent<CfmMemory>>(
+  ticker_ = engine.add(std::make_shared<sim::TickComponent<CfmMemory>>(
       "cfm.memory/" + std::to_string(cfg_.processors) + "p", domain,
       sim::Phase::Memory, *this));
 }

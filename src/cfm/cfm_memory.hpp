@@ -73,6 +73,23 @@ class CfmMemory {
   /// per cycle (sim::Phase::Memory).
   void tick(sim::Cycle now);
 
+  /// Batched form of tick() over [begin, end), used by the engine's fast
+  /// path when this memory is the sole schedulable entry of its tick
+  /// domain (see Component::tick_span).  Fast-forwards provably idle
+  /// stretches via the same quiescence reasoning tick() publishes; with
+  /// an auditor attached it degrades to the plain per-cycle loop so the
+  /// per-cycle audit probes are unweakened (DESIGN.md §12).
+  void tick_span(sim::Cycle begin, sim::Cycle end);
+
+  /// Lower bound on the next cycle at which a new result could become
+  /// visible to callers of take_result, from the perspective of a driver
+  /// polling at `now`'s Issue phase.  kAlways while results are already
+  /// pending or a fault injector is attached (fault timing is per-cycle
+  /// observable); kNeverCycle when nothing is in flight.  Restarts only
+  /// ever delay completions, so the bound is conservative and wake-aware
+  /// drivers may sleep until it.
+  [[nodiscard]] sim::Cycle next_completion_hint(sim::Cycle now) const;
+
   /// Registers tick() with an engine as a Phase::Memory component in a
   /// freshly allocated tick domain.  A CFM module is conflict-free by
   /// construction, so each instance is an independent domain and engines
@@ -197,6 +214,9 @@ class CfmMemory {
   void abort_write(sim::Cycle now, InFlight& op, sim::BankId bank);
   void complete_or_drain(sim::Cycle now, InFlight& op);
   void finish(sim::Cycle now, InFlight& op, OpStatus status);
+  /// Re-publishes the Phase::Memory quiescence hint on the registered
+  /// tick component after the state transition that ended at `now`.
+  void publish_wake(sim::Cycle now);
 
   CfmConfig cfg_;
   ConsistencyPolicy policy_;
@@ -208,6 +228,9 @@ class CfmMemory {
   sim::CounterSet counters_;
   sim::TraceLog log_;
   sim::DomainId domain_ = sim::kSharedDomain;
+  /// Component registered by attach(); carries the quiescence hints the
+  /// engine's fast path polls.  Null when never attached (manual tick()).
+  sim::Component* ticker_ = nullptr;
   OpToken next_token_ = 1;
   sim::ConflictAuditor* audit_ = nullptr;
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;

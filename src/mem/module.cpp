@@ -64,6 +64,9 @@ void Module::attach(sim::Engine& engine, sim::DomainId domain) {
   sampler->on(sim::Phase::Commit, [this, shard, key](sim::Cycle now) {
     shard->stat(key).add(busy_fraction(now));
   });
+  // Self-contained occupancy probe (see Component::span_capable); the
+  // per-cycle fallback keeps the RunningStat sample count bit-exact.
+  sampler->set_span_capable();
   engine.add(std::move(sampler));
 }
 

@@ -37,6 +37,7 @@ bool BufferedOmega::try_inject(sim::Cycle now, Port src, Port dst, bool hot) {
   p.hot = hot;
   slot = p;
   ++injected_count_;
+  if (ticker_ != nullptr) ticker_->set_next_event(sim::Component::kAlways);
   return true;
 }
 
@@ -137,6 +138,23 @@ void BufferedOmega::tick(sim::Cycle now) {
       out_taken[out_bit] = true;
     }
   }
+  publish_wake();
+}
+
+void BufferedOmega::publish_wake() {
+  if (ticker_ == nullptr) return;
+  bool idle = faults_ == nullptr && in_flight_ == 0 && delivered_.empty();
+  if (idle) {
+    for (const auto& slot : pending_) {
+      if (slot.has_value()) {
+        idle = false;
+        break;
+      }
+    }
+  }
+  // A non-empty delivered_ batch still needs one more tick to clear, so
+  // pollers of delivered_last_tick() never observe a stale batch twice.
+  ticker_->set_next_event(idle ? sim::kNeverCycle : sim::Component::kAlways);
 }
 
 std::size_t BufferedOmega::queue_depth(std::uint32_t stage, Port line) const {
@@ -198,7 +216,7 @@ void BufferedOmega::attach(sim::Engine& engine) {
 
 void BufferedOmega::attach(sim::Engine& engine, sim::DomainId domain) {
   domain_ = domain;
-  engine.add(std::make_shared<sim::TickComponent<BufferedOmega>>(
+  ticker_ = engine.add(std::make_shared<sim::TickComponent<BufferedOmega>>(
       "net.buffered_omega", domain, sim::Phase::Network, *this));
 }
 
@@ -220,6 +238,9 @@ void CircuitOmega::attach(sim::Engine& engine, sim::DomainId domain) {
   sampler->on(sim::Phase::Commit, [this, shard](sim::Cycle now) {
     shard->stat("circuit.held_fraction").add(held_fraction(now));
   });
+  // Reads only hold state frozen while callers are quiescent, writes only
+  // its own shard stat: safe to batch, never vetoes span fusion.
+  sampler->set_span_capable();
   engine.add(std::move(sampler));
 }
 

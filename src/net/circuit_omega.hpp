@@ -126,6 +126,11 @@ class BufferedOmega {
   /// Appends `p` to `q`, combining with the queue tail when enabled.
   void enqueue(std::deque<Packet>& q, const Packet& p);
 
+  /// Re-publishes the Phase::Network quiescence hint: a fully drained
+  /// network (no buffered packets, no pending injections, no
+  /// just-delivered batch left to clear) sleeps until try_inject wakes it.
+  void publish_wake();
+
   OmegaTopology topo_;
   std::uint32_t capacity_;
   std::uint32_t sink_service_;
@@ -144,6 +149,8 @@ class BufferedOmega {
   sim::FaultInjector* faults_ = nullptr;
   std::uint64_t next_id_ = 0;
   sim::DomainId domain_ = sim::kSharedDomain;
+  /// Component registered by attach(); carries the quiescence hint.
+  sim::Component* ticker_ = nullptr;
   sim::ConflictAuditor* audit_ = nullptr;
   sim::ConflictAuditor::ScopeId audit_scope_ = 0;
 };

@@ -108,6 +108,8 @@ void PartialCfmFabric::attach(sim::Engine& engine, sim::DomainId domain) {
   sampler->on(sim::Phase::Commit, [this, shard](sim::Cycle now) {
     shard->stat("fabric.busy_fraction").add(busy_fraction(now));
   });
+  // Self-contained occupancy probe (see Component::span_capable).
+  sampler->set_span_capable();
   engine.add(std::move(sampler));
 }
 

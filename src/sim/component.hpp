@@ -31,8 +31,28 @@
 //
 // Because domains are independent by construction, (2) commutes and the
 // parallel schedule is bit-exact with the serial one.
+//
+// Batch-tick + quiescence (the fast-path contract, DESIGN.md §12): a
+// component may additionally
+//
+//   * publish a **quiescence hint** per phase via `set_next_event` — the
+//     earliest cycle at which its `tick_phase(phase, ·)` could have any
+//     effect.  The engine's fast path checks the hint at exactly the
+//     program point where the reference schedule would have ticked the
+//     component, so a hint is evaluated against fully up-to-date state and
+//     skipping is bit-exact by construction.  `kAlways` (the default —
+//     components that never publish are simply ticked every cycle) means
+//     "assume I can act every cycle"; `kNeverCycle` means "quiescent until
+//     some external call mutates me" — any such call must re-publish.
+//   * accept a **batched span** via `tick_span(phase, begin, end)`, which
+//     must be observably equivalent to ticking every cycle of
+//     [begin, end) in order (honouring its own quiescence hints).  The
+//     engine only dispatches spans in contexts where no *other* component
+//     can observe or mutate state mid-span, so implementations are free
+//     to fast-forward provably idle stretches.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -75,6 +95,9 @@ inline constexpr PhaseMask kAllPhases =
 /// A schedulable unit: declares its phases and its tick domain.
 class Component {
  public:
+  /// Quiescence hint meaning "may act at every cycle" (the safe default).
+  static constexpr Cycle kAlways = 0;
+
   Component(std::string name, DomainId domain, PhaseMask phases)
       : name_(std::move(name)), domain_(domain), phases_(phases) {}
   virtual ~Component() = default;
@@ -95,6 +118,71 @@ class Component {
   /// anything because they never run concurrently with other work.
   virtual void tick_phase(Phase phase, Cycle now) = 0;
 
+  /// Batched execution: equivalent to
+  ///
+  ///   for (Cycle t = begin; t < end; ++t)
+  ///     if (next_event(phase) <= t) tick_phase(phase, t);
+  ///
+  /// The engine only calls this when the component is the *sole*
+  /// schedulable entry of its tick domain for the whole span and every
+  /// shared-domain component is provably quiescent across it, so nothing
+  /// can observe intermediate state or mutate the component mid-span.
+  /// Overrides may therefore fast-forward idle stretches or use
+  /// precomputed schedule tables, as long as the end-of-span state and
+  /// every externally visible side effect (statistics, traces, audit
+  /// probes) are identical to the per-cycle loop above.
+  virtual void tick_span(Phase phase, Cycle begin, Cycle end) {
+    for (Cycle t = begin; t < end; ++t) {
+      const Cycle w = next_event(phase);
+      if (w > t) {
+        if (w >= end) return;  // covers kNeverCycle
+        t = w - 1;             // fast-forward the provably idle stretch
+        continue;
+      }
+      tick_phase(phase, t);
+    }
+  }
+
+  /// The earliest cycle at which tick_phase(phase, ·) could have any
+  /// effect, as last published by the component (kAlways until it ever
+  /// publishes).  The fast path reads this at the exact program point the
+  /// reference schedule would have ticked the component and skips the
+  /// tick while the hint is in the future.
+  [[nodiscard]] Cycle next_event(Phase phase) const noexcept {
+    return next_event_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Publishes the quiescence hint for one phase.  Model classes that
+  /// register through an adapter component (TickComponent,
+  /// LambdaComponent) call this through the adapter pointer handed back
+  /// at attach time; every entry point that can make a quiescent
+  /// component actionable again MUST re-publish (typically kAlways).
+  void set_next_event(Phase phase, Cycle at) noexcept {
+    next_event_[static_cast<std::size_t>(phase)] = at;
+  }
+
+  /// Publishes the same hint for every phase the component participates
+  /// in (other phases are left untouched: the engine never reads them).
+  void set_next_event(Cycle at) noexcept {
+    for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+      if ((phases_ & phase_bit(static_cast<Phase>(pi))) != 0) {
+        next_event_[pi] = at;
+      }
+    }
+  }
+
+  /// Self-containment promise, consulted only for *shared-domain*
+  /// components (independent domains are fusable by the domain contract
+  /// alone).  A span-capable shared component asserts that, whenever
+  /// every other shared component is quiescent for a span, its own ticks
+  /// neither read nor write state any other component touches during
+  /// that span — so the engine may batch it via tick_span instead of
+  /// letting its (often kAlways) hint veto span fusion.  Cycle cursors
+  /// and occupancy samplers qualify; controllers that move requests
+  /// between components do not.  Default false: unsure means veto.
+  [[nodiscard]] bool span_capable() const noexcept { return span_capable_; }
+  void set_span_capable(bool on = true) noexcept { span_capable_ = on; }
+
  protected:
   void add_phases(PhaseMask m) noexcept { phases_ |= m; }
 
@@ -102,39 +190,66 @@ class Component {
   std::string name_;
   DomainId domain_;
   PhaseMask phases_;
+  bool span_capable_ = false;
+  /// Per-phase quiescence hints, kAlways by default.  Plain fields so the
+  /// engine's fast path can poll them with one load and no virtual call.
+  std::array<Cycle, kPhaseCount> next_event_{};
 };
 
 /// Adapter for the classic `Engine::on(phase, fn)` registration style and
-/// for any object exposing a single-phase `tick(Cycle)`.
+/// for any object exposing a single-phase `tick(Cycle)`.  Callbacks are
+/// indexed by phase at registration time, so a multi-phase component pays
+/// one array lookup per tick instead of scanning every registered pair.
 class LambdaComponent final : public Component {
  public:
   using TickFn = std::function<void(Cycle)>;
+  using SpanFn = std::function<void(Cycle begin, Cycle end)>;
 
   LambdaComponent(std::string name, DomainId domain, Phase phase, TickFn fn)
-      : Component(std::move(name), domain, phase_bit(phase)),
-        fns_{{phase, std::move(fn)}} {}
+      : Component(std::move(name), domain, phase_bit(phase)) {
+    fns_[static_cast<std::size_t>(phase)].push_back(std::move(fn));
+  }
 
   /// Multi-phase variant: call `on` repeatedly before registration.
   LambdaComponent(std::string name, DomainId domain)
-      : Component(std::move(name), domain, 0), fns_() {}
+      : Component(std::move(name), domain, 0) {}
 
   void on(Phase phase, TickFn fn) {
     add_phases(phase_bit(phase));
-    fns_.emplace_back(phase, std::move(fn));
+    fns_[static_cast<std::size_t>(phase)].push_back(std::move(fn));
+  }
+
+  /// Optional batched form of the phase's callbacks, used when the engine
+  /// hands this component a whole span (see Component::tick_span for the
+  /// equivalence requirement).  Without one, tick_span falls back to the
+  /// per-cycle loop over the registered callbacks.
+  void on_span(Phase phase, SpanFn fn) {
+    span_fns_[static_cast<std::size_t>(phase)] = std::move(fn);
   }
 
   void tick_phase(Phase phase, Cycle now) override {
-    for (auto& [p, fn] : fns_) {
-      if (p == phase) fn(now);
+    for (auto& fn : fns_[static_cast<std::size_t>(phase)]) fn(now);
+  }
+
+  void tick_span(Phase phase, Cycle begin, Cycle end) override {
+    if (auto& span = span_fns_[static_cast<std::size_t>(phase)]; span) {
+      span(begin, end);
+      return;
     }
+    Component::tick_span(phase, begin, end);
   }
 
  private:
-  std::vector<std::pair<Phase, TickFn>> fns_;
+  std::array<std::vector<TickFn>, kPhaseCount> fns_;
+  std::array<SpanFn, kPhaseCount> span_fns_;
 };
 
 /// Wraps any `T` with a `void tick(Cycle)` method as a single-phase
 /// component.  Non-owning: the target must outlive the engine run.
+/// Targets that additionally expose `tick_span(Cycle, Cycle)` get span
+/// dispatch forwarded to it; targets that want to publish quiescence
+/// hints keep the pointer returned by Engine::add / their attach helper
+/// and call set_next_event on it.
 template <typename T>
 class TickComponent final : public Component {
  public:
@@ -142,6 +257,14 @@ class TickComponent final : public Component {
       : Component(std::move(name), domain, phase_bit(phase)), target_(target) {}
 
   void tick_phase(Phase, Cycle now) override { target_.tick(now); }
+
+  void tick_span(Phase phase, Cycle begin, Cycle end) override {
+    if constexpr (requires(T& t, Cycle b, Cycle e) { t.tick_span(b, e); }) {
+      target_.tick_span(begin, end);
+    } else {
+      Component::tick_span(phase, begin, end);
+    }
+  }
 
  private:
   T& target_;

@@ -1,11 +1,29 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <map>
 #include <string>
 
 #include "sim/report.hpp"
 
 namespace cfm::sim {
+
+namespace {
+EngineTuning g_engine_tuning;
+}  // namespace
+
+void set_engine_tuning(const EngineTuning& tuning) noexcept {
+  g_engine_tuning = tuning;
+}
+
+const EngineTuning& engine_tuning() noexcept { return g_engine_tuning; }
+
+Engine::Engine(const EngineConfig& cfg) : cfg_(cfg) {
+  const EngineTuning& t = engine_tuning();
+  if (t.fast_path) cfg_.fast_path = *t.fast_path;
+  if (t.max_span) cfg_.max_span = *t.max_span;
+  if (cfg_.max_span < 1) cfg_.max_span = 1;
+}
 
 Json EngineProfile::to_json() const {
   Json out = Json::object();
@@ -37,15 +55,17 @@ DomainId Engine::allocate_domain() {
   return d;
 }
 
-void Engine::add(std::shared_ptr<Component> component) {
+Component* Engine::add(std::shared_ptr<Component> component) {
   (void)shard(component->domain());
+  Component* raw = component.get();
   components_.push_back(std::move(component));
   plans_dirty_ = true;
+  return raw;
 }
 
-void Engine::add(Component& component) {
+Component* Engine::add(Component& component) {
   // Aliasing shared_ptr: shares no control block, never deletes.
-  add(std::shared_ptr<Component>(std::shared_ptr<void>(), &component));
+  return add(std::shared_ptr<Component>(std::shared_ptr<void>(), &component));
 }
 
 void Engine::on(Phase phase, TickFn fn) {
@@ -89,6 +109,37 @@ void Engine::rebuild_plans_if_dirty() {
       plan.groups.push_back(std::move(group));
       plan.group_domains.push_back(domain);
     }
+  }
+
+  // Fast-path tables: the same registry, regrouped domain-major so a
+  // span can be dispatched as one job per domain, plus the flat entry
+  // table the jump scan polls.
+  fast_plan_.groups.clear();
+  fast_plan_.entries.clear();
+  std::map<DomainId, FastPlan::DomainGroup> by_domain;
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    for (const auto& c : components_) {
+      if (!c->participates_in(phase)) continue;
+      fast_plan_.entries.emplace_back(c.get(), phase);
+      if (c->domain() == kSharedDomain) continue;
+      auto& g = by_domain[c->domain()];
+      g.domain = c->domain();
+      g.by_phase[pi].push_back(c.get());
+      ++g.entry_count;
+    }
+  }
+  fast_plan_.groups.reserve(by_domain.size());
+  for (auto& [domain, g] : by_domain) {
+    if (g.entry_count == 1) {
+      for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+        if (!g.by_phase[pi].empty()) {
+          g.sole = g.by_phase[pi].front();
+          g.sole_phase = static_cast<Phase>(pi);
+        }
+      }
+    }
+    fast_plan_.groups.push_back(std::move(g));
   }
   plans_dirty_ = false;
 }
@@ -166,13 +217,128 @@ void Engine::step_serial() {
   ++profile_.cycles;
 }
 
-void Engine::step() { step_serial(); }
+void Engine::step_cycle_fast() {
+  // Reference phase/domain order; every tick guarded by the hint the
+  // component last published, read exactly where the reference schedule
+  // would have ticked it (so the hint is fresh w.r.t. every mutation
+  // earlier in this cycle).
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    const auto& plan = plans_[pi];
+    for (auto* c : plan.shared) {
+      if (c->next_event(phase) <= now_) c->tick_phase(phase, now_);
+    }
+    for (const auto& group : plan.groups) {
+      for (auto* c : group) {
+        if (c->next_event(phase) <= now_) c->tick_phase(phase, now_);
+      }
+    }
+  }
+  ++now_;
+}
+
+Cycle Engine::quiescent_until() const {
+  Cycle wake = kNeverCycle;
+  for (const auto& [c, phase] : fast_plan_.entries) {
+    const Cycle w = c->next_event(phase);
+    if (w <= now_) return Component::kAlways;  // something can act now
+    wake = std::min(wake, w);
+  }
+  return wake;
+}
+
+Cycle Engine::shared_quiescent_until() const {
+  Cycle wake = kNeverCycle;
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    for (const auto* c : plans_[pi].shared) {
+      if (c->span_capable()) continue;  // batch-dispatched, no veto
+      wake = std::min(wake, c->next_event(phase));
+    }
+  }
+  return wake;
+}
+
+void Engine::run_shared_span(Cycle begin, Cycle end) {
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    for (auto* c : plans_[pi].shared) {
+      if (c->span_capable()) c->tick_span(phase, begin, end);
+    }
+  }
+}
+
+void Engine::run_group_span(const FastPlan::DomainGroup& group, Cycle begin,
+                            Cycle end) {
+  if (group.entry_count == 1) {
+    // Sole schedulable entry of its domain: hand it the whole span so
+    // overrides can fast-forward via precomputed schedule tables.
+    group.sole->tick_span(group.sole_phase, begin, end);
+    return;
+  }
+  // Multiple entries: per-cycle loop preserving the reference phase
+  // order within the domain, with the same hint guards as
+  // step_cycle_fast.  Legal because nothing outside the domain runs
+  // concurrently with the span and shared state is frozen across it.
+  for (Cycle t = begin; t < end; ++t) {
+    for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+      const auto phase = static_cast<Phase>(pi);
+      for (auto* c : group.by_phase[pi]) {
+        if (c->next_event(phase) <= t) c->tick_phase(phase, t);
+      }
+    }
+  }
+}
+
+void Engine::advance_to(Cycle target) {
+  rebuild_plans_if_dirty();
+  while (now_ < target) {
+    // Jump rule: if every entry engine-wide is quiescent past now_,
+    // nothing can act and no hint can change — teleport the clock to
+    // the earliest hint.
+    const Cycle wake = quiescent_until();
+    if (wake > now_) {
+      now_ = std::min(wake, target);
+      continue;
+    }
+    // Span rule: fusion is bounded by the hints of shared entries that
+    // are not self-contained — they could interact with any domain, so
+    // the span must end before one becomes actionable.
+    Cycle end = std::min(target, now_ + cfg_.max_span);
+    end = std::min(end, shared_quiescent_until());
+    if (end <= now_ + 1) {
+      step_cycle_fast();
+      continue;
+    }
+    run_shared_span(now_, end);
+    for (const auto& group : fast_plan_.groups) {
+      run_group_span(group, now_, end);
+    }
+    now_ = end;
+  }
+}
+
+void Engine::step() {
+  if (fast_path_usable()) {
+    rebuild_plans_if_dirty();
+    step_cycle_fast();
+    return;
+  }
+  step_serial();
+}
 
 void Engine::run_for(Cycle cycles) {
+  if (fast_path_usable()) {
+    advance_to(now_ + cycles);
+    return;
+  }
   for (Cycle i = 0; i < cycles; ++i) step();
 }
 
 bool Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  // Deliberately per-cycle even on the fast path (skips only, never
+  // spans or jumps): `done` may close over now() or any component state,
+  // and must be evaluated exactly as often as on the reference path.
   const Cycle deadline = now_ + max_cycles;
   while (now_ < deadline) {
     if (done()) return true;

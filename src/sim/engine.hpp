@@ -23,7 +23,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/component.hpp"
@@ -39,7 +41,32 @@ struct EngineConfig {
   /// 1 = serial execution (bit-exact reference path); > 1 enables the
   /// persistent worker pool of ParallelEngine.
   unsigned num_threads = 1;
+  /// Table-driven fast path (DESIGN.md §12): skip components whose
+  /// quiescence hints prove them idle, fuse runs of cycles into one
+  /// span dispatch per tick domain, and convert machine-wide idle
+  /// stretches into a single clock jump.  Bit-exact with the reference
+  /// loop by construction; `false` restores today's
+  /// every-component-every-phase-every-cycle loop.
+  bool fast_path = true;
+  /// Upper bound on cycles fused into one span dispatch.  Larger spans
+  /// amortize more WorkerPool handoffs but delay run_until's completion
+  /// check coarser contexts never see (run_until always steps per
+  /// cycle); 1 degenerates the span machinery to per-cycle dispatch.
+  Cycle max_span = 64;
 };
+
+/// Process-wide experimentation overrides for engine construction, set
+/// from bench/CLI `--fast-path` / `--max-span` flags.  Applied by every
+/// Engine constructor and Engine::make on top of the config they were
+/// given; unset fields leave the config untouched.  The fast path is
+/// bit-exact, so flipping these never changes simulation results — only
+/// how fast they are produced.
+struct EngineTuning {
+  std::optional<bool> fast_path;
+  std::optional<Cycle> max_span;
+};
+void set_engine_tuning(const EngineTuning& tuning) noexcept;
+[[nodiscard]] const EngineTuning& engine_tuning() noexcept;
 
 /// Wall-clock profile of an engine run, collected when profiling is
 /// enabled (Engine::enable_profiling).  All times are microseconds of
@@ -76,7 +103,8 @@ class Engine {
  public:
   using TickFn = std::function<void(Cycle)>;
 
-  Engine() = default;
+  Engine() : Engine(EngineConfig{}) {}
+  explicit Engine(const EngineConfig& cfg);
   virtual ~Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -84,17 +112,21 @@ class Engine {
   /// Creates a serial Engine (num_threads <= 1) or a ParallelEngine.
   [[nodiscard]] static std::unique_ptr<Engine> make(const EngineConfig& cfg);
 
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+
   // ---- registration -------------------------------------------------
 
   /// Allocates a fresh independent tick domain (never kSharedDomain).
   [[nodiscard]] DomainId allocate_domain();
 
-  /// Registers a component (shared ownership).
-  void add(std::shared_ptr<Component> component);
+  /// Registers a component (shared ownership).  Returns the registered
+  /// component so attach helpers can keep the pointer for quiescence-hint
+  /// publishing (Component::set_next_event).
+  Component* add(std::shared_ptr<Component> component);
 
   /// Registers a component without taking ownership; `component` must
   /// outlive the engine.
-  void add(Component& component);
+  Component* add(Component& component);
 
   /// Legacy registration: runs `fn` every cycle during `phase`, in the
   /// shared domain (serial, registration order).
@@ -131,14 +163,20 @@ class Engine {
 
   // ---- execution ----------------------------------------------------
 
-  /// Advances the simulation by exactly one cycle.
+  /// Advances the simulation by exactly one cycle.  Under the fast path
+  /// this still executes every phase of exactly one cycle (no spans or
+  /// jumps), but provably quiescent components are skipped.
   virtual void step();
 
-  /// Runs `cycles` more cycles.
+  /// Runs `cycles` more cycles.  This is the span/jump entry point: with
+  /// fast_path enabled the engine fuses quiescent stretches into span
+  /// dispatches and clock jumps (see advance_to).
   void run_for(Cycle cycles);
 
   /// Runs until `done()` returns true (checked after each full cycle) or
-  /// `max_cycles` elapse.  Returns true iff `done()` fired.
+  /// `max_cycles` elapse.  Returns true iff `done()` fired.  The fast
+  /// path steps per cycle here (component skips only, no spans/jumps), so
+  /// `done()` is evaluated exactly as often as on the reference path.
   bool run_until(const std::function<bool()>& done, Cycle max_cycles);
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
@@ -156,12 +194,64 @@ class Engine {
     std::vector<DomainId> group_domains;          ///< domain of groups[i]
   };
 
+  /// Table-driven fast-path plan: the same registry regrouped
+  /// domain-major so one span dispatch can run a domain's whole
+  /// phase-interleaved schedule for a run of cycles, plus a flat entry
+  /// table for the machine-wide quiescence (clock-jump) scan.
+  struct FastPlan {
+    struct DomainGroup {
+      DomainId domain = kSharedDomain;
+      /// Registration order within each phase, as in PhasePlan.
+      std::array<std::vector<Component*>, kPhaseCount> by_phase;
+      std::size_t entry_count = 0;  ///< total (component, phase) entries
+      /// Set iff entry_count == 1: the engine may hand this component
+      /// whole spans via tick_span (see Component::tick_span).
+      Component* sole = nullptr;
+      Phase sole_phase = Phase::Issue;
+    };
+    std::vector<DomainGroup> groups;  ///< ascending domain id
+    /// Every (component, phase) entry including shared ones, for the
+    /// jump scan.  Phase-major then registration order — the scan only
+    /// needs "is anything actionable now / what is the earliest hint",
+    /// which is order-independent.
+    std::vector<std::pair<Component*, Phase>> entries;
+  };
+
   using ProfileClock = std::chrono::steady_clock;
 
   void rebuild_plans_if_dirty();
   /// The canonical serial schedule; ParallelEngine falls back to this for
   /// num_threads == 1.
   void step_serial();
+  /// One full cycle with quiescence-hint skips — same phase/domain order
+  /// as step_serial, each tick guarded by the component's next_event.
+  void step_cycle_fast();
+  /// Fast-path core shared by run_for and (per-cycle via step) both
+  /// engines: advances now_ to `target` using skips, span fusion and
+  /// clock jumps.  Virtual so ParallelEngine can dispatch spans on the
+  /// worker pool.
+  virtual void advance_to(Cycle target);
+  /// Scans the flat entry table at cycle `now_`.  Returns kAlways when
+  /// any entry is actionable this cycle, otherwise the earliest future
+  /// hint (the clock-jump target), clamped to kNeverCycle.
+  [[nodiscard]] Cycle quiescent_until() const;
+  /// Minimum quiescence hint over *shared-domain* entries that are not
+  /// span-capable.  Bounds span fusion: domain components may never
+  /// touch shared state, so these hints stay valid for a whole span,
+  /// while span-capable shared components (self-contained cursors and
+  /// samplers) are batch-dispatched instead of vetoing the span.
+  [[nodiscard]] Cycle shared_quiescent_until() const;
+  /// Batch-dispatches every span-capable shared component over
+  /// [begin, end) via tick_span, phase-major in registration order.
+  void run_shared_span(Cycle begin, Cycle end);
+  /// Runs one domain group over [begin, end) with the phase order of the
+  /// reference schedule and per-tick quiescence guards; single-entry
+  /// groups get the whole span as one tick_span call.
+  static void run_group_span(const FastPlan::DomainGroup& group, Cycle begin,
+                             Cycle end);
+  [[nodiscard]] bool fast_path_usable() const noexcept {
+    return cfg_.fast_path && !profiling_;
+  }
   /// Microseconds from the profiling epoch to `t`.
   [[nodiscard]] double profile_ts(ProfileClock::time_point t) const noexcept {
     return std::chrono::duration<double, std::micro>(t - profile_epoch_)
@@ -170,11 +260,13 @@ class Engine {
   /// Grows profile_.domain_us to cover every allocated domain.
   void ensure_profile_domains();
 
+  EngineConfig cfg_;
   Cycle now_ = 0;
   std::vector<std::shared_ptr<Component>> components_;
   std::deque<StatShard> shards_;  ///< deque: stable references on growth
   DomainId next_domain_ = 1;      ///< 0 is kSharedDomain
   std::array<PhasePlan, kPhaseCount> plans_;
+  FastPlan fast_plan_;
   bool plans_dirty_ = true;
   std::uint64_t next_lambda_ = 0;
   bool profiling_ = false;

@@ -1,5 +1,6 @@
 #include "sim/parallel_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -112,19 +113,95 @@ void WorkerPool::run_raw(std::size_t jobs, JobFn fn, void* ctx) {
   }
 }
 
-ParallelEngine::ParallelEngine(EngineConfig cfg) {
+ParallelEngine::ParallelEngine(EngineConfig cfg) : Engine(cfg) {
   if (cfg.num_threads > 1) {
     pool_ = std::make_unique<WorkerPool>(cfg.num_threads - 1);
     profile_.threads = pool_->worker_count() + 1;
   }
 }
 
-void ParallelEngine::step() {
+void ParallelEngine::step_cycle_fast_parallel() {
+  for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
+    const auto phase = static_cast<Phase>(pi);
+    const auto& plan = plans_[pi];
+    for (auto* c : plan.shared) {
+      if (c->next_event(phase) <= now_) c->tick_phase(phase, now_);
+    }
+    const auto& groups = plan.groups;
+    // Hint pre-scan after the shared section (which may have woken
+    // domain components): dispatching a pool barrier for an all-idle
+    // phase costs more than reading every hint.
+    bool any_active = false;
+    for (const auto& group : groups) {
+      for (auto* c : group) {
+        if (c->next_event(phase) <= now_) {
+          any_active = true;
+          break;
+        }
+      }
+      if (any_active) break;
+    }
+    if (!any_active) continue;
+    if (groups.size() <= 1) {
+      for (const auto& group : groups) {
+        for (auto* c : group) {
+          if (c->next_event(phase) <= now_) c->tick_phase(phase, now_);
+        }
+      }
+    } else {
+      const Cycle now = now_;
+      pool_->run(groups.size(), [&groups, phase, now](std::size_t i) {
+        for (auto* c : groups[i]) {
+          if (c->next_event(phase) <= now) c->tick_phase(phase, now);
+        }
+      });
+    }
+  }
+  ++now_;
+}
+
+void ParallelEngine::advance_to(Cycle target) {
   if (!pool_) {
-    step_serial();
+    Engine::advance_to(target);
     return;
   }
   rebuild_plans_if_dirty();
+  while (now_ < target) {
+    const Cycle wake = quiescent_until();
+    if (wake > now_) {
+      now_ = std::min(wake, target);
+      continue;
+    }
+    Cycle end = std::min(target, now_ + cfg_.max_span);
+    end = std::min(end, shared_quiescent_until());
+    if (end <= now_ + 1) {
+      step_cycle_fast_parallel();
+      continue;
+    }
+    run_shared_span(now_, end);
+    const auto& groups = fast_plan_.groups;
+    if (groups.size() <= 1) {
+      for (const auto& group : groups) run_group_span(group, now_, end);
+    } else {
+      const Cycle begin = now_;
+      pool_->run(groups.size(), [&groups, begin, end](std::size_t i) {
+        run_group_span(groups[i], begin, end);
+      });
+    }
+    now_ = end;
+  }
+}
+
+void ParallelEngine::step() {
+  if (!pool_) {
+    Engine::step();
+    return;
+  }
+  rebuild_plans_if_dirty();
+  if (fast_path_usable()) {
+    step_cycle_fast_parallel();
+    return;
+  }
   if (!profiling_) {
     for (std::size_t pi = 0; pi < kPhaseCount; ++pi) {
       const auto phase = static_cast<Phase>(pi);
@@ -220,7 +297,7 @@ void ParallelEngine::step() {
 }
 
 std::unique_ptr<Engine> Engine::make(const EngineConfig& cfg) {
-  if (cfg.num_threads <= 1) return std::make_unique<Engine>();
+  if (cfg.num_threads <= 1) return std::make_unique<Engine>(cfg);
   return std::make_unique<ParallelEngine>(cfg);
 }
 

@@ -101,6 +101,16 @@ class ParallelEngine final : public Engine {
   void step() override;
 
  private:
+  /// Fast-path single cycle: reference phase order with quiescence-hint
+  /// guards; a phase's pool dispatch is elided when no domain entry can
+  /// act (the hint pre-scan is a handful of loads, far cheaper than a
+  /// fork-join handoff).
+  void step_cycle_fast_parallel();
+  /// Fast-path core with span fusion: one pool dispatch covers a whole
+  /// span for every domain, amortizing the per-phase handoff the
+  /// reference schedule pays four times per cycle.
+  void advance_to(Cycle target) override;
+
   std::unique_ptr<WorkerPool> pool_;  ///< null when serial
   /// Per-dispatch scratch: each domain job's in-job wall time, indexed by
   /// group slot.  Written concurrently at distinct indices (one job per

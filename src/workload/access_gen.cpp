@@ -1,5 +1,6 @@
 #include "workload/access_gen.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <optional>
 #include <vector>
@@ -204,6 +205,29 @@ void AccessDriver::tick_phase(sim::Phase, sim::Cycle now) {
                        1000 + p * 7919 + (now % 97));
     st.pending_retry = false;
   }
+  publish_wake(now);
+}
+
+void AccessDriver::publish_wake(sim::Cycle now) {
+  sim::Cycle wake = sim::kNeverCycle;
+  bool any_inflight = false;
+  for (const auto& st : procs_) {
+    if (st.op != core::CfmMemory::kNoOp) {
+      any_inflight = true;
+      continue;
+    }
+    if (st.pending_retry) {
+      wake = std::min(wake, st.retry_at);
+      continue;
+    }
+    // Idle processor: the Bernoulli draw happens every cycle, so the
+    // driver can never be skipped (skipping would desynchronise the
+    // random stream).
+    set_next_event(sim::Component::kAlways);
+    return;
+  }
+  if (any_inflight) wake = std::min(wake, mem_.next_completion_hint(now));
+  set_next_event(wake);
 }
 
 EfficiencyResult measure_cfm(std::uint32_t processors, std::uint32_t bank_cycle,

@@ -58,6 +58,14 @@ class AccessDriver final : public sim::Component {
   /// resolves within a bounded number of fault windows.
   static constexpr std::uint32_t kMaxRetries = 8;
 
+  /// Publishes the Issue-phase quiescence hint after a tick: any idle
+  /// processor rolls the Bernoulli generator every cycle (kAlways); with
+  /// every processor busy or backing off, the driver sleeps until the
+  /// earliest retry slot or the memory's completion lower bound.  Skipped
+  /// cycles perform no RNG draws on the reference path either, so the
+  /// random stream — and therefore the workload — is bit-identical.
+  void publish_wake(sim::Cycle now);
+
   core::CfmMemory& mem_;
   double rate_;
   sim::Rng rng_;

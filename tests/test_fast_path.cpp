@@ -1,0 +1,395 @@
+// Tests for the batch-tick + quiescence fast path (DESIGN.md §12): the
+// skip / jump / span rules in isolation, the run_until per-cycle
+// guarantee, and the headline cross-product bit-exactness suite —
+// {serial, parallel} x {fast path on, off} x max_span {1, 7, 64} x
+// {no faults, bank_dead + brownout} all produce identical results on a
+// 64-processor hierarchical CFM machine driven by the wake-aware
+// think-time workload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/hierarchical.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/stats.hpp"
+#include "workload/hier_driver.hpp"
+
+namespace {
+
+using namespace cfm;
+using sim::Cycle;
+using sim::Engine;
+using sim::EngineConfig;
+using sim::Phase;
+
+// ------------------------------------------------------- layout / tuning --
+
+static_assert(alignof(sim::StatShard) == sim::kCacheLineBytes,
+              "StatShard must start on its own cache line");
+static_assert(sizeof(sim::StatShard) % sim::kCacheLineBytes == 0,
+              "adjacent StatShards must not share a line");
+
+TEST(EngineTuning, OverridesApplyToEveryConstructedEngine) {
+  sim::set_engine_tuning({.fast_path = false, .max_span = 7});
+  Engine tuned;
+  EXPECT_FALSE(tuned.config().fast_path);
+  EXPECT_EQ(tuned.config().max_span, 7u);
+  sim::set_engine_tuning({});  // clear for the rest of the suite
+  Engine plain;
+  EXPECT_TRUE(plain.config().fast_path);
+  EXPECT_EQ(plain.config().max_span, 64u);
+}
+
+// ------------------------------------------------------------- skip rule --
+
+// Acts every `period` cycles and publishes the next pulse as its hint;
+// raw_ticks counts how often the engine actually invoked it.
+class PulseComponent final : public sim::Component {
+ public:
+  PulseComponent(std::string name, sim::DomainId domain, Cycle period)
+      : Component(std::move(name), domain, sim::phase_bit(Phase::Memory)),
+        period_(period) {}
+
+  void tick_phase(Phase phase, Cycle now) override {
+    ++raw_ticks;
+    if (now % period_ != 0) return;
+    ++pulses;
+    checksum = checksum * 31 + now;
+    set_next_event(phase, now + period_);
+  }
+
+  Cycle period_;
+  std::uint64_t raw_ticks = 0;
+  std::uint64_t pulses = 0;
+  std::uint64_t checksum = 0;
+};
+
+TEST(FastPath, SkipRuleMatchesReferenceWithFewerInvocations) {
+  constexpr Cycle kCycles = 1000;
+  constexpr Cycle kPeriod = 10;
+
+  Engine ref(EngineConfig{.fast_path = false});
+  PulseComponent a("pulse", sim::kSharedDomain, kPeriod);
+  ref.add(a);
+  ref.run_for(kCycles);
+
+  Engine fast(EngineConfig{.fast_path = true});
+  PulseComponent b("pulse", sim::kSharedDomain, kPeriod);
+  fast.add(b);
+  fast.run_for(kCycles);
+
+  EXPECT_EQ(a.raw_ticks, kCycles);
+  EXPECT_EQ(a.pulses, b.pulses);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(fast.now(), kCycles);
+  // The fast path visited only the pulse cycles (plus none extra).
+  EXPECT_EQ(b.raw_ticks, b.pulses);
+}
+
+// ------------------------------------------------------------- jump rule --
+
+TEST(FastPath, JumpRuleTeleportsOverQuiescentStretches) {
+  // Publishes kNeverCycle after cycle 5: from then on the machine is
+  // provably idle and run_for must jump straight to the target.
+  class GoesQuiet final : public sim::Component {
+   public:
+    GoesQuiet() : Component("quiet", sim::kSharedDomain,
+                            sim::phase_bit(Phase::Issue)) {}
+    void tick_phase(Phase phase, Cycle now) override {
+      ++raw_ticks;
+      if (now >= 5) set_next_event(phase, sim::kNeverCycle);
+    }
+    std::uint64_t raw_ticks = 0;
+  };
+
+  Engine fast;
+  GoesQuiet c;
+  fast.add(c);
+  fast.run_for(1'000'000);
+  EXPECT_EQ(fast.now(), 1'000'000u);
+  EXPECT_EQ(c.raw_ticks, 6u);  // cycles 0..5, then one jump
+}
+
+// ------------------------------------------------------------- span rule --
+
+// Sole component of an independent domain: the fast path must hand it
+// whole spans; the recorded spans must tile [0, cycles) exactly.
+class SpanRecorder final : public sim::Component {
+ public:
+  SpanRecorder(std::string name, sim::DomainId domain)
+      : Component(std::move(name), domain, sim::phase_bit(Phase::Memory)) {}
+
+  void tick_phase(Phase, Cycle now) override {
+    ++cell_ticks;
+    checksum = checksum * 31 + now;
+  }
+  void tick_span(Phase phase, Cycle begin, Cycle end) override {
+    spans.emplace_back(begin, end);
+    Component::tick_span(phase, begin, end);
+  }
+
+  std::vector<std::pair<Cycle, Cycle>> spans;
+  std::uint64_t cell_ticks = 0;
+  std::uint64_t checksum = 0;
+};
+
+TEST(FastPath, SoleDomainComponentReceivesTilingSpans) {
+  constexpr Cycle kCycles = 1000;
+  constexpr Cycle kSpan = 64;
+  Engine fast(EngineConfig{.fast_path = true, .max_span = kSpan});
+  SpanRecorder rec("rec", fast.allocate_domain());
+  fast.add(rec);
+  fast.run_for(kCycles);
+
+  ASSERT_FALSE(rec.spans.empty());
+  Cycle expect_begin = 0;
+  for (const auto& [begin, end] : rec.spans) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    EXPECT_LE(end - begin, kSpan);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, kCycles);
+  EXPECT_EQ(rec.cell_ticks, kCycles);
+
+  Engine ref(EngineConfig{.fast_path = false});
+  SpanRecorder r2("rec", ref.allocate_domain());
+  ref.add(r2);
+  ref.run_for(kCycles);
+  EXPECT_TRUE(r2.spans.empty());  // reference path never batches
+  EXPECT_EQ(r2.checksum, rec.checksum);
+}
+
+// A span-capable shared cursor must not veto fusion for domain groups,
+// and its batched form must leave the same final state as per-cycle.
+TEST(FastPath, SpanCapableSharedCursorDoesNotVetoFusion) {
+  constexpr Cycle kCycles = 512;
+
+  auto build = [](Engine& engine, Cycle* slot, SpanRecorder*& rec_out) {
+    auto cursor = std::make_shared<sim::LambdaComponent>("cursor",
+                                                         sim::kSharedDomain);
+    cursor->on(Phase::Network, [slot](Cycle now) { *slot = now % 17; });
+    cursor->on_span(Phase::Network,
+                    [slot](Cycle, Cycle end) { *slot = (end - 1) % 17; });
+    cursor->set_span_capable();
+    engine.add(std::move(cursor));
+    auto rec = std::make_shared<SpanRecorder>("rec", engine.allocate_domain());
+    rec_out = rec.get();
+    engine.add(std::move(rec));
+  };
+
+  Engine fast(EngineConfig{.fast_path = true, .max_span = 64});
+  Cycle fast_slot = 0;
+  SpanRecorder* fast_rec = nullptr;
+  build(fast, &fast_slot, fast_rec);
+  fast.run_for(kCycles);
+
+  Engine ref(EngineConfig{.fast_path = false});
+  Cycle ref_slot = 0;
+  SpanRecorder* ref_rec = nullptr;
+  build(ref, &ref_slot, ref_rec);
+  ref.run_for(kCycles);
+
+  // The kAlways cursor did not pin spans to one cycle...
+  ASSERT_FALSE(fast_rec->spans.empty());
+  EXPECT_GT(fast_rec->spans.front().second - fast_rec->spans.front().first, 1u);
+  // ...and batched execution left identical state.
+  EXPECT_EQ(fast_slot, ref_slot);
+  EXPECT_EQ(fast_rec->checksum, ref_rec->checksum);
+}
+
+// ------------------------------------------------- run_until exactness --
+
+TEST(FastPath, RunUntilEvaluatesPredicateEveryCycle) {
+  Engine fast;  // fast path on by default
+  // A machine that goes fully quiescent immediately: jumps would be legal
+  // under run_for, but run_until must still check done() every cycle.
+  auto quiet = std::make_shared<sim::LambdaComponent>(
+      "quiet", sim::kSharedDomain, Phase::Issue, [](Cycle) {});
+  quiet->set_next_event(sim::kNeverCycle);
+  fast.add(std::move(quiet));
+  std::uint64_t checks = 0;
+  const bool fired = fast.run_until(
+      [&checks] {
+        ++checks;
+        return checks == 100;
+      },
+      1000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(checks, 100u);
+  // done() is pre-checked each cycle (reference semantics): the 100th
+  // evaluation happens with 99 cycles stepped, jumps notwithstanding.
+  EXPECT_EQ(fast.now(), 99u);
+}
+
+// -------------------------------------------------- LambdaComponent API --
+
+TEST(LambdaComponent, PhaseIndexedCallbacksFireInPhaseOrder) {
+  Engine engine(EngineConfig{.fast_path = false});
+  std::vector<int> order;
+  auto multi = std::make_shared<sim::LambdaComponent>("multi",
+                                                      sim::kSharedDomain);
+  multi->on(Phase::Commit, [&order](Cycle) { order.push_back(3); });
+  multi->on(Phase::Issue, [&order](Cycle) { order.push_back(0); });
+  multi->on(Phase::Issue, [&order](Cycle) { order.push_back(1); });
+  multi->on(Phase::Network, [&order](Cycle) { order.push_back(2); });
+  engine.add(std::move(multi));
+  engine.run_for(2);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+// ----------------------------------------- hierarchical cross-product --
+
+struct HierRun {
+  std::uint64_t completed = 0;
+  std::uint64_t in_flight = 0;
+  double mean_latency = 0.0;
+  std::uint64_t latency_count = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> machine_counters;
+  std::vector<std::pair<std::string, std::uint64_t>> mem_counters;
+  bool coupling_ok = false;
+  Cycle end_cycle = 0;
+
+  bool operator==(const HierRun&) const = default;
+};
+
+// One full machine build + run.  `fault_plan` empty = healthy machine.
+HierRun run_hier(unsigned threads, bool fast, Cycle span,
+                 const std::string& fault_plan, bool audit = false,
+                 bool barrier = false) {
+  constexpr Cycle kCycles = 3000;
+  auto engine = Engine::make(
+      EngineConfig{.num_threads = threads, .fast_path = fast,
+                   .max_span = span});
+
+  cache::HierarchicalCfm sys({.clusters = 8, .procs_per_cluster = 8});
+  std::optional<sim::FaultInjector> injector;
+  if (!fault_plan.empty()) {
+    injector.emplace(sim::FaultPlan::parse(fault_plan));
+    sys.set_fault_injector(*injector, /*spare_banks=*/1);
+  }
+  sim::ConflictAuditor auditor;
+  if (audit) sys.set_audit(auditor);
+
+  workload::HierDriver driver(
+      "test.think_driver", *engine, sys,
+      {.think_min = 4, .think_max = 120, .write_fraction = 0.35,
+       .shared_fraction = 0.25, .barrier = barrier},
+      /*seed=*/0x5eedULL, engine->shard(sim::kSharedDomain));
+  sys.attach(*engine);
+  engine->run_for(kCycles);
+
+  HierRun out;
+  out.completed = driver.completed();
+  out.in_flight = driver.in_flight();
+  const auto& shard = engine->shard(sim::kSharedDomain);
+  const auto it = shard.running.find("hier.access_time");
+  if (it != shard.running.end()) {
+    out.mean_latency = it->second.mean();
+    out.latency_count = it->second.count();
+  }
+  for (const auto& [k, v] : sys.counters().all()) {
+    out.machine_counters.emplace_back(k, v);
+  }
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    for (const auto& [k, v] : sys.cluster_memory(c).counters().all()) {
+      out.mem_counters.emplace_back("c" + std::to_string(c) + "." + k, v);
+    }
+  }
+  for (const auto& [k, v] : sys.global_memory().counters().all()) {
+    out.mem_counters.emplace_back("g." + k, v);
+  }
+  out.coupling_ok = sys.check_state_coupling();
+  out.end_cycle = engine->now();
+  if (audit) EXPECT_EQ(auditor.violations(), 0u);
+  return out;
+}
+
+// ISSUE acceptance: every engine/fast-path/span combination is bit-exact
+// with the per-cycle serial reference, healthy machine.
+TEST(FastPathCrossProduct, HealthyMachineIsBitExactEverywhere) {
+  const HierRun ref = run_hier(1, /*fast=*/false, 1, "");
+  ASSERT_GT(ref.completed, 500u);
+  ASSERT_TRUE(ref.coupling_ok);
+
+  for (const Cycle span : {Cycle{1}, Cycle{7}, Cycle{64}}) {
+    EXPECT_EQ(run_hier(1, true, span, ""), ref) << "serial span " << span;
+    EXPECT_EQ(run_hier(4, true, span, ""), ref) << "parallel span " << span;
+  }
+  EXPECT_EQ(run_hier(4, false, 1, ""), ref) << "parallel reference";
+}
+
+// ...and with bank_dead + brownout faults injected at both levels.
+TEST(FastPathCrossProduct, FaultedMachineIsBitExactEverywhere) {
+  const std::string plan =
+      "bank_dead@400+900:module=0,bank=1;brownout@1400+150:module=0";
+  const HierRun ref = run_hier(1, /*fast=*/false, 1, plan);
+  ASSERT_GT(ref.completed, 200u);
+  ASSERT_TRUE(ref.coupling_ok);
+
+  for (const Cycle span : {Cycle{1}, Cycle{7}, Cycle{64}}) {
+    EXPECT_EQ(run_hier(1, true, span, plan), ref) << "serial span " << span;
+    EXPECT_EQ(run_hier(4, true, span, plan), ref) << "parallel span " << span;
+  }
+}
+
+// The bulk-synchronous (BSP superstep) driver mode — the shape the CI
+// throughput gate benchmarks — is bit-exact across the same grid.
+TEST(FastPathCrossProduct, BarrierWorkloadIsBitExactEverywhere) {
+  const HierRun ref =
+      run_hier(1, false, 1, "", /*audit=*/false, /*barrier=*/true);
+  ASSERT_GT(ref.completed, 300u);
+  for (const Cycle span : {Cycle{1}, Cycle{64}}) {
+    EXPECT_EQ(run_hier(1, true, span, "", false, true), ref)
+        << "serial span " << span;
+    EXPECT_EQ(run_hier(4, true, span, "", false, true), ref)
+        << "parallel span " << span;
+  }
+}
+
+// The §9 conflict auditor keeps working on the fast path: zero
+// violations, and auditing does not change results.
+TEST(FastPathCrossProduct, AuditedFastRunMatchesAndStaysClean) {
+  const HierRun ref = run_hier(1, false, 1, "");
+  EXPECT_EQ(run_hier(1, true, 64, "", /*audit=*/true), ref);
+  EXPECT_EQ(run_hier(4, true, 64, "", /*audit=*/true), ref);
+}
+
+// The think-time workload really exercises the skip machinery: on the
+// fast path the driver is invoked far less often than once per cycle
+// while producing identical work.  (Guards against silently losing the
+// speedup, without wall-clock flakiness.)
+TEST(FastPath, ThinkTimeWorkloadActuallySkipsWork) {
+  constexpr Cycle kCycles = 3000;
+
+  // A sparse machine: few processors with long think times, so the driver
+  // is provably idle most cycles and the skip ratio is unambiguous.
+  auto run = [&](bool fast) {
+    Engine engine(EngineConfig{.fast_path = fast, .max_span = 64});
+    cache::HierarchicalCfm sys({.clusters = 2, .procs_per_cluster = 2});
+    workload::HierDriver driver("test.think_driver", engine, sys,
+                                {.think_min = 64, .think_max = 400},
+                                0x5eedULL, engine.shard(sim::kSharedDomain));
+    sys.attach(engine);
+    engine.run_for(kCycles);
+    EXPECT_EQ(engine.now(), kCycles);
+    return std::pair{driver.completed(), driver.ticks()};
+  };
+
+  const auto [ref_completed, ref_ticks] = run(false);
+  const auto [fast_completed, fast_ticks] = run(true);
+  EXPECT_EQ(ref_completed, fast_completed);
+  EXPECT_GT(fast_completed, 30u);
+  EXPECT_EQ(ref_ticks, kCycles);       // reference: every cycle
+  EXPECT_LT(fast_ticks, kCycles / 2);  // fast: long think stretches skipped
+}
+
+}  // namespace

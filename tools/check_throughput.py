@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Throughput gate for the engine fast path (DESIGN.md section 12).
+
+Reads a bench_sim_throughput ``--json-out`` report and enforces two
+invariants:
+
+  1. Speedup ratio (host-independent, the hard gate): on the 64-processor
+     hierarchical CFM configuration, fast-path-on at span 64 must deliver
+     at least ``--min-speedup`` (default 5x) the cycles/second of
+     fast-path-off on the same host, same binary, same run.  The parallel
+     engine variant must deliver at least ``--min-parallel-speedup``
+     (default 2x; lower because shared CI runners oversubscribe the
+     4 worker threads).
+
+  2. Absolute regression (host-dependent, the trend gate): every
+     benchmark present in the committed baseline
+     (bench/baselines/sim_throughput.json) must stay within
+     ``--tolerance`` (default 15%) of its baseline items_per_second.
+     This catches "the fast path still wins its ratio but everything got
+     slower" regressions.  Because the baseline is tied to the host class
+     it was recorded on, refresh it whenever the benchmark set, machine
+     configuration, or reference hardware changes:
+
+         ./build/bench/bench_sim_throughput \
+             --benchmark_filter=BM_FastPath \
+             --json-out report.json
+         python3 tools/check_throughput.py report.json --update
+
+     and commit the updated baseline alongside the change that moved the
+     numbers.
+
+Exit status: 0 = all gates pass, 1 = a gate failed, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SERIAL_OFF = "BM_FastPathHierarchical/0/1/real_time"
+SERIAL_FAST_SPAN64 = "BM_FastPathHierarchical/1/64/real_time"
+PARALLEL_OFF = "BM_FastPathHierarchicalParallel/0/real_time"
+PARALLEL_FAST = "BM_FastPathHierarchicalParallel/1/real_time"
+
+
+def load_rates(path: Path) -> dict[str, float]:
+    """Return {benchmark name: items_per_second} from a report file."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_throughput: cannot read {path}: {err}")
+    runs = doc.get("tables", {}).get("runs", [])
+    rates: dict[str, float] = {}
+    for row in runs:
+        if "aggregate" in row:  # keep only the raw per-benchmark rows
+            continue
+        name = row.get("name")
+        rate = row.get("items_per_second")
+        if isinstance(name, str) and isinstance(rate, (int, float)):
+            rates[name] = float(rate)
+    if not rates:
+        sys.exit(f"check_throughput: {path} has no usable runs "
+                 "(expected tables.runs rows with items_per_second)")
+    return rates
+
+
+def speedup(rates: dict[str, float], fast: str, off: str) -> float | None:
+    if fast not in rates or off not in rates or rates[off] <= 0:
+        return None
+    return rates[fast] / rates[off]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", type=Path,
+                        help="bench_sim_throughput --json-out report")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "bench" / "baselines" / "sim_throughput.json",
+                        help="committed baseline report (default: "
+                             "bench/baselines/sim_throughput.json)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required serial fast/off ratio at span 64")
+    parser.add_argument("--min-parallel-speedup", type=float, default=2.0,
+                        help="required parallel-engine fast/off ratio")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max fractional regression vs baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with this report "
+                             "and exit (no gates checked)")
+    args = parser.parse_args()
+
+    rates = load_rates(args.report)
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(json.loads(args.report.read_text()), indent=4,
+                       sort_keys=True) + "\n")
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+
+    failed = False
+
+    # --- Gate 1: host-independent speedup ratios -------------------------
+    for label, fast, off, floor in (
+            ("serial span=64", SERIAL_FAST_SPAN64, SERIAL_OFF,
+             args.min_speedup),
+            ("parallel", PARALLEL_FAST, PARALLEL_OFF,
+             args.min_parallel_speedup)):
+        ratio = speedup(rates, fast, off)
+        if ratio is None:
+            print(f"FAIL  {label}: missing runs ({fast} / {off})")
+            failed = True
+            continue
+        verdict = "ok  " if ratio >= floor else "FAIL"
+        if ratio < floor:
+            failed = True
+        print(f"{verdict}  {label}: fast/off speedup {ratio:.2f}x "
+              f"(floor {floor:.1f}x)")
+
+    # --- Gate 2: absolute regression vs committed baseline ---------------
+    base = load_rates(args.baseline)
+    width = max(len(n) for n in base)
+    print(f"\n{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'delta':>8}")
+    for name in sorted(base):
+        if name not in rates:
+            print(f"{name:<{width}}  {base[name]:>12.3e}  {'missing':>12}  "
+                  f"{'FAIL':>8}")
+            failed = True
+            continue
+        delta = (rates[name] - base[name]) / base[name]
+        flag = "" if delta >= -args.tolerance else "  <-- regression"
+        if delta < -args.tolerance:
+            failed = True
+        print(f"{name:<{width}}  {base[name]:>12.3e}  {rates[name]:>12.3e}  "
+              f"{delta:>+7.1%}{flag}")
+
+    if failed:
+        print("\nthroughput gate FAILED (see rows above); to accept a new "
+              "performance floor, refresh the baseline with --update and "
+              "commit it", file=sys.stderr)
+        return 1
+    print("\nthroughput gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
