@@ -8,6 +8,12 @@
 #include <thread>
 #include <utility>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace cfm::campaign {
 
 namespace fs = std::filesystem;
@@ -53,10 +59,19 @@ void ResultCache::store(const PointSpec& point, const sim::Json& result) const {
   entry["key"] = point.canonical();
   entry["result"] = result;
   const std::string path = path_for(point);
-  // Per-thread temp name: duplicate grid points (e.g. a repeated axis
-  // value) may store concurrently from different pool workers.
+  // Per-process AND per-thread temp name: duplicate grid points may store
+  // concurrently from different pool workers, and two *campaign
+  // processes* sharing a cache directory (sharded sweeps) can collide on
+  // identical thread-id hashes — each writer needs its own temp file so
+  // the rename is the only point of contention (last writer wins, both
+  // entries identical by construction).
+#ifdef _WIN32
+  const auto pid = static_cast<long long>(_getpid());
+#else
+  const auto pid = static_cast<long long>(::getpid());
+#endif
   const std::string tmp =
-      path + ".tmp." +
+      path + ".tmp." + std::to_string(pid) + "." +
       std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
   {
     std::ofstream os(tmp, std::ios::trunc);

@@ -1,0 +1,196 @@
+#include "serve/arrival.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace cfm::serve {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+[[noreturn]] void bad(const std::string& why) {
+  throw std::invalid_argument("arrival config: " + why);
+}
+
+/// Long-run quiet-state rate that makes the MMPP's mean equal cfg.rate.
+[[nodiscard]] double quiet_rate(const ArrivalConfig& cfg) noexcept {
+  return cfg.rate * (1.0 - cfg.duty * cfg.burst_factor) / (1.0 - cfg.duty);
+}
+
+void validate(const ArrivalConfig& cfg) {
+  if (!(cfg.rate > 0.0)) bad("rate must be > 0");
+  if (cfg.shape == LoadShape::Bursty) {
+    if (!(cfg.burst_factor > 1.0)) bad("burst_factor must be > 1");
+    if (!(cfg.duty > 0.0) || !(cfg.duty < 1.0)) bad("duty must be in (0, 1)");
+    if (!(cfg.duty * cfg.burst_factor < 1.0)) {
+      bad("duty * burst_factor must be < 1 (the quiet state needs a "
+          "positive rate for the mean to equal `rate`)");
+    }
+    if (cfg.burst_mean == 0) bad("burst_mean must be > 0");
+  }
+  if (cfg.shape == LoadShape::Diurnal) {
+    if (cfg.period == 0) bad("period must be > 0");
+    if (!(cfg.swing >= 0.0) || !(cfg.swing <= 1.0)) {
+      bad("swing must be in [0, 1]");
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view load_shape_name(LoadShape shape) noexcept {
+  switch (shape) {
+    case LoadShape::Poisson: return "poisson";
+    case LoadShape::Bursty: return "bursty";
+    case LoadShape::Diurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalConfig ArrivalConfig::parse(std::string_view text) {
+  ArrivalConfig cfg;
+  const auto colon = text.find(':');
+  const auto shape = text.substr(0, colon);
+  if (shape == "poisson") {
+    cfg.shape = LoadShape::Poisson;
+  } else if (shape == "bursty") {
+    cfg.shape = LoadShape::Bursty;
+  } else if (shape == "diurnal") {
+    cfg.shape = LoadShape::Diurnal;
+  } else {
+    bad("unknown load shape '" + std::string(shape) +
+        "' (want poisson|bursty|diurnal)");
+  }
+  if (colon != std::string_view::npos) {
+    auto rest = text.substr(colon + 1);
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const auto item = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      const auto eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        bad("expected key=value, got '" + std::string(item) + "'");
+      }
+      const auto key = item.substr(0, eq);
+      const std::string value(item.substr(eq + 1));
+      try {
+        if (key == "rate") {
+          cfg.rate = std::stod(value);
+        } else if (key == "burst_factor") {
+          cfg.burst_factor = std::stod(value);
+        } else if (key == "duty") {
+          cfg.duty = std::stod(value);
+        } else if (key == "burst_mean") {
+          cfg.burst_mean = std::stoull(value);
+        } else if (key == "period") {
+          cfg.period = std::stoull(value);
+        } else if (key == "swing") {
+          cfg.swing = std::stod(value);
+        } else {
+          bad("unknown key '" + std::string(key) + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        bad("value '" + value + "' for '" + std::string(key) +
+            "' is not a number");
+      } catch (const std::out_of_range&) {
+        bad("value '" + value + "' for '" + std::string(key) +
+            "' is out of range");
+      }
+    }
+  }
+  validate(cfg);
+  return cfg;
+}
+
+std::string ArrivalConfig::to_string() const {
+  std::string out(load_shape_name(shape));
+  out += ":rate=" + std::to_string(rate);
+  if (shape == LoadShape::Bursty) {
+    out += ",burst_factor=" + std::to_string(burst_factor);
+    out += ",duty=" + std::to_string(duty);
+    out += ",burst_mean=" + std::to_string(burst_mean);
+  } else if (shape == LoadShape::Diurnal) {
+    out += ",period=" + std::to_string(period);
+    out += ",swing=" + std::to_string(swing);
+  }
+  return out;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config, std::uint64_t seed)
+    : cfg_(config), rng_(seed) {
+  validate(cfg_);
+}
+
+double ArrivalProcess::next_gap() {
+  // Unit-exponential "work" drawn once; the shape decides how much
+  // continuous time that work spans.  log1p(-u) with u in [0, 1) never
+  // evaluates log(0).
+  const double work = -std::log1p(-rng_.uniform());
+  switch (cfg_.shape) {
+    case LoadShape::Poisson:
+      return work / cfg_.rate;
+    case LoadShape::Bursty: {
+      // 2-state MMPP: spend the exponential work at the current state's
+      // rate, crossing dwell boundaries as needed.  Rates and dwells are
+      // chosen so the long-run mean equals cfg_.rate.
+      const double hi = cfg_.rate * cfg_.burst_factor;
+      const double lo = quiet_rate(cfg_);
+      const double burst_dwell = static_cast<double>(cfg_.burst_mean);
+      const double quiet_dwell = burst_dwell * (1.0 - cfg_.duty) / cfg_.duty;
+      double remaining = work;
+      double gap = 0.0;
+      for (;;) {
+        if (state_left_ <= 0.0) {
+          bursting_ = !bursting_;
+          const double dwell = bursting_ ? burst_dwell : quiet_dwell;
+          state_left_ = dwell * -std::log1p(-rng_.uniform());
+          continue;
+        }
+        const double r = bursting_ ? hi : lo;
+        if (remaining <= state_left_ * r) {
+          const double dt = remaining / r;
+          state_left_ -= dt;
+          return gap + dt;
+        }
+        remaining -= state_left_ * r;
+        gap += state_left_;
+        state_left_ = 0.0;
+      }
+    }
+    case LoadShape::Diurnal: {
+      // Lewis-Shedler thinning against the peak rate.
+      const double peak = cfg_.rate * (1.0 + cfg_.swing);
+      double t = clock_;
+      double w = work;
+      for (;;) {
+        t += w / peak;
+        const double lambda =
+            cfg_.rate *
+            (1.0 + cfg_.swing *
+                       std::sin(kTwoPi * t / static_cast<double>(cfg_.period)));
+        if (rng_.uniform() * peak < lambda) return t - clock_;
+        w = -std::log1p(-rng_.uniform());
+      }
+    }
+  }
+  return work / cfg_.rate;
+}
+
+sim::Cycle ArrivalProcess::next() {
+  clock_ += next_gap();
+  return static_cast<sim::Cycle>(clock_);
+}
+
+std::vector<sim::Cycle> generate_arrivals(const ArrivalConfig& config,
+                                          std::uint64_t seed,
+                                          std::size_t count) {
+  ArrivalProcess process(config, seed);
+  std::vector<sim::Cycle> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(process.next());
+  return out;
+}
+
+}  // namespace cfm::serve

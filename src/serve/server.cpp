@@ -1,0 +1,375 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cfm::serve {
+
+namespace {
+
+/// Engine advance granularity for drain(): coarse enough that the fast
+/// path amortizes spans and clock jumps, fine enough that drain stops
+/// promptly once the last request resolves.  A fixed constant so the
+/// final engine clock — and therefore the report — is identical across
+/// engine configurations.
+constexpr sim::Cycle kDrainChunk = 4096;
+
+[[nodiscard]] std::vector<sim::Word> write_payload(sim::BlockAddr block,
+                                                   std::uint32_t words) {
+  std::vector<sim::Word> out(words);
+  for (std::uint32_t j = 0; j < words; ++j) {
+    out[j] = (block * 0x9e3779b97f4a7c15ULL) ^ j;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- ServeDriver --
+
+ServeDriver::ServeDriver(std::string name, sim::DomainId domain,
+                         core::CfmMemory& memory, sim::Cycle slo,
+                         std::size_t queue_depth, double hist_bucket_width,
+                         std::size_t hist_buckets, std::uint64_t seed)
+    : sim::Component(std::move(name), domain, sim::phase_bit(sim::Phase::Issue)),
+      mem_(memory),
+      slo_(slo),
+      queue_depth_(queue_depth),
+      rng_(seed),
+      slots_(memory.config().processors),
+      latency_hist_(hist_bucket_width, hist_buckets) {
+  if (queue_depth_ == 0) {
+    throw std::invalid_argument("serve: queue depth must be > 0");
+  }
+}
+
+std::uint64_t ServeDriver::outstanding() const noexcept {
+  std::uint64_t n = arrivals_.size() + queue_.size();
+  for (const auto& slot : slots_) {
+    if (slot.op != core::CfmMemory::kNoOp || slot.pending_retry) ++n;
+  }
+  return n;
+}
+
+void ServeDriver::submit(const Request& req, sim::Cycle arrival) {
+  arrival = std::max(arrival, last_arrival_);
+  arrivals_.push_back(Pending{req, arrival});
+  last_arrival_ = arrival;
+  // A quiescent driver just gained future work; the next tick recomputes
+  // the precise wake cycle.
+  set_next_event(sim::Component::kAlways);
+}
+
+void ServeDriver::tick_phase(sim::Phase, sim::Cycle now) {
+  harvest(now);
+  admit(now);
+  issue_ready(now);
+  publish_wake(now);
+}
+
+void ServeDriver::harvest(sim::Cycle now) {
+  for (auto& slot : slots_) {
+    if (slot.op == core::CfmMemory::kNoOp) continue;
+    auto result = mem_.take_result(slot.op);
+    if (!result) continue;
+    last_resolved_ = std::max(last_resolved_, result->completed);
+    if (result->status == core::OpStatus::Completed) {
+      const auto latency =
+          static_cast<double>(result->completed - slot.arrival);
+      stats_.latency.add(latency);
+      latency_hist_.add(latency);
+      ++stats_.completed;
+      if (result->completed - slot.arrival <= slo_) ++stats_.within_slo;
+      if (slot.req.kind == RequestKind::Lock) {
+        // The swap's data is the pre-image: word 0 == 0 means the
+        // test-and-set won the lock.
+        if (!result->data.empty() && result->data[0] == 0) {
+          ++stats_.lock_acquired;
+        } else {
+          ++stats_.lock_busy;
+        }
+      }
+      slot.op = core::CfmMemory::kNoOp;
+      slot.retries = 0;
+    } else if (slot.retries < kMaxRetries) {
+      // Aborted off a faulted unit (bounded-latency path): retry the
+      // same request after a jittered backoff; latency keeps accruing
+      // from the original arrival.
+      ++slot.retries;
+      ++stats_.retried;
+      slot.op = core::CfmMemory::kNoOp;
+      slot.pending_retry = true;
+      slot.retry_at =
+          now + 1 + rng_.below(2 * mem_.config().block_access_time());
+    } else {
+      ++stats_.failed;
+      slot.op = core::CfmMemory::kNoOp;
+      slot.retries = 0;
+    }
+  }
+}
+
+void ServeDriver::admit(sim::Cycle now) {
+  while (!arrivals_.empty() && arrivals_.front().arrival <= now) {
+    ++stats_.offered;
+    if (queue_.size() < queue_depth_) {
+      queue_.push_back(arrivals_.front());
+      ++stats_.accepted;
+    } else {
+      // Deterministic shedding: the arriving request is refused; queued
+      // work is never evicted (oldest-accepted wins).
+      ++stats_.rejected;
+      last_resolved_ = std::max(last_resolved_, arrivals_.front().arrival);
+    }
+    arrivals_.pop_front();
+  }
+}
+
+void ServeDriver::issue_ready(sim::Cycle now) {
+  for (std::uint32_t p = 0; p < slots_.size(); ++p) {
+    auto& slot = slots_[p];
+    if (slot.op != core::CfmMemory::kNoOp) continue;
+    if (slot.pending_retry) {
+      if (slot.retry_at <= now) {
+        slot.pending_retry = false;
+        start(now, p);
+      }
+      continue;
+    }
+    if (queue_.empty()) continue;
+    slot.req = queue_.front().req;
+    slot.arrival = queue_.front().arrival;
+    slot.retries = 0;
+    queue_.pop_front();
+    stats_.queue_wait.add(static_cast<double>(now - slot.arrival));
+    start(now, p);
+  }
+}
+
+void ServeDriver::start(sim::Cycle now, std::uint32_t p) {
+  auto& slot = slots_[p];
+  slot.issued = now;
+  switch (slot.req.kind) {
+    case RequestKind::Read:
+      slot.op = mem_.issue(now, p, core::BlockOpKind::Read, slot.req.block);
+      break;
+    case RequestKind::Write: {
+      const auto payload = write_payload(slot.req.block, mem_.config().banks);
+      slot.op = mem_.issue(now, p, core::BlockOpKind::Write, slot.req.block,
+                           payload);
+      break;
+    }
+    case RequestKind::Swap:
+      // Fetch-and-increment on word 0 — the canonical atomic counter.
+      slot.op = mem_.issue(now, p, core::BlockOpKind::Swap, slot.req.block, {},
+                           [](const std::vector<sim::Word>& read) {
+                             auto out = read;
+                             if (!out.empty()) ++out[0];
+                             return out;
+                           });
+      break;
+    case RequestKind::Lock:
+      // Test-and-set on word 0 via the atomic swap (§4.2.2).
+      slot.op = mem_.issue(now, p, core::BlockOpKind::Swap, slot.req.block, {},
+                           [](const std::vector<sim::Word>& read) {
+                             auto out = read;
+                             if (!out.empty()) out[0] = 1;
+                             return out;
+                           });
+      break;
+  }
+}
+
+void ServeDriver::publish_wake(sim::Cycle now) {
+  sim::Cycle wake = sim::kNeverCycle;
+  bool any_inflight = false;
+  for (const auto& slot : slots_) {
+    if (slot.op != core::CfmMemory::kNoOp) {
+      any_inflight = true;
+    } else if (slot.pending_retry) {
+      wake = std::min(wake, slot.retry_at);
+    }
+  }
+  if (!arrivals_.empty()) wake = std::min(wake, arrivals_.front().arrival);
+  // A non-empty queue with every port busy resolves via completions; the
+  // memory's hint covers that.  A non-empty queue with a free port cannot
+  // survive issue_ready, so no extra wake source is needed for it.
+  if (any_inflight) wake = std::min(wake, mem_.next_completion_hint(now));
+  set_next_event(wake);
+}
+
+// ---------------------------------------------------------------- Server --
+
+Server::Server(const ServeOptions& options)
+    : opts_(options),
+      arrivals_(options.arrival,
+                sim::Rng(options.seed).split()()) {
+  if (opts_.processors == 0) {
+    throw std::invalid_argument("serve: processors must be > 0");
+  }
+  if (opts_.bank_cycle == 0) {
+    throw std::invalid_argument("serve: bank_cycle must be > 0");
+  }
+  const auto cfg =
+      core::CfmConfig::make(opts_.processors, opts_.bank_cycle);
+  const auto beta_cycles = cfg.block_access_time();
+  if (opts_.slo == 0) opts_.slo = 4 * beta_cycles;
+  if (opts_.queue_depth == 0) opts_.queue_depth = 4 * opts_.processors;
+  if (opts_.drain_limit == 0) {
+    // Bounded by construction: every admitted request resolves within a
+    // bounded number of fault windows (kMaxRetries x the memory's 8-beta
+    // watchdog), and the bounded queue caps the backlog.
+    opts_.drain_limit =
+        beta_cycles * (512 + 8 * static_cast<sim::Cycle>(opts_.queue_depth));
+  }
+
+  engine_ = sim::Engine::make(sim::EngineConfig{.num_threads = opts_.threads});
+  memory_ = std::make_unique<core::CfmMemory>(cfg);
+  if (!opts_.fault_plan.empty()) {
+    fault_plan_ = sim::FaultPlan::parse(opts_.fault_plan);
+    injector_.emplace(fault_plan_, opts_.seed ^ 0x5e47eULL);
+  }
+  if (opts_.audit) {
+    audit_.emplace();
+    memory_->set_audit(*audit_);
+  }
+  if (injector_) {
+    memory_->set_fault_injector(*injector_, opts_.spare_banks);
+  }
+  const auto domain = engine_->allocate_domain();
+  memory_->attach(*engine_, domain);
+  driver_ = std::make_unique<ServeDriver>(
+      "serve.driver", domain, *memory_, opts_.slo, opts_.queue_depth,
+      /*hist_bucket_width=*/std::max<double>(1.0, beta_cycles / 8.0),
+      /*hist_buckets=*/2048, opts_.seed ^ 0xd21f3ULL);
+  engine_->add(*driver_);
+}
+
+sim::Cycle Server::beta() const noexcept {
+  return memory_->config().block_access_time();
+}
+
+void Server::submit(const Request& request) {
+  // Interactively fed requests must not arrive in the past: the open-loop
+  // clock advances, but never behind the engine.
+  driver_->submit(request, std::max(arrivals_.next(), engine_->now()));
+}
+
+void Server::submit(const std::vector<Request>& requests) {
+  for (const auto& req : requests) submit(req);
+}
+
+void Server::run(sim::Cycle cycles) { engine_->run_for(cycles); }
+
+bool Server::drain() {
+  const sim::Cycle cap = driver_->last_arrival() + opts_.drain_limit;
+  while (driver_->outstanding() != 0 && engine_->now() < cap) {
+    engine_->run_for(std::min(kDrainChunk, cap - engine_->now()));
+  }
+  return driver_->outstanding() == 0;
+}
+
+sim::Json Server::report_json() const {
+  using sim::Json;
+  const auto& st = driver_->stats();
+  // Serving horizon: through the last resolved request / last arrival,
+  // not the engine clock — the clock depends on how run()/drain() were
+  // paced, and a re-fed stream must reproduce the original report.
+  const auto cycles =
+      std::max(driver_->last_resolved(), driver_->last_arrival());
+  const auto beta_cycles = beta();
+
+  Json params = Json::object();
+  params["processors"] = opts_.processors;
+  params["bank_cycle"] = opts_.bank_cycle;
+  params["banks"] = memory_->config().banks;
+  params["beta"] = beta_cycles;
+  params["seed"] = opts_.seed;
+  params["arrival"] = opts_.arrival.to_string();
+  params["slo"] = opts_.slo;
+  params["queue_depth"] = static_cast<std::uint64_t>(opts_.queue_depth);
+  params["fault_plan"] = opts_.fault_plan;
+  params["spare_banks"] = opts_.spare_banks;
+  params["audit"] = opts_.audit;
+  // Execution provenance (threads, span, wall time) is deliberately
+  // excluded: the same served stream must produce a byte-identical
+  // report on every engine configuration.
+
+  const std::uint64_t unfinished = driver_->outstanding();
+  Json metrics = Json::object();
+  metrics["cycles"] = cycles;
+  metrics["offered"] = st.offered;
+  metrics["accepted"] = st.accepted;
+  metrics["rejected"] = st.rejected;
+  metrics["completed"] = st.completed;
+  metrics["failed"] = st.failed;
+  metrics["retried"] = st.retried;
+  metrics["unfinished"] = unfinished;
+  metrics["shed_fraction"] =
+      st.offered == 0 ? 0.0
+                      : static_cast<double>(st.rejected) /
+                            static_cast<double>(st.offered);
+  metrics["slo_cycles"] = opts_.slo;
+  metrics["slo_within"] = st.within_slo;
+  metrics["slo_attainment"] =
+      st.completed == 0 ? 1.0
+                        : static_cast<double>(st.within_slo) /
+                              static_cast<double>(st.completed);
+  // The operator's view: of everything *offered*, how much came back
+  // within the SLO?  Shed and failed requests count against it.
+  metrics["goodput_attainment"] =
+      st.offered == 0 ? 1.0
+                      : static_cast<double>(st.within_slo) /
+                            static_cast<double>(st.offered);
+  metrics["offered_rate"] =
+      cycles == 0 ? 0.0
+                  : static_cast<double>(st.offered) /
+                        static_cast<double>(cycles);
+  metrics["completed_rate"] =
+      cycles == 0 ? 0.0
+                  : static_cast<double>(st.completed) /
+                        static_cast<double>(cycles);
+  const auto& hist = driver_->latency_histogram();
+  metrics["latency_p50"] = hist.quantile(0.50);
+  metrics["latency_p95"] = hist.quantile(0.95);
+  metrics["latency_p99"] = hist.quantile(0.99);
+  metrics["latency_p999"] = hist.quantile(0.999);
+  metrics["latency_mean"] = st.latency.mean();
+  metrics["latency_max"] = st.latency.max();
+
+  sim::CounterSet serve_counters;
+  serve_counters.inc("offered", st.offered);
+  serve_counters.inc("accepted", st.accepted);
+  serve_counters.inc("rejected", st.rejected);
+  serve_counters.inc("completed", st.completed);
+  serve_counters.inc("failed", st.failed);
+  serve_counters.inc("retried", st.retried);
+  serve_counters.inc("lock_acquired", st.lock_acquired);
+  serve_counters.inc("lock_busy", st.lock_busy);
+  Json counters = Json::object();
+  counters["serve"] = sim::to_json(serve_counters);
+  counters["memory"] = sim::to_json(memory_->counters());
+  if (injector_) counters["faults"] = sim::to_json(injector_->counters());
+
+  Json stats = Json::object();
+  stats["latency"] = sim::to_json(st.latency);
+  stats["queue_wait"] = sim::to_json(st.queue_wait);
+
+  Json histograms = Json::object();
+  histograms["latency"] = sim::to_json(hist, {0.5, 0.95, 0.99, 0.999});
+
+  Json doc = Json::object();
+  doc["schema"] = kSchema;
+  doc["name"] = "cfm_serve";
+  doc["params"] = std::move(params);
+  doc["metrics"] = std::move(metrics);
+  doc["counters"] = std::move(counters);
+  doc["stats"] = std::move(stats);
+  doc["histograms"] = std::move(histograms);
+  doc["tables"] = Json::object();
+  if (audit_) doc["audit"] = audit_->to_json();
+  return doc;
+}
+
+}  // namespace cfm::serve

@@ -91,15 +91,25 @@ EfficiencyResult run_closed_loop(std::uint32_t processors, std::uint32_t beta,
   out.completed = access_time.count();
   out.conflicts = conflicts;
   out.mean_access_time = access_time.mean();
-  out.mean_retries = retry_count.mean();
   out.efficiency = access_time.count() == 0
                        ? 1.0
                        : static_cast<double>(beta) / access_time.mean();
-  // Accesses still retrying when the budget ran out were never recorded;
-  // report them so callers can see (and bound) the survivorship bias.
+  // Accesses still retrying when the budget ran out are cut off exactly
+  // because they retried the longest, so a finished-only mean_retries is
+  // survivorship-biased low — the retry-side twin of the completion-side
+  // `unfinished` fix.  Their access *times* stay excluded (an unfinished
+  // access has no completion to measure; `unfinished` bounds that bias),
+  // but their retry counts are facts and fold into the statistic under
+  // the same warmup filter the finished samples use.
   for (const auto& st : procs) {
-    if (st.access.has_value()) ++out.unfinished;
+    if (!st.access.has_value()) continue;
+    ++out.unfinished;
+    out.unfinished_retries += st.access->retries;
+    if (st.access->first_attempt >= warmup) {
+      retry_count.add(static_cast<double>(st.access->retries));
+    }
   }
+  out.mean_retries = retry_count.mean();
   return out;
 }
 
@@ -153,6 +163,14 @@ std::uint64_t AccessDriver::in_flight() const noexcept {
   std::uint64_t n = 0;
   for (const auto& st : procs_) {
     if (st.op != core::CfmMemory::kNoOp || st.pending_retry) ++n;
+  }
+  return n;
+}
+
+std::uint64_t AccessDriver::in_flight_retries() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& st : procs_) {
+    if (st.op != core::CfmMemory::kNoOp || st.pending_retry) n += st.retries;
   }
   return n;
 }
@@ -281,7 +299,20 @@ EfficiencyResult measure_cfm_instrumented(std::uint32_t processors,
   out.efficiency =
       completed == 0 ? 1.0 : static_cast<double>(beta) / mean_time;
   out.unfinished = driver.in_flight();
+  out.unfinished_retries = driver.in_flight_retries();
   out.failed = driver.failed();
+  // Retry accounting over the whole issued population — resolved *and*
+  // in flight.  ops_retried counts every retry event (fault path), so
+  // dividing by finished accesses alone would overstate the mean exactly
+  // when the budget cut off the most-retried accesses.
+  const auto issued_population =
+      completed + driver.failed() + driver.in_flight();
+  out.mean_retries =
+      issued_population == 0
+          ? 0.0
+          : static_cast<double>(
+                engine.shard(domain).counters.get("ops_retried")) /
+                static_cast<double>(issued_population);
   return out;
 }
 

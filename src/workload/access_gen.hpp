@@ -43,6 +43,11 @@ class AccessDriver final : public sim::Component {
   /// Accesses still outstanding (issued or awaiting a retry slot) — the
   /// population a fixed cycle budget cuts off mid-flight.
   [[nodiscard]] std::uint64_t in_flight() const noexcept;
+  /// Retries already accumulated by the in-flight accesses; excluded from
+  /// the ops_retried counter's finished population until the access
+  /// resolves, so retry exports must add these to avoid the same
+  /// survivorship bias the completion side fixed with `unfinished`.
+  [[nodiscard]] std::uint64_t in_flight_retries() const noexcept;
 
  private:
   struct ProcState {
@@ -78,14 +83,22 @@ class AccessDriver final : public sim::Component {
 struct EfficiencyResult {
   double efficiency = 1.0;        ///< beta / mean access time
   double mean_access_time = 0.0;  ///< cycles, first attempt -> completion
+  /// Mean retries per access, *including* accesses still retrying at the
+  /// budget cutoff (their retry counts are facts even though their final
+  /// access times are not — excluding them biased the mean low, since the
+  /// cutoff preferentially catches the most-retried accesses).
   double mean_retries = 0.0;
   std::uint64_t completed = 0;
   std::uint64_t conflicts = 0;
-  /// Accesses still in flight when the cycle budget ran out.  These are
-  /// *not* in the mean: a fixed budget preferentially cuts off the
-  /// longest-waiting accesses, so a large unfinished count flags a
-  /// survivorship-biased (optimistic) mean_access_time.
+  /// Accesses still in flight when the cycle budget ran out.  Their
+  /// access times are *not* in mean_access_time: a fixed budget
+  /// preferentially cuts off the longest-waiting accesses, so a large
+  /// unfinished count flags a survivorship-biased (optimistic)
+  /// mean_access_time.
   std::uint64_t unfinished = 0;
+  /// Retries already accumulated by those unfinished accesses (folded
+  /// into mean_retries; broken out so callers can see the cutoff bias).
+  std::uint64_t unfinished_retries = 0;
   /// Accesses that exhausted the fault-retry budget (zero without faults).
   std::uint64_t failed = 0;
 };

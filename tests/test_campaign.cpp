@@ -9,6 +9,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
@@ -211,6 +212,39 @@ TEST(ResultCache, CorruptEntryIsAMiss) {
   // the tmp+rename protocol, but a damaged disk file must still miss).
   std::ofstream(cache.path_for(point), std::ios::trunc) << "{ \"key\": 1";
   EXPECT_FALSE(cache.load(point).has_value());
+}
+
+TEST(ResultCache, ConcurrentStoresOfSameKeyLandSafely) {
+  // Sharded sweeps point several campaign *processes* at one cache
+  // directory, so temp names carry the pid as well as the thread id (two
+  // processes can hash their main-thread ids identically).  In-process we
+  // can only exercise the thread half directly, but the invariant under
+  // test is the same: many writers racing the identical key must leave
+  // one valid entry and zero orphaned temp files.
+  ScratchDir dir("race");
+  const auto cache_dir = (dir.path / "c").string();
+  const auto point = small_grid().expand().front();
+  auto result = sim::Json::object();
+  result["metrics"] = sim::Json::object();
+  result["metrics"]["efficiency"] = 0.75;
+
+  ResultCache a(cache_dir);
+  ResultCache b(cache_dir);
+  std::thread ta([&] { for (int i = 0; i < 50; ++i) a.store(point, result); });
+  std::thread tb([&] { for (int i = 0; i < 50; ++i) b.store(point, result); });
+  ta.join();
+  tb.join();
+
+  const auto back = a.load(point);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dump(), result.dump());
+  std::size_t leftovers = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path / "c")) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u);
 }
 
 TEST(ResultCache, DisabledCacheNeverStores) {

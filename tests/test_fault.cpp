@@ -252,6 +252,46 @@ TEST(ClosedLoop, CfmMeasurementReportsUnfinished) {
   // processor, and it is reported rather than silently dropped.
   EXPECT_LE(r.unfinished, 8u);
   EXPECT_EQ(r.failed, 0u);
+  // A clean CFM never conflicts and never faults, so nothing — finished
+  // or in flight — can have retried.
+  EXPECT_EQ(r.unfinished_retries, 0u);
+  EXPECT_EQ(r.mean_retries, 0.0);
+}
+
+TEST(ClosedLoop, RetryMeanIncludesCutOffAccesses) {
+  // Two processors fight over one module and the budget expires while the
+  // loser is still backing off: nothing completes after warmup, yet the
+  // machine spent the whole run conflicting.  The old finished-only
+  // statistic reported mean_retries == 0 here — the cutoff discards
+  // exactly the most-retried accesses (survivorship bias, the retry-side
+  // twin of the `unfinished` completion fix).  Folded accounting must
+  // both disclose the in-flight retries and include them in the mean.
+  const auto r = workload::measure_conventional(2, 1, 32, 0.5, 30, 7);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_GT(r.unfinished, 0u);
+  EXPECT_GT(r.unfinished_retries, 0u);
+  EXPECT_GT(r.mean_retries, 0.0);
+}
+
+TEST(ClosedLoop, CfmRetryMeanCountsWholePopulation) {
+  // Under a dead bank without spares the CFM driver retries off fault
+  // aborts.  mean_retries must average the retry events over the whole
+  // issued population — completed, failed, *and* still in flight — so
+  // a cutoff mid-retry cannot deflate it.
+  FaultInjector inj(FaultPlan::parse("bank_dead@100:module=0,bank=1"));
+  sim::CounterSet counters;
+  workload::CfmRunHooks hooks;
+  hooks.injector = &inj;
+  hooks.spare_banks = 0;
+  hooks.counters_out = &counters;
+  const auto r =
+      workload::measure_cfm_instrumented(4, 2, 0.5, 2000, 21, hooks);
+  const auto retried = counters.get("ops_retried");
+  ASSERT_GT(retried, 0u);
+  const auto population = r.completed + r.failed + r.unfinished;
+  ASSERT_GT(population, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_retries, static_cast<double>(retried) /
+                                       static_cast<double>(population));
 }
 
 // --------------------------------------------- Uniform[1, beta] draws --

@@ -1,0 +1,315 @@
+// Serving front end (DESIGN.md §13): line protocol, open-loop arrival
+// processes, admission control / deterministic shedding, SLO accounting,
+// and the headline invariant — a fixed (requests, options, seed) triple
+// produces a byte-identical cfm-serve-report/v1 document on every engine
+// configuration (serial / parallel, fast path on / off, any span) and
+// across a kill / re-feed of the same request stream.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/arrival.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/engine.hpp"
+
+using namespace cfm;
+using namespace cfm::serve;
+
+namespace {
+
+/// Restores the process-wide engine tuning even when a test fails.
+struct TuningGuard {
+  explicit TuningGuard(const sim::EngineTuning& t) {
+    sim::set_engine_tuning(t);
+  }
+  ~TuningGuard() { sim::set_engine_tuning({}); }
+};
+
+std::string serve_report(const ServeOptions& opts,
+                         const std::vector<Request>& requests) {
+  Server server(opts);
+  server.submit(requests);
+  server.drain();
+  return server.report_json().dump();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Line protocol.
+
+TEST(Protocol, ParsesAllRequestKinds) {
+  EXPECT_EQ(*parse_request_line("read 42"), (Request{RequestKind::Read, 42}));
+  EXPECT_EQ(*parse_request_line("write 7"), (Request{RequestKind::Write, 7}));
+  EXPECT_EQ(*parse_request_line("swap 0"), (Request{RequestKind::Swap, 0}));
+  EXPECT_EQ(*parse_request_line("lock 99"), (Request{RequestKind::Lock, 99}));
+  EXPECT_EQ(*parse_request_line("  read   5  "),
+            (Request{RequestKind::Read, 5}));
+}
+
+TEST(Protocol, SkipsBlanksAndComments) {
+  EXPECT_FALSE(parse_request_line("").has_value());
+  EXPECT_FALSE(parse_request_line("   ").has_value());
+  EXPECT_FALSE(parse_request_line("# a comment").has_value());
+}
+
+TEST(Protocol, MalformedLinesThrow) {
+  EXPECT_THROW((void)parse_request_line("read"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("read abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("frob 3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("read 3 4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("read -1"), std::invalid_argument);
+}
+
+TEST(Protocol, StreamErrorsNameTheLine) {
+  std::istringstream is("read 1\n\nfrob 2\n");
+  try {
+    (void)parse_request_stream(is, "reqs.txt");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("reqs.txt:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Protocol, SynthIsDeterministicAndMixed) {
+  const auto a = synth_requests(500, 0.25, 0.1, 0.1, 64, 42);
+  const auto b = synth_requests(500, 0.25, 0.1, 0.1, 64, 42);
+  EXPECT_EQ(a, b);
+  const auto c = synth_requests(500, 0.25, 0.1, 0.1, 64, 43);
+  EXPECT_NE(a, c);
+  std::size_t kinds[4] = {0, 0, 0, 0};
+  for (const auto& r : a) {
+    ++kinds[static_cast<std::size_t>(r.kind)];
+    EXPECT_LT(r.block, 64u);
+  }
+  for (const auto count : kinds) EXPECT_GT(count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop arrival processes.
+
+TEST(Arrival, SameSeedSameSchedule) {
+  for (const auto shape : {"poisson", "bursty", "diurnal"}) {
+    const auto cfg = ArrivalConfig::parse(shape);
+    const auto a = generate_arrivals(cfg, 5, 2000);
+    const auto b = generate_arrivals(cfg, 5, 2000);
+    EXPECT_EQ(a, b) << shape;
+    const auto c = generate_arrivals(cfg, 6, 2000);
+    EXPECT_NE(a, c) << shape;
+  }
+}
+
+TEST(Arrival, SchedulesAreNondecreasing) {
+  for (const auto shape : {"poisson", "bursty", "diurnal"}) {
+    const auto arrivals =
+        generate_arrivals(ArrivalConfig::parse(shape), 11, 2000);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      ASSERT_GE(arrivals[i], arrivals[i - 1]) << shape << " @" << i;
+    }
+  }
+}
+
+TEST(Arrival, ShapesHitTheConfiguredMeanRate) {
+  // All three shapes target the same long-run mean; check the empirical
+  // rate over a long horizon to within 10%.
+  for (const auto shape : {"poisson", "bursty", "diurnal"}) {
+    auto cfg = ArrivalConfig::parse(shape);
+    cfg.rate = 0.05;
+    const std::size_t n = 50000;
+    const auto arrivals = generate_arrivals(cfg, 3, n);
+    const auto span = static_cast<double>(arrivals.back());
+    const auto measured = static_cast<double>(n) / span;
+    EXPECT_NEAR(measured, cfg.rate, cfg.rate * 0.1) << shape;
+  }
+}
+
+TEST(Arrival, ConfigRoundTripsAndRejectsBadInput) {
+  const auto cfg =
+      ArrivalConfig::parse("bursty:rate=0.1,burst_factor=4,duty=0.2");
+  const auto again = ArrivalConfig::parse(cfg.to_string());
+  EXPECT_EQ(cfg.to_string(), again.to_string());
+  EXPECT_THROW((void)ArrivalConfig::parse("square"), std::invalid_argument);
+  EXPECT_THROW((void)ArrivalConfig::parse("poisson:rate=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ArrivalConfig::parse("poisson:bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ArrivalConfig::parse("bursty:burst_factor=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ArrivalConfig::parse("diurnal:swing=1.5"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving.
+
+TEST(Serve, CompletesEveryRequestUnderLightLoad) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.01");
+  opts.audit = true;
+  Server server(opts);
+  server.submit(synth_requests(800, 0.25, 0.05, 0.05, 256, 2));
+  EXPECT_TRUE(server.drain());
+  const auto& st = server.stats();
+  EXPECT_EQ(st.offered, 800u);
+  EXPECT_EQ(st.completed, 800u);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(server.outstanding(), 0u);
+  ASSERT_NE(server.auditor(), nullptr);
+  EXPECT_EQ(server.auditor()->violations(), 0u);
+}
+
+TEST(Serve, LockRequestsSplitIntoAcquiredAndBusy) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.02");
+  Server server(opts);
+  // Everyone hammers the same lock word: exactly one test-and-set can see
+  // word 0 == 0; every later one must find it held.
+  std::vector<Request> reqs(64, Request{RequestKind::Lock, 7});
+  server.submit(reqs);
+  EXPECT_TRUE(server.drain());
+  const auto& st = server.stats();
+  EXPECT_EQ(st.lock_acquired, 1u);
+  EXPECT_EQ(st.lock_busy, 63u);
+}
+
+TEST(Serve, OverloadShedsDeterministically) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("bursty:rate=0.5,burst_factor=8");
+  opts.queue_depth = 8;
+  opts.seed = 3;
+  const auto reqs = synth_requests(3000, 0.25, 0.05, 0.05, 512, 3);
+  const auto a = serve_report(opts, reqs);
+  const auto b = serve_report(opts, reqs);
+  EXPECT_EQ(a, b);
+  Server server(opts);
+  server.submit(reqs);
+  server.drain();
+  const auto& st = server.stats();
+  EXPECT_GT(st.rejected, 0u);
+  EXPECT_EQ(st.offered, st.accepted + st.rejected);
+  EXPECT_EQ(st.accepted, st.completed + st.failed);
+}
+
+TEST(Serve, SloAttainmentTracksTheBound) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.01");
+  opts.slo = 1;  // unattainably tight: every completion misses
+  Server tight(opts);
+  tight.submit(synth_requests(200, 0.0, 0.0, 0.0, 64, 5));
+  tight.drain();
+  EXPECT_EQ(tight.stats().within_slo, 0u);
+
+  opts.slo = 0;  // default 4 * beta: light load completes within it
+  Server loose(opts);
+  loose.submit(synth_requests(200, 0.0, 0.0, 0.0, 64, 5));
+  loose.drain();
+  EXPECT_EQ(loose.stats().within_slo, loose.stats().completed);
+}
+
+TEST(Serve, FaultPlanDegradesGracefully) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.05");
+  opts.fault_plan = "bank_dead@500:module=0,bank=3";
+  opts.spare_banks = 1;
+  opts.audit = true;
+  Server server(opts);
+  server.submit(synth_requests(1500, 0.25, 0.05, 0.05, 256, 8));
+  server.drain();
+  const auto& st = server.stats();
+  // Degraded, not broken: everything offered resolves (completed or
+  // failed after bounded retries), and the conflict-free invariant holds
+  // on the remapped machine.
+  EXPECT_EQ(st.offered, 1500u);
+  EXPECT_EQ(st.completed + st.failed, 1500u);
+  EXPECT_GT(st.completed, 1000u);
+  ASSERT_NE(server.auditor(), nullptr);
+  EXPECT_EQ(server.auditor()->violations(), 0u);
+  const auto report = server.report_json();
+  EXPECT_TRUE(report.contains("audit"));
+}
+
+// ---------------------------------------------------------------------------
+// Report determinism across engine configurations.
+
+TEST(Serve, ReportByteIdenticalAcrossEngineConfigs) {
+  for (const auto* shape :
+       {"poisson:rate=0.05", "bursty:rate=0.2,burst_factor=4",
+        "diurnal:rate=0.05"}) {
+    ServeOptions opts;
+    opts.arrival = ArrivalConfig::parse(shape);
+    opts.seed = 17;
+    opts.audit = true;
+    const auto reqs = synth_requests(1200, 0.25, 0.05, 0.05, 512, 17);
+
+    std::string reference;
+    {
+      TuningGuard guard({.fast_path = false, .max_span = 1});
+      opts.threads = 1;
+      reference = serve_report(opts, reqs);
+    }
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      for (const sim::Cycle span : {sim::Cycle{1}, sim::Cycle{64}}) {
+        TuningGuard guard({.fast_path = true, .max_span = span});
+        opts.threads = threads;
+        EXPECT_EQ(serve_report(opts, reqs), reference)
+            << shape << " threads=" << threads << " span=" << span;
+      }
+    }
+  }
+}
+
+TEST(Serve, ReportByteIdenticalAcrossKillAndRefeed) {
+  // An operator killing the server halfway and re-feeding the same
+  // request file must reproduce the original report: arrivals are a pure
+  // function of (config, seed), not of feeding cadence.
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.05");
+  opts.seed = 23;
+  const auto reqs = synth_requests(900, 0.25, 0.05, 0.05, 256, 23);
+  const auto one_shot = serve_report(opts, reqs);
+
+  Server restarted(opts);
+  // Feed in ragged batches with interleaved partial runs — the "second
+  // process" replaying the same file after a kill.
+  std::size_t fed = 0;
+  const std::size_t batches[] = {100, 350, 1, 449};
+  for (const auto batch : batches) {
+    restarted.submit(std::vector<Request>(reqs.begin() + fed,
+                                          reqs.begin() + fed + batch));
+    fed += batch;
+    restarted.run(batch);  // partial progress between feeds
+  }
+  ASSERT_EQ(fed, reqs.size());
+  restarted.drain();
+  EXPECT_EQ(restarted.report_json().dump(), one_shot);
+}
+
+TEST(Serve, ReportHasSchemaAndPercentiles) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.02");
+  Server server(opts);
+  server.submit(synth_requests(600, 0.25, 0.05, 0.05, 128, 4));
+  server.drain();
+  const auto doc = server.report_json();
+  EXPECT_EQ(doc.at("schema").as_string(), std::string(Server::kSchema));
+  const auto& metrics = doc.at("metrics");
+  for (const auto* key :
+       {"latency_p50", "latency_p95", "latency_p99", "latency_p999"}) {
+    ASSERT_TRUE(metrics.contains(key)) << key;
+    EXPECT_GT(metrics.at(key).as_double(), 0.0) << key;
+  }
+  EXPECT_LE(metrics.at("latency_p50").as_double(),
+            metrics.at("latency_p99").as_double());
+  EXPECT_EQ(metrics.at("offered").as_uint(),
+            metrics.at("accepted").as_uint() +
+                metrics.at("rejected").as_uint());
+  const auto attain = metrics.at("slo_attainment").as_double();
+  EXPECT_GE(attain, 0.0);
+  EXPECT_LE(attain, 1.0);
+}

@@ -89,7 +89,8 @@ def main() -> int:
                         help="required parallel-engine fast/off ratio")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="max fractional regression vs baseline")
-    parser.add_argument("--update", action="store_true",
+    parser.add_argument("--update", "--update-baseline", action="store_true",
+                        dest="update",
                         help="overwrite the baseline with this report "
                              "and exit (no gates checked)")
     args = parser.parse_args()
@@ -124,7 +125,20 @@ def main() -> int:
               f"(floor {floor:.1f}x)")
 
     # --- Gate 2: absolute regression vs committed baseline ---------------
+    # Coverage must match in BOTH directions.  A benchmark present in the
+    # baseline but missing from the live report means the gate lost a
+    # regression tripwire; a benchmark present in the report but missing
+    # from the baseline means it runs with NO tripwire at all — both used
+    # to slip through silently (the loop below only walked the baseline).
     base = load_rates(args.baseline)
+    coverage_gap = False
+    for name in sorted(set(base) - set(rates)):
+        print(f"FAIL  baseline benchmark missing from report: {name}")
+        coverage_gap = failed = True
+    for name in sorted(set(rates) - set(base)):
+        print(f"FAIL  report benchmark missing from baseline: {name} "
+              "(it would run ungated)")
+        coverage_gap = failed = True
     width = max(len(n) for n in base)
     print(f"\n{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
           f"{'delta':>8}")
@@ -132,7 +146,6 @@ def main() -> int:
         if name not in rates:
             print(f"{name:<{width}}  {base[name]:>12.3e}  {'missing':>12}  "
                   f"{'FAIL':>8}")
-            failed = True
             continue
         delta = (rates[name] - base[name]) / base[name]
         flag = "" if delta >= -args.tolerance else "  <-- regression"
@@ -142,9 +155,16 @@ def main() -> int:
               f"{delta:>+7.1%}{flag}")
 
     if failed:
-        print("\nthroughput gate FAILED (see rows above); to accept a new "
-              "performance floor, refresh the baseline with --update and "
-              "commit it", file=sys.stderr)
+        msg = ("\nthroughput gate FAILED (see rows above); to accept a new "
+               "performance floor, refresh the baseline with\n"
+               f"    python3 tools/check_throughput.py {args.report} "
+               "--update-baseline\nand commit it")
+        if coverage_gap:
+            msg += ("\n(coverage mismatch: the benchmark sets in the report "
+                    "and the committed baseline differ — refreshing the "
+                    "baseline realigns them; if a benchmark disappeared "
+                    "unintentionally, fix the benchmark filter instead)")
+        print(msg, file=sys.stderr)
         return 1
     print("\nthroughput gate passed")
     return 0

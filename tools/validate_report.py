@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validate a cfm-bench-report/v1 or cfm-campaign-report/v1 JSON document.
+"""Validate a cfm-bench-report/v1, cfm-campaign-report/v1, or
+cfm-serve-report/v1 JSON document.
 
 Usage: validate_report.py REPORT.json [REPORT.json ...]
 
@@ -14,9 +15,14 @@ conflict-freedom invariant broke).  Campaign reports (from cfm_campaign)
 are dispatched on their schema marker instead: the point count must
 equal the sweep-grid cardinality, every point needs its content-address
 key and either metrics or an error, the per-axis tables must cover each
-axis value once, and a nonzero audit rollup fails validation.  Exits
-nonzero on the first invalid report — used by the CI bench-reports,
-audit, and campaign jobs and handy locally after `--json-out`.
+axis value once, and a nonzero audit rollup fails validation.  Serve
+reports (from cfm_serve) must balance their admission arithmetic
+(offered = accepted + rejected, accepted = completed + failed +
+unfinished), carry the latency percentiles and an SLO attainment in
+[0, 1], and — like every other schema — fail on a nonzero audit section.
+Exits nonzero on the first invalid report — used by the CI
+bench-reports, audit, campaign, and serve-smoke jobs and handy locally
+after `--json-out`.
 """
 import json
 import math
@@ -24,6 +30,7 @@ import sys
 
 SCHEMA = "cfm-bench-report/v1"
 CAMPAIGN_SCHEMA = "cfm-campaign-report/v1"
+SERVE_SCHEMA = "cfm-serve-report/v1"
 REQUIRED = ("schema", "name", "params", "metrics", "counters", "stats",
             "histograms", "tables")
 STAT_FIELDS = ("count", "mean", "min", "max", "stddev", "sum")
@@ -46,6 +53,9 @@ def validate(path):
         fail(path, "top level is not an object")
     if doc.get("schema") == CAMPAIGN_SCHEMA:
         validate_campaign(path, doc)
+        return
+    if doc.get("schema") == SERVE_SCHEMA:
+        validate_serve(path, doc)
         return
     for key in REQUIRED:
         if key not in doc:
@@ -296,6 +306,64 @@ def validate_campaign(path, doc):
     print(f"{path}: ok — campaign {doc['name']!r}, {len(points)} points over "
           f"{len(axes)} axes, {len(doc['tables'])} tables, "
           f"{len(doc['stats'])} stats, audit checks={audit['checks']}")
+
+
+SERVE_REQUIRED = ("schema", "name", "params", "metrics", "counters", "stats",
+                  "histograms", "tables")
+SERVE_METRICS = ("cycles", "offered", "accepted", "rejected", "completed",
+                 "failed", "retried", "unfinished", "shed_fraction",
+                 "slo_cycles", "slo_within", "slo_attainment",
+                 "goodput_attainment", "offered_rate", "completed_rate",
+                 "latency_p50", "latency_p95", "latency_p99", "latency_p999",
+                 "latency_mean", "latency_max")
+
+
+def validate_serve(path, doc):
+    """A cfm-serve-report/v1 document from cfm_serve: admission arithmetic
+    must balance, the SLO section must be present and sane, and the latency
+    percentiles must exist and be ordered.  An audit section with
+    violations fails via the shared audit validator."""
+    for key in SERVE_REQUIRED:
+        if key not in doc:
+            fail(path, f"missing required key '{key}'")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        fail(path, "name must be a non-empty string")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        fail(path, "'metrics' is not an object")
+    for key in SERVE_METRICS:
+        if key not in metrics:
+            fail(path, f"metrics missing '{key}' (no SLO / latency section "
+                       f"means the serve run did not report)")
+        check_number(path, f"metrics.{key}", metrics[key])
+    m = metrics
+    if m["offered"] != m["accepted"] + m["rejected"]:
+        fail(path, f"admission arithmetic broken: offered {m['offered']} != "
+                   f"accepted {m['accepted']} + rejected {m['rejected']}")
+    if m["accepted"] != m["completed"] + m["failed"] + m["unfinished"]:
+        fail(path, f"service arithmetic broken: accepted {m['accepted']} != "
+                   f"completed {m['completed']} + failed {m['failed']} + "
+                   f"unfinished {m['unfinished']}")
+    if not 0.0 <= m["slo_attainment"] <= 1.0:
+        fail(path, f"slo_attainment {m['slo_attainment']} outside [0, 1]")
+    if not 0.0 <= m["shed_fraction"] <= 1.0:
+        fail(path, f"shed_fraction {m['shed_fraction']} outside [0, 1]")
+    if m["slo_within"] > m["completed"]:
+        fail(path, "slo_within exceeds completed")
+    if not (m["latency_p50"] <= m["latency_p95"] <= m["latency_p99"]
+            <= m["latency_p999"]):
+        fail(path, "latency percentiles are not nondecreasing")
+    if "latency" not in doc["histograms"]:
+        fail(path, "histograms missing 'latency'")
+    extras = []
+    if "audit" in doc:
+        validate_audit(path, doc["audit"])
+        extras.append(f"audit ({doc['audit']['checks']} checks)")
+    print(f"{path}: ok — serve run {doc['name']!r}: offered={m['offered']}, "
+          f"completed={m['completed']}, rejected={m['rejected']}, "
+          f"slo_attainment={m['slo_attainment']:.4f}, "
+          f"p99={m['latency_p99']}"
+          + "".join(f", {e}" for e in extras))
 
 
 def main(argv):
