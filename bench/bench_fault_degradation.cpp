@@ -25,6 +25,7 @@
 #include "sim/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/telemetry.hpp"
 #include "workload/access_gen.hpp"
 
 namespace {
@@ -51,7 +52,9 @@ struct CaseResult {
   std::uint64_t injected = 0;
 };
 
-CaseResult run_case(const std::string& plan_text, std::uint32_t spares) {
+CaseResult run_case(const std::string& plan_text, std::uint32_t spares,
+                    sim::Json* timeseries_out = nullptr,
+                    sim::Json* recovery_out = nullptr) {
   sim::Engine engine;
   core::CfmMemory memory(core::CfmConfig::make(kProcessors, kBankCycle));
   sim::ConflictAuditor auditor;
@@ -71,7 +74,53 @@ CaseResult run_case(const std::string& plan_text, std::uint32_t spares) {
   workload::AccessDriver driver("fault.driver", domain, memory, kRate,
                                 /*seed=*/1234, engine.shard(domain));
   engine.add(driver);
+
+  // Optional flight recorder: the degradation story as a time series —
+  // retries/failures per window, bank health, fault lifecycle.
+  std::unique_ptr<sim::TelemetrySampler> telemetry;
+  if (timeseries_out != nullptr) {
+    const auto beta = memory.config().block_access_time();
+    telemetry = std::make_unique<sim::TelemetrySampler>(
+        "fault.telemetry", 8 * static_cast<sim::Cycle>(beta));
+    auto& shard = engine.shard(domain);
+    for (const char* name : {"ops_completed", "ops_retried", "ops_failed"}) {
+      telemetry->add_counter(
+          name, [&shard, name] { return shard.counters.get(name); });
+    }
+    for (const char* name : {"fault_restarts", "bank_failures", "bank_remaps",
+                             "brownouts", "fault_aborts"}) {
+      telemetry->add_counter(std::string("mem.") + name, [&memory, name] {
+        return memory.counters().get(name);
+      });
+    }
+    telemetry->add_gauge("in_flight", [&driver](sim::Cycle) {
+      return static_cast<double>(driver.in_flight());
+    });
+    telemetry->add_gauge("live_banks", [&memory](sim::Cycle) {
+      return static_cast<double>(memory.live_banks());
+    });
+    if (injector) {
+      telemetry->add_gauge("active_faults", [inj = injector.get()](
+                                                sim::Cycle now) {
+        return static_cast<double>(inj->active_count(now));
+      });
+    }
+    engine.add(*telemetry);
+  }
+
   engine.run_for(kCycles);
+
+  if (telemetry) {
+    *timeseries_out = telemetry->to_json(kCycles);
+    if (recovery_out != nullptr && injector) {
+      sim::RecoveryConfig rc;
+      rc.degraded_counters = {"ops_retried",        "ops_failed",
+                              "mem.fault_restarts", "mem.bank_failures",
+                              "mem.brownouts",      "mem.fault_aborts"};
+      *recovery_out = sim::recovery_table(telemetry->series(kCycles),
+                                          injector->plan(), rc);
+    }
+  }
 
   CaseResult out;
   out.completed = driver.completed();
@@ -137,11 +186,17 @@ int main(int argc, char** argv) {
               "recov_max", "remaps", "violate", "injected");
 
   bool ok = true;
+  sim::Json timeseries;
+  sim::Json recovery;
   for (const auto& s : scenarios) {
     if (std::string_view(s.name) == "custom" && s.plan.empty()) continue;
+    // The flight recorder rides on the representative degraded run: one
+    // bank dies mid-flight, the series shows the dip and the recovery.
+    const bool record = std::string_view(s.name) == "one_bank_dead";
     CaseResult r;
     try {
-      r = run_case(s.plan, s.spares);
+      r = run_case(s.plan, s.spares, record ? &timeseries : nullptr,
+                   record ? &recovery : nullptr);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: bad fault plan '%s': %s\n", s.plan.c_str(),
                    e.what());
@@ -236,6 +291,13 @@ int main(int argc, char** argv) {
     row["link_failures"] = cluster.link_failures();
     row["unresolved"] = unresolved;
     report.add_row("link_drops", std::move(row));
+  }
+
+  if (!timeseries.is_null()) report.add_section("timeseries", timeseries);
+  if (!recovery.is_null()) {
+    for (const auto& row : recovery.as_array()) {
+      report.add_row("recovery", row);
+    }
   }
 
   report.add_scalar("latency_bound", latency_bound);

@@ -17,6 +17,7 @@
 #include "sim/audit.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/txn_trace.hpp"
 #include "workload/access_gen.hpp"
 #include "workload/hier_driver.hpp"
@@ -240,6 +241,53 @@ BENCHMARK(BM_FastPathHierarchicalParallel)
     ->Arg(0)
     ->Arg(1)
     ->UseRealTime();
+
+// ---- telemetry overhead ----------------------------------------------
+//
+// The flight recorder's cost contract (DESIGN.md §14): one extra shared
+// component whose hint points at the next window boundary, so between
+// boundaries it costs nothing and at each boundary it snapshots a
+// handful of counters.  Arg(0) = recorder off, Arg(1) = recorder on with
+// the default serve geometry (window = 8*beta, capacity 512); the
+// stored-baseline gate (tools/check_throughput.py) bounds on/off.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const bool telemetry = state.range(0) != 0;
+  auto engine = sim::Engine::make(sim::EngineConfig{.num_threads = 1});
+  core::CfmMemory mem(core::CfmConfig::make(16));
+  const auto domain = engine->allocate_domain();
+  mem.attach(*engine, domain);
+  workload::AccessDriver driver("bench.telemetry_driver", domain, mem, 1.0,
+                                /*seed=*/77, engine->shard(domain));
+  engine->add(driver);
+  std::unique_ptr<sim::TelemetrySampler> sampler;
+  if (telemetry) {
+    const auto window =
+        static_cast<sim::Cycle>(8 * mem.config().block_access_time());
+    sampler = std::make_unique<sim::TelemetrySampler>("bench.telemetry",
+                                                      window, 512);
+    auto& shard = engine->shard(domain);
+    for (const char* name : {"ops_completed", "ops_retried", "ops_failed"}) {
+      sampler->add_counter(name,
+                           [&shard, name] { return shard.counters.get(name); });
+    }
+    sampler->add_gauge("in_flight", [&driver](sim::Cycle) {
+      return static_cast<double>(driver.in_flight());
+    });
+    sampler->add_gauge("live_banks", [&mem](sim::Cycle) {
+      return static_cast<double>(mem.live_banks());
+    });
+    engine->add(*sampler);
+  }
+  engine->run_for(64);  // fill the tour pipeline
+  constexpr sim::Cycle kChunk = 1024;
+  for (auto _ : state) engine->run_for(kChunk);
+  state.SetItemsProcessed(state.iterations() * kChunk);
+  if (sampler) {
+    state.counters["windows"] =
+        static_cast<double>(sampler->windows_crossed());
+  }
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_EfficiencyExperiment(benchmark::State& state) {
   for (auto _ : state) {

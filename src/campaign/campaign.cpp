@@ -77,6 +77,7 @@ Json aggregate(const Scenario& scenario, const std::vector<PointRun>& runs) {
   std::map<std::string, sim::StatSummary> merged_stats;
   std::uint64_t violations = 0, conflicts = 0, checks = 0;
   std::uint64_t points_with_violations = 0;
+  std::uint64_t points_with_timeseries = 0, timeseries_windows = 0;
   std::set<std::string> metric_keys;
   for (const auto& run : runs) {
     Json row = Json::object();
@@ -101,6 +102,13 @@ Json aggregate(const Scenario& scenario, const std::vector<PointRun>& runs) {
         auto [it, fresh] = merged_stats.emplace(name, parsed);
         if (!fresh) it->second = sim::merge_stat_summaries(it->second, parsed);
       }
+    }
+    if (run.result.contains("timeseries")) {
+      // Per-point series ride along verbatim; points without telemetry
+      // keep their row shape (and the report its bytes) unchanged.
+      row["timeseries"] = run.result.at("timeseries");
+      ++points_with_timeseries;
+      timeseries_windows += run.result.at("timeseries").at("windows").size();
     }
     std::uint64_t point_violations = 0;
     if (run.result.contains("audit")) {
@@ -155,6 +163,13 @@ Json aggregate(const Scenario& scenario, const std::vector<PointRun>& runs) {
   audit["checks"] = checks;
   audit["points_with_violations"] = points_with_violations;
   report["audit"] = std::move(audit);
+
+  if (points_with_timeseries != 0) {
+    Json rollup = Json::object();
+    rollup["points_with_timeseries"] = points_with_timeseries;
+    rollup["windows_total"] = timeseries_windows;
+    report["timeseries"] = std::move(rollup);
+  }
 
   Json totals = Json::object();
   totals["points"] = runs.size();

@@ -64,6 +64,15 @@ Json run_cfm(const PointSpec& point) {
   }
   hooks.counters_out = &counters;
   hooks.access_time_out = &access_time;
+  Json timeseries;
+  if (point.has_param("telemetry_window")) {
+    hooks.telemetry_window = point.param_u64("telemetry_window");
+    if (point.has_param("telemetry_capacity")) {
+      hooks.telemetry_capacity =
+          static_cast<std::size_t>(point.param_u64("telemetry_capacity"));
+    }
+    hooks.timeseries_out = &timeseries;
+  }
 
   const auto r =
       workload::measure_cfm_instrumented(n, c, rate, cycles, seed, hooks);
@@ -74,6 +83,7 @@ Json run_cfm(const PointSpec& point) {
   Json stats = Json::object();
   stats["access_time"] = sim::to_json(access_time);
   out["stats"] = std::move(stats);
+  if (hooks.timeseries_out != nullptr) out["timeseries"] = std::move(timeseries);
   if (point.audit) out["audit"] = audit_section(auditor);
   return out;
 }

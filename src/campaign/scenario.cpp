@@ -26,8 +26,9 @@ struct ParamContract {
 };
 
 const ParamContract& contract(WorkloadKind kind) {
-  static const ParamContract kCfm{{"n", "c", "rate", "cycles"},
-                                  {"b", "seed", "spares"}};
+  static const ParamContract kCfm{
+      {"n", "c", "rate", "cycles"},
+      {"b", "seed", "spares", "telemetry_window", "telemetry_capacity"}};
   static const ParamContract kConventional{{"n", "m", "beta", "rate", "cycles"},
                                            {"seed"}};
   static const ParamContract kPartial{

@@ -165,6 +165,15 @@ class CfmMemory {
   [[nodiscard]] const sim::RunningStat& fault_recovery() const noexcept {
     return recovery_latency_;
   }
+  /// Logical banks not currently marked dead by the injector — the bank-
+  /// health gauge of the telemetry flight recorder.  Remapped banks still
+  /// count as dead while their fault is active: the gauge tracks physical
+  /// substrate health, not schedule availability (which remapping keeps).
+  [[nodiscard]] std::uint32_t live_banks() const noexcept {
+    auto live = static_cast<std::uint32_t>(dead_.size());
+    for (const bool d : dead_) live -= d ? 1u : 0u;
+    return live;
+  }
 
   /// Attaches the transaction tracer: every issued op becomes a traced
   /// transaction with per-bank-visit spans, restart events, and drain

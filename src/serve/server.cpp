@@ -45,7 +45,11 @@ ServeDriver::ServeDriver(std::string name, sim::DomainId domain,
 }
 
 std::uint64_t ServeDriver::outstanding() const noexcept {
-  std::uint64_t n = arrivals_.size() + queue_.size();
+  return arrivals_.size() + in_service();
+}
+
+std::uint64_t ServeDriver::in_service() const noexcept {
+  std::uint64_t n = queue_.size();
   for (const auto& slot : slots_) {
     if (slot.op != core::CfmMemory::kNoOp || slot.pending_retry) ++n;
   }
@@ -79,6 +83,7 @@ void ServeDriver::harvest(sim::Cycle now) {
           static_cast<double>(result->completed - slot.arrival);
       stats_.latency.add(latency);
       latency_hist_.add(latency);
+      latency_log2_.add(latency);
       ++stats_.completed;
       if (result->completed - slot.arrival <= slo_) ++stats_.within_slo;
       if (slot.req.kind == RequestKind::Lock) {
@@ -199,6 +204,32 @@ void ServeDriver::publish_wake(sim::Cycle now) {
   set_next_event(wake);
 }
 
+void ServeDriver::register_telemetry(sim::TelemetrySampler& sampler) const {
+  // Registration order fixes the series' column order; the recovery/
+  // anomaly configs in report_json refer to these names.
+  sampler.add_counter("offered", [this] { return stats_.offered; });
+  sampler.add_counter("accepted", [this] { return stats_.accepted; });
+  sampler.add_counter("rejected", [this] { return stats_.rejected; });
+  sampler.add_counter("completed", [this] { return stats_.completed; });
+  sampler.add_counter("failed", [this] { return stats_.failed; });
+  sampler.add_counter("retried", [this] { return stats_.retried; });
+  sampler.add_counter("slo_within", [this] { return stats_.within_slo; });
+  sampler.add_gauge("queue_depth", [this](sim::Cycle) {
+    return static_cast<double>(queued());
+  });
+  sampler.add_gauge("ports_busy", [this](sim::Cycle) {
+    return static_cast<double>(busy_ports());
+  });
+  sampler.add_gauge("in_service", [this](sim::Cycle) {
+    return static_cast<double>(in_service());
+  });
+  sampler.add_gauge("utilization", [this](sim::Cycle) {
+    return static_cast<double>(busy_ports()) /
+           static_cast<double>(slots_.size());
+  });
+  sampler.add_histogram("latency", &latency_log2_);
+}
+
 // ---------------------------------------------------------------- Server --
 
 Server::Server(const ServeOptions& options)
@@ -244,6 +275,34 @@ Server::Server(const ServeOptions& options)
       /*hist_bucket_width=*/std::max<double>(1.0, beta_cycles / 8.0),
       /*hist_buckets=*/2048, opts_.seed ^ 0xd21f3ULL);
   engine_->add(*driver_);
+
+  if (opts_.telemetry) {
+    if (opts_.telemetry_window == 0) opts_.telemetry_window = 8 * beta_cycles;
+    telemetry_ = std::make_unique<sim::TelemetrySampler>(
+        "serve.telemetry", opts_.telemetry_window,
+        opts_.telemetry_capacity != 0
+            ? opts_.telemetry_capacity
+            : sim::TelemetrySampler::kDefaultCapacity);
+    driver_->register_telemetry(*telemetry_);
+    auto* mem = memory_.get();
+    for (const char* name :
+         {"ops_completed", "fault_restarts", "bank_failures", "bank_remaps",
+          "brownouts", "fault_aborts", "fault_timeouts"}) {
+      telemetry_->add_counter(std::string("mem.") + name, [mem, name] {
+        return mem->counters().get(name);
+      });
+    }
+    telemetry_->add_gauge("live_banks", [mem](sim::Cycle) {
+      return static_cast<double>(mem->live_banks());
+    });
+    if (injector_) {
+      const auto* inj = &*injector_;
+      telemetry_->add_gauge("active_faults", [inj](sim::Cycle now) {
+        return static_cast<double>(inj->active_count(now));
+      });
+    }
+    engine_->add(*telemetry_);
+  }
 }
 
 sim::Cycle Server::beta() const noexcept {
@@ -368,8 +427,38 @@ sim::Json Server::report_json() const {
   doc["stats"] = std::move(stats);
   doc["histograms"] = std::move(histograms);
   doc["tables"] = Json::object();
+  if (telemetry_) {
+    // The series is derived at the activity horizon, not the engine
+    // clock, so it inherits the report's pacing independence.
+    doc["timeseries"] = telemetry_->to_json(cycles);
+    const auto series = telemetry_->series(cycles);
+    Json recovery;
+    if (injector_) {
+      sim::RecoveryConfig rc;
+      rc.degraded_counters = {"failed",            "retried",
+                              "mem.fault_restarts", "mem.bank_failures",
+                              "mem.brownouts",      "mem.fault_aborts"};
+      rc.completed_counter = "completed";
+      rc.slo_counter = "slo_within";
+      recovery = sim::recovery_table(series, fault_plan_, rc);
+      doc["tables"]["recovery"] = recovery;
+    }
+    doc["anomalies"] = sim::detect_anomalies(
+        series, sim::AnomalyThresholds{}, "completed", "slo_within",
+        injector_ ? &recovery : nullptr);
+  }
   if (audit_) doc["audit"] = audit_->to_json();
   return doc;
+}
+
+sim::Json Server::live_stats_json() const {
+  if (!telemetry_) return sim::Json();
+  return telemetry_->live_json(engine_->now());
+}
+
+std::string Server::prometheus_text() const {
+  if (!telemetry_) return {};
+  return telemetry_->prometheus_text(engine_->now());
 }
 
 }  // namespace cfm::serve

@@ -48,6 +48,7 @@
 #include "sim/report.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::serve {
@@ -70,6 +71,15 @@ struct ServeOptions {
   std::string fault_plan;
   std::uint32_t spare_banks = 1;
   bool audit = false;
+  /// Time-series telemetry (the flight recorder, DESIGN.md §14).  The
+  /// sampler rides the quiescence-hint fast path, so the cost of leaving
+  /// it on is one sample per window.
+  bool telemetry = true;
+  /// Sampling window W in cycles; 0 = 8 * beta.
+  sim::Cycle telemetry_window = 0;
+  /// Flight-recorder record bound before deterministic downsampling;
+  /// 0 = sim::TelemetrySampler::kDefaultCapacity.
+  std::size_t telemetry_capacity = 0;
 };
 
 /// Aggregated serving statistics, owned by the driver (single-writer in
@@ -107,6 +117,29 @@ class ServeDriver final : public sim::Component {
   [[nodiscard]] const sim::Histogram& latency_histogram() const noexcept {
     return latency_hist_;
   }
+  /// Compact cumulative latency sketch for telemetry window deltas.
+  [[nodiscard]] const sim::Log2Histogram& latency_log2() const noexcept {
+    return latency_log2_;
+  }
+  /// Requests admitted but not yet issued (the queue-depth gauge).
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  /// Arrived-but-unresolved requests: queued or occupying a port.  Unlike
+  /// outstanding() this excludes submitted-but-future arrivals, whose
+  /// count reflects operator feeding cadence rather than simulated state
+  /// — telemetry gauges must never observe the former.
+  [[nodiscard]] std::uint64_t in_service() const noexcept;
+  /// Ports with an operation in flight (the utilization gauge).
+  [[nodiscard]] std::uint32_t busy_ports() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto& slot : slots_) {
+      if (slot.op != core::CfmMemory::kNoOp) ++n;
+    }
+    return n;
+  }
+  /// Registers this driver's serving counters, gauges and latency sketch
+  /// with a telemetry sampler (names: offered/accepted/rejected/...,
+  /// queue_depth/ports_busy/in_service/utilization, "latency").
+  void register_telemetry(sim::TelemetrySampler& sampler) const;
   /// Requests not yet resolved: waiting to arrive, queued, or in flight.
   [[nodiscard]] std::uint64_t outstanding() const noexcept;
   [[nodiscard]] sim::Cycle last_arrival() const noexcept {
@@ -159,6 +192,7 @@ class ServeDriver final : public sim::Component {
   sim::Cycle last_resolved_ = 0;
   ServeStats stats_;
   sim::Histogram latency_hist_;
+  sim::Log2Histogram latency_log2_;
 };
 
 /// The long-running front end: engine + memory + driver + arrival clock,
@@ -178,6 +212,16 @@ class Server {
   [[nodiscard]] const sim::ConflictAuditor* auditor() const noexcept {
     return audit_ ? &*audit_ : nullptr;
   }
+  /// The flight recorder, or nullptr when telemetry is disabled.
+  [[nodiscard]] const sim::TelemetrySampler* telemetry() const noexcept {
+    return telemetry_.get();
+  }
+  /// Current-window snapshot (the `.stats` view); null Json when
+  /// telemetry is disabled.
+  [[nodiscard]] sim::Json live_stats_json() const;
+  /// Prometheus text exposition at the current cycle; empty when
+  /// telemetry is disabled.
+  [[nodiscard]] std::string prometheus_text() const;
   [[nodiscard]] sim::Cycle beta() const noexcept;
 
   /// Submits one request / a batch; arrival cycles come from the
@@ -208,6 +252,7 @@ class Server {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<core::CfmMemory> memory_;
   std::unique_ptr<ServeDriver> driver_;
+  std::unique_ptr<sim::TelemetrySampler> telemetry_;
   ArrivalProcess arrivals_;
 };
 

@@ -201,6 +201,14 @@ bool FaultInjector::any_active(Cycle now) const {
   return false;
 }
 
+std::uint32_t FaultInjector::active_count(Cycle now) const {
+  std::uint32_t n = 0;
+  for (const auto& s : plan_.specs()) {
+    if (s.active(now)) ++n;
+  }
+  return n;
+}
+
 bool FaultInjector::drop_message(Cycle now) {
   counters_.inc("messages_offered");
   for (const auto& s : plan_.specs()) {

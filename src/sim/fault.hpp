@@ -107,6 +107,8 @@ class FaultInjector {
   [[nodiscard]] bool omega_link_faulty(Cycle now, std::uint32_t stage,
                                        std::uint32_t link) const;
   [[nodiscard]] bool any_active(Cycle now) const;
+  /// Number of specs active at `now` — the telemetry fault-lifecycle gauge.
+  [[nodiscard]] std::uint32_t active_count(Cycle now) const;
 
   /// Bernoulli draw against every active MessageDrop spec.  Mutates the
   /// seeded RNG and the drop counters: call only from shared-domain code.

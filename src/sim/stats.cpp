@@ -1,5 +1,6 @@
 #include "sim/stats.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -83,6 +84,51 @@ double Histogram::quantile(double q) const noexcept {
     if (seen >= target) return width_ * static_cast<double>(i + 1);
   }
   return width_ * static_cast<double>(buckets_.size());  // in overflow
+}
+
+void Log2Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < 0) x = 0;
+  sum_ += x;
+  // Saturate at the top bucket rather than overflowing the cast: 2^64-ish
+  // latencies only appear when something upstream is already broken.
+  const double clamped = std::min(x, 9.2e18);
+  const auto v = static_cast<std::uint64_t>(clamped);
+  std::size_t idx = 0;
+  if (v != 0) idx = static_cast<std::size_t>(std::bit_width(v));
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  ++buckets_[idx];
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void Log2Histogram::subtract(const Log2Histogram& prev) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] -= prev.buckets_[i];
+  total_ -= prev.total_;
+  sum_ -= prev.sum_;
+}
+
+std::uint64_t Log2Histogram::bucket_upper(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= kBuckets) i = kBuckets - 1;
+  return (std::uint64_t{1} << i) - 1;
+}
+
+double Log2Histogram::quantile(double q) const noexcept {
+  if (total_ == 0 || q <= 0.0) return 0.0;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(std::min(q, 1.0) * static_cast<double>(total_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return static_cast<double>(bucket_upper(i));
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));
 }
 
 std::uint64_t CounterSet::get(const std::string& name) const {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -59,6 +60,44 @@ class Histogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+};
+
+/// Fixed-geometry power-of-two histogram for telemetry sketches.  64
+/// buckets cover the full uint64 range — bucket 0 holds zero, bucket i
+/// holds [2^(i-1), 2^i) — so the footprint is a flat 64-slot array no
+/// matter how long the run is.  The per-window percentile sketches of the
+/// flight recorder use this instead of `Histogram`, whose fixed-width
+/// geometry needs thousands of buckets per window to keep resolution.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(double x) noexcept;
+  /// Buckets are additive and the geometry is fixed, so merge never fails.
+  void merge(const Log2Histogram& other) noexcept;
+  /// Removes `prev`'s samples from this histogram.  Only meaningful when
+  /// `prev` is an earlier snapshot of the same cumulative histogram —
+  /// telemetry uses this to turn cumulative sketches into window deltas.
+  void subtract(const Log2Histogram& prev) noexcept;
+  void reset() noexcept { *this = Log2Histogram{}; }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < kBuckets ? buckets_[i] : 0;
+  }
+  /// Largest value a sample in bucket `i` can have.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept;
+  /// Smallest bucket upper bound covering at least `q` (0..1) of samples.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 /// Named counters, for protocol event accounting (invalidations issued,

@@ -274,7 +274,39 @@ EfficiencyResult measure_cfm_instrumented(std::uint32_t processors,
   AccessDriver driver("workload.cfm_driver", domain, memory, rate, seed,
                       engine.shard(domain));
   engine.add(driver);
+  std::optional<sim::TelemetrySampler> telemetry;
+  if (hooks.telemetry_window > 0 && hooks.timeseries_out != nullptr) {
+    telemetry.emplace("workload.telemetry", hooks.telemetry_window,
+                      hooks.telemetry_capacity != 0
+                          ? hooks.telemetry_capacity
+                          : sim::TelemetrySampler::kDefaultCapacity);
+    auto& shard = engine.shard(domain);
+    for (const char* name : {"ops_completed", "ops_retried", "ops_failed"}) {
+      telemetry->add_counter(
+          name, [&shard, name] { return shard.counters.get(name); });
+    }
+    for (const char* name : {"fault_restarts", "bank_failures", "bank_remaps",
+                             "brownouts", "fault_aborts"}) {
+      telemetry->add_counter(std::string("mem.") + name, [&memory, name] {
+        return memory.counters().get(name);
+      });
+    }
+    telemetry->add_gauge("in_flight", [&driver](sim::Cycle) {
+      return static_cast<double>(driver.in_flight());
+    });
+    telemetry->add_gauge("live_banks", [&memory](sim::Cycle) {
+      return static_cast<double>(memory.live_banks());
+    });
+    if (hooks.injector != nullptr) {
+      telemetry->add_gauge("active_faults", [inj = hooks.injector](
+                                                sim::Cycle now) {
+        return static_cast<double>(inj->active_count(now));
+      });
+    }
+    engine.add(*telemetry);
+  }
   engine.run_for(cycles);
+  if (telemetry) *hooks.timeseries_out = telemetry->to_json(cycles);
   if (hooks.counters_out != nullptr) {
     hooks.counters_out->merge(engine.shard(domain).counters);
     hooks.counters_out->merge(memory.counters());

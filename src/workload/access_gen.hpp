@@ -17,6 +17,7 @@
 #include "sim/component.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/types.hpp"
 
 namespace cfm::workload {
@@ -139,6 +140,14 @@ struct CfmRunHooks {
   /// richer than EfficiencyResult's mean — campaign reports merge these
   /// across grid points.
   sim::RunningStat* access_time_out = nullptr;
+  /// Time-series telemetry: with `telemetry_window` > 0 and
+  /// `timeseries_out` non-null, a TelemetrySampler rides the run
+  /// (ops/retries/failures per window, in-flight and bank-health gauges)
+  /// and its exported series — horizon = the cycle budget — is written to
+  /// *timeseries_out on return.
+  sim::Cycle telemetry_window = 0;
+  std::size_t telemetry_capacity = 0;  ///< 0 = sampler default
+  sim::Json* timeseries_out = nullptr;
 };
 
 [[nodiscard]] EfficiencyResult measure_cfm_instrumented(

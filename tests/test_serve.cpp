@@ -290,6 +290,131 @@ TEST(Serve, ReportByteIdenticalAcrossKillAndRefeed) {
   EXPECT_EQ(restarted.report_json().dump(), one_shot);
 }
 
+// ---------------------------------------------------------------------------
+// Time-series telemetry (DESIGN.md §14).
+
+TEST(Serve, TimeseriesByteIdenticalAcrossEnginesUnderFaults) {
+  // The flight recorder must not observe the engine's pacing: series
+  // bytes are a pure function of (requests, options, seed) even while a
+  // fault plan is perturbing service mid-run.
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("bursty:rate=0.2,burst_factor=4");
+  opts.seed = 31;
+  opts.fault_plan = "bank_dead@2000:module=0,bank=3;brownout@6000+200:module=0";
+  opts.spare_banks = 1;
+  const auto reqs = synth_requests(1200, 0.25, 0.05, 0.05, 512, 31);
+
+  std::string reference;
+  {
+    TuningGuard guard({.fast_path = false, .max_span = 1});
+    opts.threads = 1;
+    reference = serve_report(opts, reqs);
+  }
+  EXPECT_NE(reference.find("\"timeseries\""), std::string::npos);
+  for (const unsigned threads : {2u, 4u}) {
+    for (const sim::Cycle span : {sim::Cycle{1}, sim::Cycle{64}}) {
+      TuningGuard guard({.fast_path = true, .max_span = span});
+      opts.threads = threads;
+      EXPECT_EQ(serve_report(opts, reqs), reference)
+          << "threads=" << threads << " span=" << span;
+    }
+  }
+}
+
+TEST(Serve, DownsamplingDeterministicAcrossKillAndRefeed) {
+  // A tiny recorder forces several scale-doubling folds mid-run.  Folding
+  // happens eagerly as the run proceeds, so a killed-and-refed server
+  // folds at different moments — the exported series must not notice.
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.1");
+  opts.seed = 23;
+  opts.telemetry_capacity = 8;
+  const auto reqs = synth_requests(1200, 0.25, 0.05, 0.05, 256, 23);
+  const auto one_shot = serve_report(opts, reqs);
+
+  Server restarted(opts);
+  std::size_t fed = 0;
+  const std::size_t batches[] = {100, 350, 1, 749};
+  for (const auto batch : batches) {
+    restarted.submit(std::vector<Request>(reqs.begin() + fed,
+                                          reqs.begin() + fed + batch));
+    fed += batch;
+    restarted.run(batch);
+  }
+  ASSERT_EQ(fed, reqs.size());
+  restarted.drain();
+  const auto report = restarted.report_json();
+  EXPECT_EQ(report.dump(), one_shot);
+  const auto& ts = report.at("timeseries");
+  EXPECT_LE(ts.at("windows").as_array().size(), 8u);
+  EXPECT_GT(ts.at("scale").as_uint(), 1u);
+}
+
+TEST(Serve, TimeseriesRecordsFaultDipAndRecovery) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.1");
+  opts.seed = 7;
+  opts.fault_plan = "bank_dead@2000:module=0,bank=3";
+  opts.spare_banks = 1;
+  Server server(opts);
+  server.submit(synth_requests(1500, 0.25, 0.05, 0.05, 256, 7));
+  server.drain();
+  const auto doc = server.report_json();
+
+  // The live-bank gauge must show the dip from the configured bank count.
+  const auto& ts = doc.at("timeseries");
+  const auto& gauges = ts.at("gauges").as_array();
+  std::size_t live_banks = gauges.size();
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (gauges[i].as_string() == "live_banks") live_banks = i;
+  }
+  ASSERT_LT(live_banks, gauges.size());
+  double lo = 1e9, hi = 0;
+  for (const auto& w : ts.at("windows").as_array()) {
+    const double v = w.at("gauges").as_array()[live_banks].as_double();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, hi);  // the dead bank is visible in the series
+
+  // And the derived recovery table attributes a bounded MTTR to it.
+  const auto& recovery = doc.at("tables").at("recovery").as_array();
+  ASSERT_EQ(recovery.size(), 1u);
+  EXPECT_EQ(recovery[0].at("kind").as_string(), "bank_dead");
+  EXPECT_GT(recovery[0].at("degraded_windows").as_uint(), 0u);
+  EXPECT_TRUE(recovery[0].at("recovered").as_bool());
+  EXPECT_GT(recovery[0].at("mttr_cycles").as_uint(), 0u);
+}
+
+TEST(Serve, LiveStatsAndMetricsFollowTelemetryToggle) {
+  ServeOptions opts;
+  opts.arrival = ArrivalConfig::parse("poisson:rate=0.05");
+  {
+    Server server(opts);
+    server.submit(synth_requests(300, 0.25, 0.05, 0.05, 128, 3));
+    server.drain();
+    const auto live = server.live_stats_json();
+    ASSERT_FALSE(live.is_null());
+    EXPECT_EQ(live.at("schema").as_string(), "cfm-telemetry-live/v1");
+    EXPECT_GT(live.at("totals").at("completed").as_uint(), 0u);
+    const auto text = server.prometheus_text();
+    EXPECT_NE(text.find("# TYPE cfm_completed counter"), std::string::npos);
+    EXPECT_NE(text.find("cfm_latency_p99"), std::string::npos);
+    EXPECT_TRUE(server.report_json().contains("timeseries"));
+  }
+  {
+    ServeOptions off = opts;
+    off.telemetry = false;
+    Server server(off);
+    server.submit(synth_requests(300, 0.25, 0.05, 0.05, 128, 3));
+    server.drain();
+    EXPECT_TRUE(server.live_stats_json().is_null());
+    EXPECT_TRUE(server.prometheus_text().empty());
+    EXPECT_FALSE(server.report_json().contains("timeseries"));
+    EXPECT_FALSE(server.report_json().contains("anomalies"));
+  }
+}
+
 TEST(Serve, ReportHasSchemaAndPercentiles) {
   ServeOptions opts;
   opts.arrival = ArrivalConfig::parse("poisson:rate=0.02");

@@ -14,7 +14,12 @@
 //                       dot-directives control the server:
 //                         .run <cycles>   advance the engine
 //                         .drain          run until quiescent (bounded)
-//                         .stats          one-line progress summary
+//                         .stats          current telemetry window snapshot
+//                                         (falls back to lifetime totals
+//                                         with --no-telemetry)
+//                         .metrics        Prometheus text exposition (live
+//                                         scrape of counters / gauges /
+//                                         latency quantiles)
 //                         .report         print the JSON report so far
 //                         .quit           drain, report, exit
 //
@@ -29,10 +34,16 @@
 //   --threads <n>             engine threads (results identical)
 //   --fast-path <0|1> --max-span <n>   engine tuning override
 //   --json-out <path>         write the cfm-serve-report/v1 document
+//   --metrics-out <path>      write the final Prometheus text exposition
+//   --no-telemetry            disable the flight recorder
+//   --telemetry-window <W>    sampling window in cycles (default 8*beta)
+//   --telemetry-capacity <n>  flight-recorder bound before downsampling
+//   --anomaly-exit            exit 4 when the anomaly scan has findings
 //   --quiet                   suppress the progress summary
 //
 // Exit codes: 0 clean, 2 usage / input error, 3 audit violations,
-// 1 the report artifact could not be written.
+// 4 anomalies found (with --anomaly-exit), 1 the report artifact could
+// not be written.
 //
 // The summary line ("served N requests — ...") is machine-readable on
 // purpose: the serve-smoke CI job greps it.
@@ -53,6 +64,8 @@ namespace {
 struct CliOptions {
   std::string requests_path;
   std::string json_out;
+  std::string metrics_out;
+  bool anomaly_exit = false;
   cfm::serve::ServeOptions serve;
   std::size_t count = 0;
   std::uint64_t blocks = 4096;
@@ -72,7 +85,9 @@ struct CliOptions {
       "  [--bank-cycle <n>] [--seed <s>] [--threads <n>] [--fault-plan <p>]\n"
       "  [--spares <n>] [--audit] [--blocks <n>] [--write-frac <f>]\n"
       "  [--swap-frac <f>] [--lock-frac <f>] [--fast-path <0|1>]\n"
-      "  [--max-span <n>] [--json-out <path>] [--quiet]\n"
+      "  [--max-span <n>] [--json-out <path>] [--metrics-out <path>]\n"
+      "  [--no-telemetry] [--telemetry-window <W>]\n"
+      "  [--telemetry-capacity <n>] [--anomaly-exit] [--quiet]\n"
       "with no request source, reads a request / directive stream on stdin\n",
       argv0);
   std::exit(code);
@@ -97,6 +112,17 @@ CliOptions parse_cli(int argc, char** argv) {
         opts.requests_path = value_of(i, "--requests");
       } else if (arg == "--json-out") {
         opts.json_out = value_of(i, "--json-out");
+      } else if (arg == "--metrics-out") {
+        opts.metrics_out = value_of(i, "--metrics-out");
+      } else if (arg == "--no-telemetry") {
+        opts.serve.telemetry = false;
+      } else if (arg == "--telemetry-window") {
+        opts.serve.telemetry_window = as_u64(value_of(i, "--telemetry-window"));
+      } else if (arg == "--telemetry-capacity") {
+        opts.serve.telemetry_capacity = static_cast<std::size_t>(
+            as_u64(value_of(i, "--telemetry-capacity")));
+      } else if (arg == "--anomaly-exit") {
+        opts.anomaly_exit = true;
       } else if (arg == "--load") {
         opts.serve.arrival =
             cfm::serve::ArrivalConfig::parse(value_of(i, "--load"));
@@ -180,6 +206,33 @@ void print_summary(const cfm::serve::Server& server) {
   std::fflush(stdout);
 }
 
+/// `.stats`: the *current telemetry window*, not lifetime averages — a
+/// mid-run scrape should show what the machine is doing now.  Falls back
+/// to the cumulative summary when telemetry is off.
+void print_window_stats(const cfm::serve::Server& server) {
+  const auto live = server.live_stats_json();
+  if (live.is_null()) {
+    print_summary(server);
+    return;
+  }
+  const auto& win = live.at("window");
+  const auto& counters = win.at("counters");
+  const auto& latency = win.at("hist").at("latency");
+  const auto& gauges = live.at("gauges");
+  std::printf(
+      "window @%llu (start %llu): %llu offered, %llu completed, %llu shed, "
+      "%llu retried; p99 %.0f; queue %.0f, in service %.0f\n",
+      static_cast<unsigned long long>(live.at("cycle").as_uint()),
+      static_cast<unsigned long long>(win.at("start").as_uint()),
+      static_cast<unsigned long long>(counters.at("offered").as_uint()),
+      static_cast<unsigned long long>(counters.at("completed").as_uint()),
+      static_cast<unsigned long long>(counters.at("rejected").as_uint()),
+      static_cast<unsigned long long>(counters.at("retried").as_uint()),
+      latency.at("p99").as_double(), gauges.at("queue_depth").as_double(),
+      gauges.at("in_service").as_double());
+  std::fflush(stdout);
+}
+
 /// Interactive mode: request lines are submitted as they arrive; dot
 /// directives drive the engine.  Ends at .quit or EOF (both drain).
 int run_command_loop(cfm::serve::Server& server, std::istream& in,
@@ -199,7 +252,10 @@ int run_command_loop(cfm::serve::Server& server, std::istream& in,
       } else if (verb == "drain") {
         server.drain();
       } else if (verb == "stats") {
-        print_summary(server);
+        print_window_stats(server);
+      } else if (verb == "metrics") {
+        std::fputs(server.prometheus_text().c_str(), stdout);
+        std::fflush(stdout);
       } else if (verb == "report") {
         std::cout << server.report_json().dump(2) << '\n';
       } else if (verb == "quit") {
@@ -277,7 +333,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!cli.metrics_out.empty()) {
+    std::ofstream os(cli.metrics_out);
+    if (os) os << server->prometheus_text();
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   cli.metrics_out.c_str());
+      return 1;
+    }
+    if (!cli.quiet) {
+      std::printf("metrics written to %s\n", cli.metrics_out.c_str());
+    }
+  }
+
   const auto* auditor = server->auditor();
   if (auditor != nullptr && auditor->violations() != 0) return 3;
+  if (cli.anomaly_exit && server->telemetry() != nullptr) {
+    const auto report = server->report_json();
+    const auto count = report.at("anomalies").at("count").as_uint();
+    if (count != 0) {
+      std::fprintf(stderr, "anomaly gate: %llu finding(s) in the report\n",
+                   static_cast<unsigned long long>(count));
+      return 4;
+    }
+  }
   return rc;
 }

@@ -43,6 +43,8 @@ SERIAL_OFF = "BM_FastPathHierarchical/0/1/real_time"
 SERIAL_FAST_SPAN64 = "BM_FastPathHierarchical/1/64/real_time"
 PARALLEL_OFF = "BM_FastPathHierarchicalParallel/0/real_time"
 PARALLEL_FAST = "BM_FastPathHierarchicalParallel/1/real_time"
+TELEMETRY_OFF = "BM_TelemetryOverhead/0/real_time"
+TELEMETRY_ON = "BM_TelemetryOverhead/1/real_time"
 
 
 def load_rates(path: Path) -> dict[str, float]:
@@ -89,6 +91,9 @@ def main() -> int:
                         help="required parallel-engine fast/off ratio")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="max fractional regression vs baseline")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=0.25,
+                        help="max fractional cycles/sec cost of the flight "
+                             "recorder (telemetry-on vs telemetry-off)")
     parser.add_argument("--update", "--update-baseline", action="store_true",
                         dest="update",
                         help="overwrite the baseline with this report "
@@ -123,6 +128,25 @@ def main() -> int:
             failed = True
         print(f"{verdict}  {label}: fast/off speedup {ratio:.2f}x "
               f"(floor {floor:.1f}x)")
+
+    # --- Gate 1b: telemetry overhead bound -------------------------------
+    # Also a same-host ratio: the flight recorder (DESIGN.md section 14)
+    # must cost at most --max-telemetry-overhead of the busy-machine
+    # cycles/sec it observes.  Skipped when the report was filtered down
+    # to a benchmark set that does not include the pair.
+    if TELEMETRY_ON in rates or TELEMETRY_OFF in rates:
+        ratio = speedup(rates, TELEMETRY_ON, TELEMETRY_OFF)
+        if ratio is None:
+            print("FAIL  telemetry: missing runs "
+                  f"({TELEMETRY_ON} / {TELEMETRY_OFF})")
+            failed = True
+        else:
+            overhead = 1.0 - ratio
+            ok = overhead <= args.max_telemetry_overhead
+            if not ok:
+                failed = True
+            print(f"{'ok  ' if ok else 'FAIL'}  telemetry: recorder overhead "
+                  f"{overhead:+.1%} (budget {args.max_telemetry_overhead:.0%})")
 
     # --- Gate 2: absolute regression vs committed baseline ---------------
     # Coverage must match in BOTH directions.  A benchmark present in the

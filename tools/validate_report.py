@@ -20,9 +20,18 @@ reports (from cfm_serve) must balance their admission arithmetic
 (offered = accepted + rejected, accepted = completed + failed +
 unfinished), carry the latency percentiles and an SLO attainment in
 [0, 1], and — like every other schema — fail on a nonzero audit section.
-Exits nonzero on the first invalid report — used by the CI
-bench-reports, audit, campaign, and serve-smoke jobs and handy locally
-after `--json-out`.
+Reports carrying a "timeseries" section (serve reports by default,
+bench/campaign reports when telemetry was enabled) get the flight
+recorder validated: the cfm-timeseries/v1 marker, the window geometry
+(window_cycles == base_window * scale), strictly-increasing
+window-aligned starts within the horizon, per-row column arity, and the
+rate arithmetic — the per-window counter deltas must sum exactly to the
+exported totals.  A serve "anomalies" section must be self-consistent
+(count == len(findings)); pass --fail-on-anomalies to additionally turn
+a nonzero anomaly count into a validation failure (the CI telemetry job
+gates clean runs this way).  Exits nonzero on the first invalid report —
+used by the CI bench-reports, audit, campaign, serve-smoke, and
+telemetry jobs and handy locally after `--json-out`.
 """
 import json
 import math
@@ -106,6 +115,13 @@ def validate(path):
     if "faults" in doc["tables"]:
         validate_faults(path, doc["tables"]["faults"])
         extras.append(f"faults ({len(doc['tables']['faults'])} scenarios)")
+    if "timeseries" in doc:
+        validate_timeseries(path, doc["timeseries"], "timeseries")
+        extras.append(
+            f"timeseries ({len(doc['timeseries']['windows'])} windows)")
+    if "recovery" in doc["tables"]:
+        validate_recovery(path, doc["tables"]["recovery"], "tables.recovery")
+        extras.append(f"recovery ({len(doc['tables']['recovery'])} faults)")
     n_rows = sum(len(r) for r in doc["tables"].values())
     print(f"{path}: ok — name={doc['name']!r}, "
           f"{len(doc['params'])} params, {len(doc['metrics'])} metrics, "
@@ -225,6 +241,131 @@ def validate_faults(path, rows):
             fail(path, f"{where}: clean baseline reports injected faults")
 
 
+TIMESERIES_SCHEMA = "cfm-timeseries/v1"
+TIMESERIES_REQUIRED = ("schema", "base_window", "window_cycles", "scale",
+                       "capacity", "horizon", "counters", "gauges",
+                       "histograms", "windows", "totals")
+RECOVERY_ROW_KEYS = ("kind", "at", "duration", "degraded_windows",
+                     "first_degraded_start", "last_degraded_end", "recovered",
+                     "mttr_cycles", "windows_under_slo",
+                     "time_under_slo_cycles")
+
+
+def validate_timeseries(path, ts, where):
+    """A cfm-timeseries/v1 flight-recorder export.  The geometry is
+    self-describing and the series must be internally consistent: windows
+    strictly increasing, aligned to the (possibly downsampled) window
+    size, bounded by the horizon, every row carrying one delta per
+    registered counter, and the deltas summing to the cumulative totals
+    (windowed rates are exact re-partitions of the final counters)."""
+    if not isinstance(ts, dict):
+        fail(path, f"{where} is not an object")
+    for key in TIMESERIES_REQUIRED:
+        if key not in ts:
+            fail(path, f"{where} missing '{key}'")
+    if ts["schema"] != TIMESERIES_SCHEMA:
+        fail(path, f"{where}.schema is {ts['schema']!r}, "
+                   f"want {TIMESERIES_SCHEMA!r}")
+    for key in ("base_window", "window_cycles", "scale", "capacity",
+                "horizon"):
+        if not isinstance(ts[key], int) or ts[key] < 0:
+            fail(path, f"{where}.{key} is not a non-negative int")
+    if ts["window_cycles"] != ts["base_window"] * ts["scale"]:
+        fail(path, f"{where}: window_cycles {ts['window_cycles']} != "
+                   f"base_window {ts['base_window']} * scale {ts['scale']}")
+    names = ts["counters"]
+    gauges = ts["gauges"]
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(ts[key], list):
+            fail(path, f"{where}.{key} is not a list")
+    windows = ts["windows"]
+    if not isinstance(windows, list):
+        fail(path, f"{where}.windows is not a list")
+    if len(windows) > ts["capacity"]:
+        fail(path, f"{where}: {len(windows)} windows exceed capacity "
+                   f"{ts['capacity']}")
+    sums = [0] * len(names)
+    prev_start = -1
+    for i, row in enumerate(windows):
+        rw = f"{where}.windows[{i}]"
+        for key in ("start", "counters", "gauges"):
+            if key not in row:
+                fail(path, f"{rw} missing '{key}'")
+        start = row["start"]
+        if not isinstance(start, int) or start < 0:
+            fail(path, f"{rw}.start is not a non-negative int")
+        if start <= prev_start:
+            fail(path, f"{rw}: starts not strictly increasing")
+        if start % ts["window_cycles"] != 0:
+            fail(path, f"{rw}: start {start} not aligned to window "
+                       f"{ts['window_cycles']}")
+        if start > ts["horizon"]:
+            fail(path, f"{rw}: start {start} past horizon {ts['horizon']}")
+        prev_start = start
+        if len(row["counters"]) != len(names):
+            fail(path, f"{rw}: {len(row['counters'])} counter deltas for "
+                       f"{len(names)} registered counters")
+        if len(row["gauges"]) != len(gauges):
+            fail(path, f"{rw}: {len(row['gauges'])} gauge values for "
+                       f"{len(gauges)} registered gauges")
+        for j, delta in enumerate(row["counters"]):
+            if not isinstance(delta, int) or delta < 0:
+                fail(path, f"{rw}.counters[{j}] is not a non-negative int")
+            sums[j] += delta
+    totals = ts["totals"]
+    if not isinstance(totals, dict):
+        fail(path, f"{where}.totals is not an object")
+    for j, name in enumerate(names):
+        if name not in totals:
+            fail(path, f"{where}.totals missing counter '{name}'")
+        if sums[j] != totals[name]:
+            fail(path, f"{where}: window deltas for '{name}' sum to "
+                       f"{sums[j]}, totals say {totals[name]} — the rate "
+                       f"arithmetic broke")
+
+
+def validate_recovery(path, rows, where):
+    """The MTTR table derived from the flight recorder: one row per
+    injected fault with degradation attribution and recovery verdict."""
+    if not isinstance(rows, list):
+        fail(path, f"{where} is not a list")
+    for i, row in enumerate(rows):
+        rw = f"{where}[{i}]"
+        for key in RECOVERY_ROW_KEYS:
+            if key not in row:
+                fail(path, f"{rw} missing '{key}'")
+        if not isinstance(row["recovered"], bool):
+            fail(path, f"{rw}.recovered is not a bool")
+        for key in ("at", "degraded_windows", "mttr_cycles",
+                    "windows_under_slo", "time_under_slo_cycles"):
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(path, f"{rw}.{key} is not a non-negative int")
+        if row["degraded_windows"] == 0 and row["mttr_cycles"] != 0:
+            fail(path, f"{rw}: mttr without degraded windows")
+
+
+def validate_anomalies(path, section, where, fail_on_anomalies):
+    """The report-time anomaly scan: count must equal the findings list,
+    and with --fail-on-anomalies a nonzero count fails validation."""
+    if not isinstance(section, dict):
+        fail(path, f"{where} is not an object")
+    for key in ("count", "findings"):
+        if key not in section:
+            fail(path, f"{where} missing '{key}'")
+    if not isinstance(section["findings"], list):
+        fail(path, f"{where}.findings is not a list")
+    if section["count"] != len(section["findings"]):
+        fail(path, f"{where}: count {section['count']} != "
+                   f"{len(section['findings'])} findings")
+    for i, finding in enumerate(section["findings"]):
+        if not isinstance(finding, dict) or "kind" not in finding:
+            fail(path, f"{where}.findings[{i}] has no 'kind'")
+    if fail_on_anomalies and section["count"] != 0:
+        kinds = sorted({f["kind"] for f in section["findings"]})
+        fail(path, f"{where} reports {section['count']} anomaly finding(s) "
+                   f"({', '.join(kinds)})")
+
+
 CAMPAIGN_REQUIRED = ("schema", "name", "spec", "spec_hash", "axes", "points",
                      "counters", "stats", "tables", "audit", "totals")
 
@@ -262,6 +403,8 @@ def validate_campaign(path, doc):
         fail(path, "totals.points disagrees with the points list")
     failed = 0
     violations_sum = 0
+    ts_points = 0
+    ts_windows = 0
     for i, point in enumerate(points):
         where = f"points[{i}]"
         for key in ("key", "params"):
@@ -281,6 +424,11 @@ def validate_campaign(path, doc):
         elif "metrics" not in point or not isinstance(point["metrics"], dict):
             fail(path, f"{where} has neither metrics nor an error")
         violations_sum += point.get("audit_violations", 0)
+        if "timeseries" in point:
+            validate_timeseries(path, point["timeseries"],
+                                f"{where}.timeseries")
+            ts_points += 1
+            ts_windows += len(point["timeseries"]["windows"])
     for axis, values in axes.items():
         table = doc["tables"].get(f"by_{axis}")
         if not isinstance(table, list):
@@ -290,6 +438,23 @@ def validate_campaign(path, doc):
                        f"{len(values)} axis values")
         if sum(row.get("points", 0) for row in table) != grid - failed:
             fail(path, f"table 'by_{axis}' groups don't cover the grid")
+    # Telemetry rollup: present iff a point carried a series, and the
+    # rollup must agree with the per-point evidence.
+    if ts_points:
+        rollup = doc.get("timeseries")
+        if not isinstance(rollup, dict):
+            fail(path, "points carry timeseries but the report has no "
+                       "'timeseries' rollup")
+        if rollup.get("points_with_timeseries") != ts_points:
+            fail(path, f"timeseries rollup says "
+                       f"{rollup.get('points_with_timeseries')} points, "
+                       f"{ts_points} points carry a series")
+        if rollup.get("windows_total") != ts_windows:
+            fail(path, f"timeseries rollup says "
+                       f"{rollup.get('windows_total')} windows, points sum "
+                       f"to {ts_windows}")
+    elif "timeseries" in doc:
+        fail(path, "report has a timeseries rollup but no point carries one")
     audit = doc["audit"]
     for key in ("violations", "conflicts_detected", "checks",
                 "points_with_violations"):
@@ -359,6 +524,17 @@ def validate_serve(path, doc):
     if "audit" in doc:
         validate_audit(path, doc["audit"])
         extras.append(f"audit ({doc['audit']['checks']} checks)")
+    if "timeseries" in doc:
+        validate_timeseries(path, doc["timeseries"], "timeseries")
+        extras.append(
+            f"timeseries ({len(doc['timeseries']['windows'])} windows)")
+    if "recovery" in doc.get("tables", {}):
+        validate_recovery(path, doc["tables"]["recovery"], "tables.recovery")
+        extras.append(f"recovery ({len(doc['tables']['recovery'])} faults)")
+    if "anomalies" in doc:
+        validate_anomalies(path, doc["anomalies"], "anomalies",
+                           FAIL_ON_ANOMALIES)
+        extras.append(f"anomalies ({doc['anomalies']['count']})")
     print(f"{path}: ok — serve run {doc['name']!r}: offered={m['offered']}, "
           f"completed={m['completed']}, rejected={m['rejected']}, "
           f"slo_attainment={m['slo_attainment']:.4f}, "
@@ -366,11 +542,21 @@ def validate_serve(path, doc):
           + "".join(f", {e}" for e in extras))
 
 
+FAIL_ON_ANOMALIES = False
+
+
 def main(argv):
-    if len(argv) < 2:
+    global FAIL_ON_ANOMALIES
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--fail-on-anomalies":
+            FAIL_ON_ANOMALIES = True
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    for path in argv[1:]:
+    for path in paths:
         validate(path)
     return 0
 
