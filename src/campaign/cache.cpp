@@ -86,8 +86,13 @@ void ResultCache::store(const PointSpec& point, const sim::Json& result) const {
   }
   fs::rename(tmp, path, ec);
   if (ec) {
+    // Never strand the temp file: a failed publish (cross-device cache
+    // dir, entry path occupied by a directory) must fail loudly AND
+    // leave the cache litter-free, or every retry leaks a .tmp.
+    const std::string message = ec.message();
+    fs::remove(tmp, ec);
     throw std::runtime_error("campaign cache: cannot publish '" + path +
-                             "': " + ec.message());
+                             "': " + message);
   }
 }
 

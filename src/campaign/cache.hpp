@@ -39,6 +39,15 @@ class ResultCache {
   /// spec mismatch.
   [[nodiscard]] std::optional<sim::Json> load(const PointSpec& point) const;
 
+  /// True when a valid, spec-matching entry exists — the same
+  /// verification as load() (a torn or stale entry reads as absent), so
+  /// lease-holding workers and the polling coordinator never mistake
+  /// debris for a completed point.  Lease/failure files live under
+  /// `<dir>/leases/` and never collide with entries.
+  [[nodiscard]] bool contains(const PointSpec& point) const {
+    return load(point).has_value();
+  }
+
   /// Stores the result atomically.  Throws std::runtime_error when the
   /// entry cannot be written — losing cache writes silently would turn
   /// "resume" into "silently re-run everything".

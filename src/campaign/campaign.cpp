@@ -3,178 +3,65 @@
 #include <algorithm>
 #include <exception>
 #include <mutex>
-#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "campaign/lease.hpp"
 #include "campaign/runner.hpp"
 #include "sim/parallel_engine.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace cfm::campaign {
 namespace {
 
 using sim::Json;
 
-std::string describe(const PointSpec& point) {
-  std::ostringstream os;
-  for (const auto& [key, value] : point.params.as_object()) {
-    os << ' ' << key << '=' << value.dump();
-  }
-  return os.str();
-}
+/// Completion-order "[k/N] <key> <params>: <what>" progress stream,
+/// shared by both executors.
+class ProgressStream {
+ public:
+  ProgressStream(std::function<void(const std::string&)> sink,
+                 std::size_t total)
+      : sink_(std::move(sink)), total_(total) {}
 
-/// One grid point's in-flight execution state.
-struct PointRun {
-  PointSpec spec;
-  Json result;        ///< run_point document, or {"error": ...} on failure
-  bool cached = false;
-  bool failed = false;
+  void announce(const PointRun& run, const char* what) {
+    if (!sink_) return;
+    std::lock_guard<std::mutex> lock(mx_);
+    std::ostringstream os;
+    os << '[' << ++announced_ << '/' << total_ << "] " << run.spec.cache_key()
+       << describe_point(run.spec) << ": " << what;
+    if (run.failed) os << " (" << run.error << ')';
+    sink_(os.str());
+  }
+
+ private:
+  std::function<void(const std::string&)> sink_;
+  std::size_t total_;
+  std::mutex mx_;
+  std::size_t announced_ = 0;
 };
 
-/// Executes one point with the scenario's bounded retry budget.  A
-/// faulted run (anything thrown out of run_point) retries up to
-/// `retries` more times before the point is recorded as failed; the
-/// runner is deterministic, so retries only help for environmental
-/// faults (OOM, cache I/O races), exactly the bounded-retry contract.
-void execute_with_retry(PointRun& run, std::uint32_t retries) {
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    try {
-      run.result = run_point(run.spec);
-      run.failed = false;
-      return;
-    } catch (const std::exception& e) {
-      if (attempt >= retries) {
-        Json err = Json::object();
-        err["error"] = std::string(e.what());
-        run.result = std::move(err);
-        run.failed = true;
-        return;
-      }
-    }
-  }
-}
-
-// ---- aggregation ------------------------------------------------------
-
-Json aggregate(const Scenario& scenario, const std::vector<PointRun>& runs) {
-  Json report = Json::object();
-  report["schema"] = "cfm-campaign-report/v1";
-  report["name"] = scenario.name();
-  Json spec = scenario.to_json();
-  report["spec_hash"] = sim::canonical_hash_hex(spec);
-  report["spec"] = std::move(spec);
-
-  Json axes = Json::object();
-  for (const auto& [key, values] : scenario.axes()) {
-    axes[key] = Json::array(values);
-  }
-  report["axes"] = std::move(axes);
-
-  // Per-point rows (expansion order) + the merged containers.
-  Json points = Json::array();
-  Json merged_counters = Json::object();
-  std::map<std::string, sim::StatSummary> merged_stats;
-  std::uint64_t violations = 0, conflicts = 0, checks = 0;
-  std::uint64_t points_with_violations = 0;
-  std::uint64_t points_with_timeseries = 0, timeseries_windows = 0;
-  std::set<std::string> metric_keys;
+void finish(CampaignResult& out, const Scenario& scenario,
+            const std::vector<PointRun>& runs) {
   for (const auto& run : runs) {
-    Json row = Json::object();
-    row["key"] = run.spec.cache_key();
-    row["params"] = run.spec.params;
-    if (run.failed) {
-      row["error"] = run.result.at("error");
-      points.push_back(std::move(row));
-      continue;
+    if (run.cached) {
+      ++out.cached;
+    } else if (run.failed) {
+      ++out.failed;
+    } else {
+      ++out.executed;
     }
-    row["metrics"] = run.result.at("metrics");
-    for (const auto& [name, value] : run.result.at("metrics").as_object()) {
-      if (value.is_number()) metric_keys.insert(name);
-    }
-    if (run.result.contains("counters")) {
-      merged_counters =
-          sim::merge_counters_json(merged_counters, run.result.at("counters"));
-    }
-    if (run.result.contains("stats")) {
-      for (const auto& [name, summary] : run.result.at("stats").as_object()) {
-        const auto parsed = sim::stat_summary_from_json(summary);
-        auto [it, fresh] = merged_stats.emplace(name, parsed);
-        if (!fresh) it->second = sim::merge_stat_summaries(it->second, parsed);
-      }
-    }
-    if (run.result.contains("timeseries")) {
-      // Per-point series ride along verbatim; points without telemetry
-      // keep their row shape (and the report its bytes) unchanged.
-      row["timeseries"] = run.result.at("timeseries");
-      ++points_with_timeseries;
-      timeseries_windows += run.result.at("timeseries").at("windows").size();
-    }
-    std::uint64_t point_violations = 0;
-    if (run.result.contains("audit")) {
-      const auto& audit = run.result.at("audit");
-      point_violations = audit.at("violations").as_uint();
-      violations += point_violations;
-      conflicts += audit.at("conflicts_detected").as_uint();
-      checks += audit.at("checks").as_uint();
-      if (point_violations > 0) ++points_with_violations;
-    }
-    row["audit_violations"] = point_violations;
-    points.push_back(std::move(row));
   }
-  report["points"] = std::move(points);
-  report["counters"] = std::move(merged_counters);
-  Json stats = Json::object();
-  for (const auto& [name, summary] : merged_stats) {
-    stats[name] = sim::to_json(summary);
-  }
-  report["stats"] = std::move(stats);
-
-  // Per-axis tables: group the grid by each axis value (file order) and
-  // report the mean of every numeric metric over the group.
-  Json tables = Json::object();
-  for (const auto& [axis, values] : scenario.axes()) {
-    Json rows = Json::array();
-    for (const auto& value : values) {
-      Json row = Json::object();
-      row[axis] = value;
-      std::size_t group = 0;
-      std::map<std::string, sim::RunningStat> per_metric;
-      for (const auto& run : runs) {
-        if (run.failed || !(run.spec.params.at(axis) == value)) continue;
-        ++group;
-        for (const auto& name : metric_keys) {
-          if (run.result.at("metrics").contains(name)) {
-            per_metric[name].add(run.result.at("metrics").at(name).as_double());
-          }
-        }
-      }
-      row["points"] = group;
-      for (const auto& [name, stat] : per_metric) row[name] = stat.mean();
-      rows.push_back(std::move(row));
-    }
-    tables["by_" + axis] = std::move(rows);
-  }
-  report["tables"] = std::move(tables);
-
-  Json audit = Json::object();
-  audit["violations"] = violations;
-  audit["conflicts_detected"] = conflicts;
-  audit["checks"] = checks;
-  audit["points_with_violations"] = points_with_violations;
-  report["audit"] = std::move(audit);
-
-  if (points_with_timeseries != 0) {
-    Json rollup = Json::object();
-    rollup["points_with_timeseries"] = points_with_timeseries;
-    rollup["windows_total"] = timeseries_windows;
-    report["timeseries"] = std::move(rollup);
-  }
-
-  Json totals = Json::object();
-  totals["points"] = runs.size();
-  report["totals"] = std::move(totals);
-  return report;
+  out.report = aggregate(scenario, runs);
+  out.audit_violations = out.report.at("audit").at("violations").as_uint();
 }
 
 }  // namespace
@@ -183,24 +70,15 @@ CampaignResult run_campaign(const Scenario& scenario,
                             const CampaignOptions& options) {
   const auto specs = scenario.expand();
   ResultCache cache(options.cache_dir);
+  const PointRunner runner =
+      options.runner ? options.runner : PointRunner(&run_point);
 
   std::vector<PointRun> runs(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) runs[i].spec = specs[i];
 
   CampaignResult out;
   out.points = runs.size();
-
-  std::mutex progress_mx;
-  std::size_t announced = 0;
-  const auto progress = [&](const PointRun& run, const char* what) {
-    if (!options.progress) return;
-    std::lock_guard<std::mutex> lock(progress_mx);
-    std::ostringstream os;
-    os << '[' << ++announced << '/' << runs.size() << "] "
-       << run.spec.cache_key() << describe(run.spec) << ": " << what;
-    if (run.failed) os << " (" << run.result.at("error").as_string() << ')';
-    options.progress(os.str());
-  };
+  ProgressStream progress(options.progress, runs.size());
 
   // Pass 1 (serial): serve cache hits — the resume path.
   std::vector<std::size_t> misses;
@@ -208,33 +86,24 @@ CampaignResult run_campaign(const Scenario& scenario,
     if (auto hit = cache.load(runs[i].spec)) {
       runs[i].result = std::move(*hit);
       runs[i].cached = true;
-      ++out.cached;
-      progress(runs[i], "cached");
+      progress.announce(runs[i], "cached");
     } else {
       misses.push_back(i);
     }
   }
 
-  // Pass 2 (sharded): run the misses concurrently.  Each job touches only
-  // its own PointRun slot; progress and cache stores synchronize
-  // internally.  Cache I/O errors must not escape a pool thread (that
-  // would terminate) — the first one is captured and rethrown after the
-  // pool drains.
-  std::string cache_error;
+  // Pass 2 (sharded): run the misses concurrently.  Each job touches
+  // only its own PointRun slot; progress and cache stores synchronize
+  // internally.  The cache store runs *inside* the bounded retry loop,
+  // so an environmental store failure (cross-device rename, yanked
+  // cache dir) retries with the point and, if persistent, surfaces as a
+  // failed point in the report instead of vanishing or terminating a
+  // pool thread.
   const auto run_one = [&](std::size_t index) {
     PointRun& run = runs[index];
-    execute_with_retry(run, scenario.retries());
-    if (!run.failed) {
-      try {
-        cache.store(run.spec, run.result);
-      } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(progress_mx);
-        if (cache_error.empty()) cache_error = e.what();
-      }
-      progress(run, "ran");
-    } else {
-      progress(run, "FAILED");
-    }
+    execute_with_retry(run, scenario.retries(), runner,
+                       [&](const PointRun& r) { cache.store(r.spec, r.result); });
+    progress.announce(run, run.failed ? "FAILED" : "ran");
   };
   unsigned jobs = options.jobs != 0
                       ? options.jobs
@@ -246,22 +115,277 @@ CampaignResult run_campaign(const Scenario& scenario,
     sim::WorkerPool pool(jobs - 1);  // the calling thread participates
     pool.run(misses.size(), [&](std::size_t j) { run_one(misses[j]); });
   }
-  if (!cache_error.empty()) {
-    throw std::runtime_error("campaign: cache store failed: " + cache_error);
+
+  finish(out, scenario, runs);
+  return out;
+}
+
+// ---- multi-process executor -------------------------------------------
+
+int run_worker(const Scenario& scenario, const WorkerOptions& options) {
+  if (options.cache_dir.empty()) {
+    throw std::invalid_argument(
+        "campaign worker: a result cache is required (the cache directory "
+        "is the coordination medium)");
+  }
+  const auto specs = scenario.expand();
+  ResultCache cache(options.cache_dir);
+  LeaseDir leases(options.cache_dir, options.lease_ttl);
+  const PointRunner runner =
+      options.runner ? options.runner : PointRunner(&run_point);
+
+  bool saw_failure = false;
+  for (;;) {
+    std::size_t done = 0;
+    bool claimed_any = false;
+    for (const auto& spec : specs) {
+      const std::string key = spec.cache_key();
+      if (cache.contains(spec)) {
+        // Published points need no lease; dropping any leftover one also
+        // cleans up after a worker killed between publish and release.
+        leases.release(key);
+        ++done;
+        continue;
+      }
+      if (leases.load_failure(key)) {
+        saw_failure = true;  // verdict already published — don't re-run
+        ++done;
+        continue;
+      }
+      if (!leases.try_claim(key)) continue;  // live owner elsewhere
+      if (cache.contains(spec)) {
+        leases.release(key);  // lost the publish race after our scan
+        ++done;
+        continue;
+      }
+      claimed_any = true;
+      PointRun run;
+      run.spec = spec;
+      {
+        LeaseHeartbeat heartbeat(leases.lease_path(key), options.lease_ttl);
+        execute_with_retry(
+            run, scenario.retries(), runner,
+            [&](const PointRun& r) { cache.store(r.spec, r.result); });
+      }
+      if (run.failed) {
+        leases.write_failure(key, failure_verdict(run));
+        saw_failure = true;
+      }
+      leases.release(key);
+      ++done;
+      if (options.progress) {
+        options.progress(key + describe_point(spec) +
+                         (run.failed ? ": FAILED (" + run.error + ")"
+                                     : ": ran"));
+      }
+    }
+    if (done == specs.size()) break;
+    // Every pending point is leased by a live worker elsewhere: wait for
+    // it to publish, fail, or die (its lease then goes stale and the
+    // next scan reaps it).
+    if (!claimed_any) std::this_thread::sleep_for(options.poll);
+  }
+  // The grid is done: no lease can be live, so sweep leftovers (a worker
+  // killed between publish and release) and drop the directory if empty.
+  std::vector<std::string> keys;
+  keys.reserve(specs.size());
+  for (const auto& spec : specs) keys.push_back(spec.cache_key());
+  leases.sweep(keys);
+  return saw_failure ? 4 : 0;
+}
+
+#ifndef _WIN32
+namespace {
+
+/// fork/execs one worker: `<spawn_argv...> --worker --cache-dir <dir>
+/// --lease-ttl <s> --quiet`, stdout to /dev/null (progress is the
+/// coordinator's job; stderr stays inherited for real errors).
+long long spawn_worker_process(const DistributedOptions& options) {
+  std::vector<std::string> argv = options.spawn_argv;
+  argv.emplace_back("--worker");
+  argv.emplace_back("--cache-dir");
+  argv.push_back(options.cache_dir);
+  argv.emplace_back("--lease-ttl");
+  argv.push_back(std::to_string(
+      static_cast<double>(options.lease_ttl.count()) / 1000.0));
+  argv.emplace_back("--quiet");
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure, pid < 0)
+  const int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDOUT_FILENO);
+    ::close(devnull);
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (auto& arg : argv) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+  ::execvp(cargv[0], cargv.data());
+  ::_exit(127);
+}
+
+}  // namespace
+#endif  // !_WIN32
+
+CampaignResult run_campaign_workers(const Scenario& scenario,
+                                    const DistributedOptions& options) {
+#ifdef _WIN32
+  (void)scenario;
+  (void)options;
+  throw std::runtime_error(
+      "campaign: multi-process execution requires a POSIX host");
+#else
+  if (options.cache_dir.empty()) {
+    throw std::invalid_argument(
+        "campaign: --workers requires a result cache (it is the "
+        "coordination medium); drop --no-cache");
+  }
+  if (options.workers == 0) {
+    throw std::invalid_argument("campaign: --workers must be >= 1");
+  }
+  if (!options.spawn && options.spawn_argv.empty()) {
+    throw std::invalid_argument(
+        "campaign: spawn_argv (or a spawn hook) is required to exec "
+        "workers");
   }
 
-  for (const auto& run : runs) {
-    if (run.cached) continue;
-    if (run.failed) {
-      ++out.failed;
-    } else {
-      ++out.executed;
+  const auto specs = scenario.expand();
+  ResultCache cache(options.cache_dir);
+  LeaseDir leases(options.cache_dir, options.lease_ttl);
+  std::vector<std::string> keys;
+  keys.reserve(specs.size());
+  for (const auto& spec : specs) keys.push_back(spec.cache_key());
+  // A fresh campaign grants previously failed points a fresh budget.
+  leases.clear_failures(keys);
+
+  CampaignResult out;
+  out.points = specs.size();
+  ProgressStream progress(options.progress, specs.size());
+
+  std::vector<PointRun> runs(specs.size());
+  std::vector<char> done(specs.size(), 0);
+  std::size_t completed = 0;
+  // Points already published before this run count as cached, exactly
+  // like run_campaign's pass 1 — that is what makes a re-run's summary
+  // line greppable for "0 executed".
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    runs[i].spec = specs[i];
+    if (auto hit = cache.load(specs[i])) {
+      runs[i].result = std::move(*hit);
+      runs[i].cached = true;
+      done[i] = 1;
+      ++completed;
+      progress.announce(runs[i], "cached");
     }
   }
 
-  out.report = aggregate(scenario, runs);
-  out.audit_violations = out.report.at("audit").at("violations").as_uint();
+  const auto spawn = options.spawn
+                         ? options.spawn
+                         : std::function<long long()>([&options] {
+                             return spawn_worker_process(options);
+                           });
+  std::vector<long long> children;
+  if (completed < specs.size()) {
+    for (unsigned i = 0; i < options.workers; ++i) {
+      const long long pid = spawn();
+      if (pid > 0) children.push_back(pid);
+    }
+    if (children.empty()) {
+      throw std::runtime_error("campaign: could not spawn any worker");
+    }
+  }
+  unsigned respawns_left =
+      options.max_respawns != 0 ? options.max_respawns : 3 * options.workers;
+
+  // Stream completions as they land in the shared cache, keep the
+  // worker fleet alive while pending work remains, and stop when every
+  // point is published, failed, or unreachable (no workers left).
+  while (completed < specs.size()) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (done[i]) continue;
+      if (auto hit = cache.load(specs[i])) {
+        runs[i].result = std::move(*hit);
+        done[i] = 1;
+        ++completed;
+        progress.announce(runs[i], "done");
+      } else if (auto verdict = leases.load_failure(keys[i])) {
+        apply_failure_verdict(runs[i], *verdict);
+        done[i] = 1;
+        ++completed;
+        progress.announce(runs[i], "FAILED");
+      }
+    }
+    if (completed == specs.size()) break;
+
+    for (auto it = children.begin(); it != children.end();) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(static_cast<pid_t>(*it), &status, WNOHANG);
+      if (reaped <= 0) {
+        ++it;
+        continue;
+      }
+      it = children.erase(it);
+      // Any exit while points are still pending is abnormal — a healthy
+      // worker only exits once the whole grid is done.  Its in-flight
+      // lease goes stale and is stolen; keep the fleet at strength.
+      if (respawns_left > 0) {
+        --respawns_left;
+        const long long pid = spawn();
+        if (pid > 0) children.push_back(pid);
+      }
+    }
+    if (children.empty()) break;  // crash-looped out of respawns
+    std::this_thread::sleep_for(options.poll);
+  }
+
+  // Workers exit on their own once they observe a fully done grid; give
+  // them a grace period, then escalate.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::max(options.poll * 50,
+                                 std::chrono::milliseconds(5000));
+  bool nudged = false;
+  while (!children.empty()) {
+    for (auto it = children.begin(); it != children.end();) {
+      int status = 0;
+      if (::waitpid(static_cast<pid_t>(*it), &status, WNOHANG) > 0) {
+        it = children.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (children.empty()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (const auto pid : children) {
+        ::kill(static_cast<pid_t>(pid), nudged ? SIGKILL : SIGTERM);
+      }
+      if (nudged) {
+        for (const auto pid : children) {
+          int status = 0;
+          ::waitpid(static_cast<pid_t>(pid), &status, 0);
+        }
+        children.clear();
+        break;
+      }
+      nudged = true;
+    }
+    std::this_thread::sleep_for(options.poll);
+  }
+
+  // Anything still unpublished lost every worker (and every respawn).
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (done[i]) continue;
+    runs[i].failed = true;
+    runs[i].error = "point never completed: all workers exited";
+    progress.announce(runs[i], "FAILED");
+  }
+
+  finish(out, scenario, runs);
+  // No stranded lease files after a clean campaign: drop leftovers from
+  // workers killed between publish and release, and the directory
+  // itself once empty.
+  leases.sweep(keys);
   return out;
+#endif  // _WIN32
 }
 
 }  // namespace cfm::campaign

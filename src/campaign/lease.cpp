@@ -1,0 +1,221 @@
+#include "campaign/lease.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#ifdef _WIN32
+#include <fcntl.h>
+#include <io.h>
+#include <process.h>
+#include <sys/stat.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cfm::campaign {
+
+namespace fs = std::filesystem;
+using sim::Json;
+
+namespace {
+
+long long this_pid() {
+#ifdef _WIN32
+  return static_cast<long long>(_getpid());
+#else
+  return static_cast<long long>(::getpid());
+#endif
+}
+
+std::string this_host() {
+#ifdef _WIN32
+  const char* name = std::getenv("COMPUTERNAME");
+  return name != nullptr ? name : "unknown";
+#else
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+#endif
+}
+
+/// Creates `path` with O_CREAT|O_EXCL and writes `body`.  Returns false
+/// when the file already exists (someone else holds the lease); any
+/// other failure also reads as "not claimed" — a worker that cannot
+/// write the shared directory must not believe it owns a point.
+bool create_exclusive(const std::string& path, const std::string& body) {
+#ifdef _WIN32
+  int fd = -1;
+  if (_sopen_s(&fd, path.c_str(), _O_CREAT | _O_EXCL | _O_WRONLY,
+               _SH_DENYNO, _S_IREAD | _S_IWRITE) != 0 ||
+      fd < 0) {
+    return false;
+  }
+  (void)_write(fd, body.data(), static_cast<unsigned>(body.size()));
+  _close(fd);
+#else
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  (void)!::write(fd, body.data(), body.size());
+  ::close(fd);
+#endif
+  return true;
+}
+
+/// True when the lease file's mtime is older than `ttl` — its owner
+/// stopped heartbeating.  A vanished file reports "stale" so the caller
+/// simply retries the exclusive create.
+bool is_stale(const std::string& path, std::chrono::milliseconds ttl) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return true;  // vanished between exists() and here
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return age > ttl;
+}
+
+}  // namespace
+
+LeaseDir::LeaseDir(const std::string& cache_dir, std::chrono::milliseconds ttl)
+    : dir_((fs::path(cache_dir) / "leases").string()), ttl_(ttl) {}
+
+std::string LeaseDir::lease_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".lease")).string();
+}
+
+std::string LeaseDir::failure_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".failed")).string();
+}
+
+bool LeaseDir::try_claim(const std::string& key) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("campaign lease: cannot create '" + dir_ +
+                             "': " + ec.message());
+  }
+  const std::string path = lease_path(key);
+  std::ostringstream body;
+  body << this_pid() << ' ' << this_host() << ' '
+       << std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()
+       << '\n';
+  // Two rounds: one to discover + reap a stale lease, one to re-claim
+  // the slot the reap opened.  Losing both (another claimer slipped in)
+  // is a clean "not ours".
+  for (int round = 0; round < 2; ++round) {
+    if (create_exclusive(path, body.str())) return true;
+    if (!fs::exists(path, ec) && !ec) continue;  // vanished: retry create
+    if (!is_stale(path, ttl_)) return false;     // live owner elsewhere
+    // Reap by atomic rename: exactly one of N concurrent reapers wins
+    // the rename; the losers see ENOENT and race for the re-claim.
+    static std::atomic<unsigned> reap_seq{0};
+    const std::string grave = path + ".reaped." + std::to_string(this_pid()) +
+                              "." + std::to_string(reap_seq.fetch_add(1));
+    fs::rename(path, grave, ec);
+    if (!ec) fs::remove(grave, ec);
+  }
+  return false;
+}
+
+void LeaseDir::release(const std::string& key) const noexcept {
+  std::error_code ec;
+  fs::remove(lease_path(key), ec);
+}
+
+bool LeaseDir::leased(const std::string& key) const {
+  std::error_code ec;
+  const std::string path = lease_path(key);
+  if (!fs::exists(path, ec) || ec) return false;
+  return !is_stale(path, ttl_);
+}
+
+void LeaseDir::write_failure(const std::string& key,
+                             const sim::Json& verdict) const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("campaign lease: cannot create '" + dir_ +
+                             "': " + ec.message());
+  }
+  const std::string path = failure_path(key);
+  const std::string tmp = path + ".tmp." + std::to_string(this_pid());
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("campaign lease: cannot write '" + tmp + "'");
+    }
+    verdict.dump_to(os, 2);
+    os << '\n';
+    if (!os.flush()) {
+      throw std::runtime_error("campaign lease: short write to '" + tmp + "'");
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("campaign lease: cannot publish failure '" +
+                             path + "'");
+  }
+}
+
+std::optional<sim::Json> LeaseDir::load_failure(const std::string& key) const {
+  std::ifstream is(failure_path(key));
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    Json verdict = Json::parse(buf.str());
+    if (!verdict.is_object() || !verdict.contains("error")) {
+      return std::nullopt;
+    }
+    return verdict;
+  } catch (const sim::JsonParseError&) {
+    return std::nullopt;  // torn verdict: treat the point as pending
+  }
+}
+
+void LeaseDir::clear_failures(const std::vector<std::string>& keys) const {
+  std::error_code ec;
+  for (const auto& key : keys) fs::remove(failure_path(key), ec);
+}
+
+void LeaseDir::sweep(const std::vector<std::string>& keys) const {
+  std::error_code ec;
+  for (const auto& key : keys) fs::remove(lease_path(key), ec);
+  if (fs::exists(dir_, ec) && fs::is_empty(dir_, ec)) fs::remove(dir_, ec);
+}
+
+LeaseHeartbeat::LeaseHeartbeat(std::string lease_path,
+                               std::chrono::milliseconds ttl)
+    : path_(std::move(lease_path)),
+      period_(std::max<std::chrono::milliseconds::rep>(1, ttl.count() / 4)) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mx_);
+    while (!stopped_) {
+      cv_.wait_for(lock, period_, [this] { return stopped_; });
+      if (stopped_) break;
+      std::error_code ec;
+      fs::last_write_time(path_, fs::file_time_type::clock::now(), ec);
+    }
+  });
+}
+
+LeaseHeartbeat::~LeaseHeartbeat() { stop(); }
+
+void LeaseHeartbeat::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mx_);
+    if (stopped_ && !thread_.joinable()) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace cfm::campaign
+

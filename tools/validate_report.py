@@ -419,6 +419,28 @@ def validate_campaign(path, doc):
         for axis in axes:
             if axis not in point["params"]:
                 fail(path, f"{where}.params missing swept axis '{axis}'")
+        # The report is a pure function of the spec plus results: worker
+        # execution provenance must never leak into the deterministic
+        # body, or --workers N would stop being byte-identical.
+        for key in ("worker", "workers", "pid", "host", "hostname", "lease",
+                    "lease_ttl", "runner", "timestamp", "duration_ms"):
+            if key in point:
+                fail(path, f"{where} carries execution provenance '{key}' — "
+                           f"the report body must be deterministic")
+        if "attempts" in point:
+            attempts = point["attempts"]
+            if not isinstance(attempts, int) or attempts < 1:
+                fail(path, f"{where}.attempts is not a positive int")
+            if "error" not in point and attempts < 2:
+                fail(path, f"{where}.attempts={attempts} on a clean row — "
+                           f"first-attempt successes must omit the field")
+        if "last_retry_error" in point:
+            if "attempts" not in point:
+                fail(path, f"{where}.last_retry_error without 'attempts'")
+            if not isinstance(point["last_retry_error"], str) \
+                    or not point["last_retry_error"]:
+                fail(path, f"{where}.last_retry_error is not a non-empty "
+                           f"string")
         if "error" in point:
             failed += 1
         elif "metrics" not in point or not isinstance(point["metrics"], dict):
