@@ -4,9 +4,11 @@
 #include <string>
 
 #include "cfm/config.hpp"
+#include "mem/coded/code_descriptor.hpp"
 #include "sim/audit.hpp"
 #include "sim/fault.hpp"
 #include "workload/access_gen.hpp"
+#include "workload/coded_gen.hpp"
 #include "workload/lock_workload.hpp"
 #include "workload/trace.hpp"
 
@@ -164,6 +166,89 @@ Json run_lock(const PointSpec& point) {
   return out;
 }
 
+Json run_coded(const PointSpec& point) {
+  mem::coded::CodedConfig cfg;
+  cfg.processors = static_cast<std::uint32_t>(point.param_u64("n"));
+  cfg.bank_cycle = static_cast<std::uint32_t>(point.param_u64("c"));
+  cfg.code = mem::coded::CodeDescriptor::from_rate(
+      static_cast<std::uint32_t>(point.param_u64("data_banks")),
+      static_cast<std::uint32_t>(point.param_u64("stripe_width")),
+      point.param_double("code_rate"),
+      mem::coded::parity_policy_from_name(
+          point.params.at("parity_policy").as_string()));
+  if (point.has_param("log_capacity")) {
+    cfg.log_capacity =
+        static_cast<std::uint32_t>(point.param_u64("log_capacity"));
+  }
+  const double rate = point.param_double("rate");
+  const double write_fraction = point.has_param("write_fraction")
+                                    ? point.param_double("write_fraction")
+                                    : 0.0;
+  const auto cycles = point.param_u64("cycles");
+  const std::uint64_t seed = effective_seed(point);
+
+  sim::ConflictAuditor auditor;
+  sim::CounterSet counters;
+  sim::RunningStat access_time;
+  std::optional<sim::FaultInjector> injector;
+  workload::CodedRunHooks hooks;
+  if (point.audit) hooks.auditor = &auditor;
+  if (!point.fault_plan.empty()) {
+    injector.emplace(sim::FaultPlan::parse(point.fault_plan), seed);
+    hooks.injector = &*injector;
+  }
+  hooks.counters_out = &counters;
+  hooks.access_time_out = &access_time;
+  std::uint32_t decode_fanout_max = 0;
+  std::uint64_t pending_parity = 0;
+  hooks.decode_fanout_max_out = &decode_fanout_max;
+  hooks.pending_parity_out = &pending_parity;
+  Json timeseries;
+  if (point.has_param("telemetry_window")) {
+    hooks.telemetry_window = point.param_u64("telemetry_window");
+    if (point.has_param("telemetry_capacity")) {
+      hooks.telemetry_capacity =
+          static_cast<std::size_t>(point.param_u64("telemetry_capacity"));
+    }
+    hooks.timeseries_out = &timeseries;
+  }
+
+  const auto r = workload::measure_coded_instrumented(cfg, rate,
+                                                      write_fraction, cycles,
+                                                      seed, hooks);
+
+  Json metrics = efficiency_metrics(r);
+  // Coded-specific headline metrics, derived from the memory counters so
+  // the validator can re-check the arithmetic against them.
+  const auto decoded =
+      counters.get("word_reads_decoded") + counters.get("word_writes_decoded");
+  const auto writes =
+      counters.get("word_writes_direct") + counters.get("word_writes_decoded");
+  const auto served = counters.get("word_reads_direct") +
+                      counters.get("word_reads_decoded") + writes;
+  metrics["decode_rate"] =
+      served == 0 ? 0.0
+                  : static_cast<double>(decoded) / static_cast<double>(served);
+  metrics["parity_amplification"] =
+      writes == 0 ? 0.0
+                  : static_cast<double>(counters.get("parity_updates")) /
+                        static_cast<double>(writes);
+  metrics["decode_fanout_max"] = decode_fanout_max;
+  metrics["pending_parity_end"] = pending_parity;
+  metrics["banks_provisioned"] = cfg.banks_provisioned();
+  metrics["banks_required_cfm"] = cfg.banks_required_cfm();
+
+  Json out = Json::object();
+  out["metrics"] = std::move(metrics);
+  out["counters"] = sim::to_json(counters);
+  Json stats = Json::object();
+  stats["access_time"] = sim::to_json(access_time);
+  out["stats"] = std::move(stats);
+  if (hooks.timeseries_out != nullptr) out["timeseries"] = std::move(timeseries);
+  if (point.audit) out["audit"] = audit_section(auditor);
+  return out;
+}
+
 Json run_tradeoff(const PointSpec& point) {
   // One Table 3.3 row: the same arithmetic enumerate_tradeoffs applies
   // to its whole column (w = l/b, beta = b + c - 1, n = b/c), checked
@@ -191,6 +276,7 @@ sim::Json run_point(const PointSpec& point) {
     case WorkloadKind::TraceReplay: return run_trace_replay(point);
     case WorkloadKind::Lock: return run_lock(point);
     case WorkloadKind::Tradeoff: return run_tradeoff(point);
+    case WorkloadKind::Coded: return run_coded(point);
   }
   throw std::invalid_argument("campaign: unknown workload kind");
 }

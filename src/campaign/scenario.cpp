@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mem/coded/code_descriptor.hpp"
 #include "sim/fault.hpp"
 #include "sim/rng.hpp"
 
@@ -38,6 +39,11 @@ const ParamContract& contract(WorkloadKind kind) {
   static const ParamContract kLock{{"variant", "contenders", "hold", "cycles"},
                                    {"seed"}};
   static const ParamContract kTradeoff{{"block_bits", "b", "c"}, {}};
+  static const ParamContract kCoded{
+      {"n", "c", "rate", "cycles", "data_banks", "stripe_width", "code_rate",
+       "parity_policy"},
+      {"seed", "write_fraction", "log_capacity", "telemetry_window",
+       "telemetry_capacity"}};
   switch (kind) {
     case WorkloadKind::Cfm: return kCfm;
     case WorkloadKind::Conventional: return kConventional;
@@ -45,6 +51,7 @@ const ParamContract& contract(WorkloadKind kind) {
     case WorkloadKind::TraceReplay: return kReplay;
     case WorkloadKind::Lock: return kLock;
     case WorkloadKind::Tradeoff: return kTradeoff;
+    case WorkloadKind::Coded: return kCoded;
   }
   bad("unknown workload kind");
 }
@@ -59,14 +66,22 @@ bool key_allowed(const ParamContract& c, const std::string& key) {
   return false;
 }
 
-/// Scalar parameter values only; "variant" (the lock flavour) is the one
-/// string-valued key, everything else must be numeric.
+/// Scalar parameter values only; "variant" (the lock flavour) and
+/// "parity_policy" (the coded write path) are the string-valued keys,
+/// everything else must be numeric.
 void check_param_value(WorkloadKind kind, const std::string& key,
                        const Json& value, const char* where) {
   if (key == "variant") {
     if (kind != WorkloadKind::Lock || !value.is_string()) {
       bad(std::string(where) + " 'variant' must be a string on the lock "
           "workload");
+    }
+    return;
+  }
+  if (key == "parity_policy") {
+    if (kind != WorkloadKind::Coded || !value.is_string()) {
+      bad(std::string(where) + " 'parity_policy' must be a string on the "
+          "coded workload");
     }
     return;
   }
@@ -95,6 +110,7 @@ std::string_view workload_name(WorkloadKind kind) noexcept {
     case WorkloadKind::TraceReplay: return "trace_replay";
     case WorkloadKind::Lock: return "lock";
     case WorkloadKind::Tradeoff: return "tradeoff";
+    case WorkloadKind::Coded: return "coded";
   }
   return "?";
 }
@@ -102,7 +118,8 @@ std::string_view workload_name(WorkloadKind kind) noexcept {
 WorkloadKind workload_from_name(std::string_view name) {
   for (const auto kind :
        {WorkloadKind::Cfm, WorkloadKind::Conventional, WorkloadKind::PartialCfm,
-        WorkloadKind::TraceReplay, WorkloadKind::Lock, WorkloadKind::Tradeoff}) {
+        WorkloadKind::TraceReplay, WorkloadKind::Lock, WorkloadKind::Tradeoff,
+        WorkloadKind::Coded}) {
     if (workload_name(kind) == name) return kind;
   }
   bad("unknown workload '" + std::string(name) + "'");
@@ -174,16 +191,18 @@ Scenario Scenario::parse(const sim::Json& doc) {
     sc.audit_ = doc.at("audit").as_bool();
   }
   if (sc.audit_ && sc.workload_ != WorkloadKind::Cfm &&
-      sc.workload_ != WorkloadKind::TraceReplay) {
-    bad("audit is only supported on the cfm and trace_replay workloads "
-        "(the others have no conflict-free scope to watch)");
+      sc.workload_ != WorkloadKind::TraceReplay &&
+      sc.workload_ != WorkloadKind::Coded) {
+    bad("audit is only supported on the cfm, trace_replay and coded "
+        "workloads (the others have no audited scope to watch)");
   }
   if (doc.contains("fault_plan")) {
     if (!doc.at("fault_plan").is_string()) bad("'fault_plan' must be a string");
     sc.fault_plan_ = doc.at("fault_plan").as_string();
     if (!sc.fault_plan_.empty()) {
-      if (sc.workload_ != WorkloadKind::Cfm) {
-        bad("fault_plan is only supported on the cfm workload");
+      if (sc.workload_ != WorkloadKind::Cfm &&
+          sc.workload_ != WorkloadKind::Coded) {
+        bad("fault_plan is only supported on the cfm and coded workloads");
       }
       // Validate the plan grammar now: a malformed plan must fail the
       // campaign before any point runs.
@@ -325,6 +344,20 @@ void Scenario::validate_point(const PointSpec& point) const {
                 std::to_string(want));
         }
       }
+      if (!point.fault_plan.empty()) {
+        // The backend is known here, so a bank_dead spec aiming past the
+        // provisioned banks fails the expand instead of running inert.
+        // Spares live above the logical index space and are not fault
+        // targets (CfmMemory scans faults over [0, b) only).
+        const auto banks = static_cast<std::uint32_t>(
+            point.params.at("c").as_uint() * point.params.at("n").as_uint());
+        try {
+          sim::FaultPlan::parse(point.fault_plan)
+              .validate_banks(banks, "cfm memory (b = c*n logical banks)");
+        } catch (const std::invalid_argument& e) {
+          where(e.what());
+        }
+      }
       break;
     }
     case WorkloadKind::Conventional:
@@ -369,6 +402,44 @@ void Scenario::validate_point(const PointSpec& point) const {
       if (l % b != 0) where("'b' must divide block_bits (w = l/b)");
       if (b % c != 0 || b / c == 0) {
         where("'b' must be a positive multiple of 'c' (n = b/c)");
+      }
+      break;
+    }
+    case WorkloadKind::Coded: {
+      positive("n");
+      positive("c");
+      positive("cycles");
+      positive("data_banks");
+      positive("stripe_width");
+      unit_interval("rate");
+      if (point.params.contains("write_fraction")) {
+        unit_interval("write_fraction");
+      }
+      // The code itself is the authority on realizability: stripe_width
+      // must divide data_banks and code_rate must land on an integer
+      // parity count for that width.
+      mem::coded::CodeDescriptor descriptor;
+      try {
+        descriptor = mem::coded::CodeDescriptor::from_rate(
+            static_cast<std::uint32_t>(point.params.at("data_banks").as_uint()),
+            static_cast<std::uint32_t>(
+                point.params.at("stripe_width").as_uint()),
+            point.params.at("code_rate").as_double(),
+            mem::coded::parity_policy_from_name(
+                point.params.at("parity_policy").as_string()));
+      } catch (const std::invalid_argument& e) {
+        where(e.what());
+      }
+      if (!point.fault_plan.empty()) {
+        // Banks provisioned ≠ banks required: the fault-target space is
+        // the descriptor's data + parity banks, not c*n.
+        try {
+          sim::FaultPlan::parse(point.fault_plan)
+              .validate_banks(descriptor.total_banks(),
+                              "coded memory (data + parity banks)");
+        } catch (const std::invalid_argument& e) {
+          where(e.what());
+        }
       }
       break;
     }

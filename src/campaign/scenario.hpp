@@ -49,6 +49,8 @@ enum class WorkloadKind : std::uint8_t {
   TraceReplay,  ///< Trace::uniform + replay_on_cfm_instrumented
   Lock,         ///< run_lock_farm_{cfm,cached,snoopy}
   Tradeoff,     ///< Table 3.3 configuration rows (pure analytic)
+  Coded,        ///< measure_coded_instrumented on the coded-redundancy
+                ///< backend (banks provisioned ≠ c*n, CodedRelaxed audit)
 };
 
 [[nodiscard]] std::string_view workload_name(WorkloadKind kind) noexcept;

@@ -1,0 +1,123 @@
+#include "mem/coded/code_descriptor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cfm::mem::coded {
+
+std::string_view parity_policy_name(ParityPolicy policy) noexcept {
+  switch (policy) {
+    case ParityPolicy::ReadModifyWrite: return "rmw";
+    case ParityPolicy::Logged: return "logged";
+  }
+  return "?";
+}
+
+ParityPolicy parity_policy_from_name(std::string_view name) {
+  if (name == "rmw") return ParityPolicy::ReadModifyWrite;
+  if (name == "logged") return ParityPolicy::Logged;
+  throw std::invalid_argument("coded memory: unknown parity policy '" +
+                              std::string(name) + "' (want rmw | logged)");
+}
+
+void CodeDescriptor::validate() const {
+  if (data_banks == 0) {
+    throw std::invalid_argument("coded memory: data_banks must be positive");
+  }
+  if (stripe_width == 0 || stripe_width > data_banks) {
+    throw std::invalid_argument(
+        "coded memory: stripe_width must lie in [1, data_banks]");
+  }
+  if (data_banks % stripe_width != 0) {
+    throw std::invalid_argument(
+        "coded memory: stripe_width must divide data_banks (whole stripes)");
+  }
+  if (parity_per_stripe > stripe_width) {
+    throw std::invalid_argument(
+        "coded memory: parity_per_stripe must not exceed stripe_width");
+  }
+}
+
+std::uint32_t CodeDescriptor::max_decode_fanout() const noexcept {
+  if (parity_per_stripe == 0) return 0;
+  // Sub-group j holds the stripe's data words {i : i mod r == j}; the
+  // largest group has ceil(k / r) members, and a decode touches the
+  // group's other members plus its parity bank — the same count.
+  return (stripe_width + parity_per_stripe - 1) / parity_per_stripe;
+}
+
+std::uint32_t CodeDescriptor::group_of(std::uint32_t word) const noexcept {
+  const std::uint32_t stripe = word / stripe_width;
+  const std::uint32_t within = word % stripe_width;
+  return stripe * parity_per_stripe + within % parity_per_stripe;
+}
+
+std::vector<std::uint32_t> CodeDescriptor::group_peers(
+    std::uint32_t word) const {
+  std::vector<std::uint32_t> peers;
+  const std::uint32_t stripe = word / stripe_width;
+  const std::uint32_t sub = (word % stripe_width) % parity_per_stripe;
+  for (std::uint32_t i = sub; i < stripe_width; i += parity_per_stripe) {
+    const std::uint32_t w = stripe * stripe_width + i;
+    if (w != word) peers.push_back(w);
+  }
+  return peers;
+}
+
+CodeDescriptor CodeDescriptor::from_rate(std::uint32_t data_banks,
+                                         std::uint32_t stripe_width,
+                                         double code_rate,
+                                         ParityPolicy policy) {
+  if (!(code_rate > 0.0) || code_rate > 1.0) {
+    throw std::invalid_argument(
+        "coded memory: code_rate must lie in (0, 1]");
+  }
+  // rate = k / (k + r)  =>  r = k (1 - rate) / rate, which must land on
+  // an integer (within float slop) for the stripe to be realizable.
+  const double exact =
+      static_cast<double>(stripe_width) * (1.0 - code_rate) / code_rate;
+  const double rounded = std::round(exact);
+  if (std::abs(exact - rounded) > 1e-6) {
+    throw std::invalid_argument(
+        "coded memory: code_rate " + std::to_string(code_rate) +
+        " is not realizable with stripe_width " +
+        std::to_string(stripe_width) +
+        " (k*(1-rate)/rate must be an integer parity count)");
+  }
+  CodeDescriptor d;
+  d.data_banks = data_banks;
+  d.stripe_width = stripe_width;
+  d.parity_per_stripe = static_cast<std::uint32_t>(rounded);
+  d.policy = policy;
+  d.validate();
+  return d;
+}
+
+std::vector<CodedTradeoff> enumerate_coded_tradeoffs(
+    std::uint32_t total_banks, std::uint32_t stripe_width) {
+  std::vector<CodedTradeoff> rows;
+  if (stripe_width == 0) return rows;
+  // B = S*(k + r) for S whole stripes: walk r from uncoded to mirrored
+  // and keep the splits the budget realizes exactly.
+  for (std::uint32_t r = 0; r <= stripe_width; ++r) {
+    const std::uint32_t per_stripe = stripe_width + r;
+    if (total_banks % per_stripe != 0) continue;
+    const std::uint32_t stripes = total_banks / per_stripe;
+    if (stripes == 0) continue;
+    CodedTradeoff row;
+    row.data_banks = stripes * stripe_width;
+    row.parity_banks = stripes * r;
+    row.parity_per_stripe = r;
+    row.code_rate = static_cast<double>(stripe_width) /
+                    static_cast<double>(per_stripe);
+    CodeDescriptor d;
+    d.data_banks = row.data_banks;
+    d.stripe_width = stripe_width;
+    d.parity_per_stripe = r;
+    row.decode_fanout = d.max_decode_fanout();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cfm::mem::coded

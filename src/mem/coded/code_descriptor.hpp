@@ -1,0 +1,115 @@
+// Pluggable erasure-code descriptor for the coded-redundancy memory.
+//
+// CFM buys conflict freedom structurally: b = c·n banks, one bank per
+// processor per slot by the AT-space schedule.  The coded backend breaks
+// that identity — it provisions D *data* banks plus P *parity* banks with
+// D + P typically well below c·n, and resolves a busy-or-dead bank by
+// XOR-decoding its word from the surviving members of its stripe group
+// (Jain et al., "Achieving Multi-Port Memory Performance on Single-Port
+// Memory with Coding Techniques").
+//
+// Stripe layout.  The D data banks are split into D/k stripes of
+// `stripe_width` k banks each.  Within a stripe, `parity_per_stripe` r
+// parity banks cover r interleaved XOR sub-groups: data word i of the
+// stripe belongs to sub-group i mod r, whose parity bank stores the XOR
+// of the group's words (per block).  This is the single-parity stripe
+// (r = 1, one parity over all k words) and its (k, r) generalization in
+// one scheme:
+//
+//   r = 1   classic RAID-4-style stripe: decode fan-out k, rate k/(k+1)
+//   r = k   per-word mirror: decode fan-out 1, rate 1/2
+//   r = 0   uncoded baseline: no parity, no decode (sweep anchor)
+//
+// Every sub-group tolerates one erasure; decode touches at most
+// ceil(k/r) <= k banks, which is exactly the bound the auditor's
+// CodedRelaxed scope machine-checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cfm::mem::coded {
+
+/// How writes keep parity consistent.
+///   ReadModifyWrite — the parity bank is updated in the same slot as the
+///                     data bank (both must be free); parity is never
+///                     stale, writes pay the parity-bank conflict.
+///   Logged          — the data bank is written immediately and the XOR
+///                     delta is appended to a bounded per-group log that a
+///                     background drain applies when the parity bank is
+///                     free; writes never wait on parity, decodes must
+///                     wait for the group's log to drain (torn-parity
+///                     guard), and same-block deltas coalesce.
+enum class ParityPolicy : std::uint8_t { ReadModifyWrite, Logged };
+
+[[nodiscard]] std::string_view parity_policy_name(ParityPolicy policy) noexcept;
+/// Throws std::invalid_argument on an unknown name ("rmw" | "logged").
+[[nodiscard]] ParityPolicy parity_policy_from_name(std::string_view name);
+
+struct CodeDescriptor {
+  std::uint32_t data_banks = 8;        ///< D — also words per block
+  std::uint32_t stripe_width = 4;      ///< k — data banks per stripe
+  std::uint32_t parity_per_stripe = 1; ///< r — parity banks per stripe
+  ParityPolicy policy = ParityPolicy::ReadModifyWrite;
+
+  /// Throws std::invalid_argument unless D >= 1, 1 <= k <= D, k | D and
+  /// r <= k.
+  void validate() const;
+
+  [[nodiscard]] std::uint32_t stripes() const noexcept {
+    return data_banks / stripe_width;
+  }
+  [[nodiscard]] std::uint32_t parity_banks() const noexcept {
+    return stripes() * parity_per_stripe;
+  }
+  /// Banks the backend actually provisions — the "banks provisioned ≠
+  /// banks required" seam every b = c·n consumer needs to respect.
+  [[nodiscard]] std::uint32_t total_banks() const noexcept {
+    return data_banks + parity_banks();
+  }
+  /// Fraction of provisioned banks holding data: k / (k + r).
+  [[nodiscard]] double code_rate() const noexcept {
+    return static_cast<double>(stripe_width) /
+           static_cast<double>(stripe_width + parity_per_stripe);
+  }
+  /// Largest number of banks one decode touches (group survivors plus the
+  /// group's parity bank): ceil(k / r).  0 when uncoded.
+  [[nodiscard]] std::uint32_t max_decode_fanout() const noexcept;
+
+  /// Global parity-group index of data word `word` (== the index of its
+  /// parity bank among the P parity banks).  Requires r > 0.
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t word) const noexcept;
+  /// The *other* data words of `word`'s sub-group, in ascending order.
+  [[nodiscard]] std::vector<std::uint32_t> group_peers(
+      std::uint32_t word) const;
+
+  /// Derives r from a target code rate: r = k·(1 − rate)/rate, which must
+  /// be (numerically) integral; rate 1.0 yields the uncoded r = 0.
+  /// Throws std::invalid_argument otherwise.
+  [[nodiscard]] static CodeDescriptor from_rate(std::uint32_t data_banks,
+                                                std::uint32_t stripe_width,
+                                                double code_rate,
+                                                ParityPolicy policy);
+};
+
+/// Equal-bank-budget enumeration — the coded twin of
+/// core::enumerate_tradeoffs (Table 3.3).  For a total budget B and a
+/// stripe width k it lists every split B = D + P realizable by some
+/// r in [0, k]: the axis a code-rate sweep walks, and the seam through
+/// which "banks provisioned" decouples from CFM's "banks required".
+struct CodedTradeoff {
+  std::uint32_t data_banks = 0;
+  std::uint32_t parity_banks = 0;
+  std::uint32_t parity_per_stripe = 0;
+  double code_rate = 1.0;
+  std::uint32_t decode_fanout = 0;
+};
+
+[[nodiscard]] std::vector<CodedTradeoff> enumerate_coded_tradeoffs(
+    std::uint32_t total_banks, std::uint32_t stripe_width);
+
+}  // namespace cfm::mem::coded

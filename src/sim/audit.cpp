@@ -6,11 +6,9 @@
 
 namespace cfm::sim {
 
-ConflictAuditor::ScopeId ConflictAuditor::add_scope(std::string name,
-                                                    AuditScopeKind kind,
-                                                    std::uint32_t banks,
-                                                    std::uint32_t bank_cycle,
-                                                    std::uint32_t beta) {
+ConflictAuditor::ScopeId ConflictAuditor::add_scope(
+    std::string name, AuditScopeKind kind, std::uint32_t banks,
+    std::uint32_t bank_cycle, std::uint32_t beta, std::uint32_t fanout_limit) {
   Scope s;
   // Scope names key the JSON export; disambiguate duplicates up front.
   std::size_t clashes = 0;
@@ -26,6 +24,7 @@ ConflictAuditor::ScopeId ConflictAuditor::add_scope(std::string name,
   s.banks = banks;
   s.bank_cycle = bank_cycle == 0 ? 1 : bank_cycle;
   s.beta = beta;
+  s.fanout_limit = fanout_limit;
   s.busy_until.assign(banks, 0);
   scopes_.push_back(std::move(s));
   return static_cast<ScopeId>(scopes_.size() - 1);
@@ -149,6 +148,29 @@ void ConflictAuditor::on_phase_stall(ScopeId scope, Cycle now, Cycle cycles) {
        std::to_string(cycles) + "-cycle alignment stall");
 }
 
+void ConflictAuditor::on_decode(ScopeId scope, Cycle now,
+                                std::uint32_t fanout) {
+  auto& s = scopes_[scope];
+  s.checks.inc("decodes");
+  if (s.fanout_limit != 0 && fanout > s.fanout_limit) {
+    flag(s, scope, now, "decode_fanout",
+         "decode touched " + std::to_string(fanout) +
+             " banks, stripe width bounds it at " +
+             std::to_string(s.fanout_limit));
+  }
+}
+
+void ConflictAuditor::on_parity_guard(ScopeId scope, Cycle now,
+                                      std::uint64_t pending) {
+  auto& s = scopes_[scope];
+  s.checks.inc("parity_guards");
+  if (pending != 0) {
+    flag(s, scope, now, "torn_parity",
+         "decode through a stripe group with " + std::to_string(pending) +
+             " unapplied parity delta(s)");
+  }
+}
+
 void ConflictAuditor::on_injected(ScopeId scope, Cycle /*now*/,
                                   std::string_view kind) {
   auto& s = scopes_[scope];
@@ -169,7 +191,7 @@ namespace {
 std::uint64_t ConflictAuditor::violations() const {
   std::uint64_t total = 0;
   for (const auto& s : scopes_) {
-    if (s.kind == AuditScopeKind::ConflictFree) total += sum_counters(s.issues);
+    if (s.kind != AuditScopeKind::Contended) total += sum_counters(s.issues);
   }
   return total;
 }
@@ -213,10 +235,12 @@ Json ConflictAuditor::to_json() const {
   for (const auto& s : scopes_) {
     Json sj = Json::object();
     sj["kind"] = s.kind == AuditScopeKind::ConflictFree ? "conflict_free"
-                                                        : "contended";
+                 : s.kind == AuditScopeKind::Contended  ? "contended"
+                                                        : "coded_relaxed";
     sj["banks"] = s.banks;
     sj["bank_cycle"] = s.bank_cycle;
     sj["beta"] = s.beta;
+    if (s.fanout_limit != 0) sj["fanout_limit"] = s.fanout_limit;
     Json checks = Json::object();
     for (const auto& [name, value] : s.checks.all()) checks[name] = value;
     sj["checks"] = std::move(checks);

@@ -53,8 +53,14 @@ namespace cfm::sim {
 class Json;
 class Report;
 
-/// How a watched unit claims to behave (see file comment).
-enum class AuditScopeKind : std::uint8_t { ConflictFree, Contended };
+/// How a watched unit claims to behave (see file comment).  CodedRelaxed
+/// is the coded-redundancy backend's contract: it does NOT claim the
+/// AT-space schedule or the β bound (banks < c·n makes both impossible),
+/// but it does claim the weaker machine-checkable invariant — at most one
+/// access per bank per slot, every decode's fan-out bounded by the stripe
+/// width, and no decode through torn parity (pending unapplied deltas).
+/// Breaks of the relaxed invariant are *violations*, like ConflictFree.
+enum class AuditScopeKind : std::uint8_t { ConflictFree, Contended, CodedRelaxed };
 
 class ConflictAuditor {
  public:
@@ -72,8 +78,12 @@ class ConflictAuditor {
   /// channels of a partial fabric), `bank_cycle` the hold time of one
   /// access, `beta` the nominal block access time (0 = not checked).
   /// Not thread-safe: register every scope before the run starts.
+  /// `fanout_limit` only matters to CodedRelaxed scopes: the largest
+  /// number of banks one decode may touch (the stripe width); 0 disables
+  /// the fan-out check.
   ScopeId add_scope(std::string name, AuditScopeKind kind, std::uint32_t banks,
-                    std::uint32_t bank_cycle, std::uint32_t beta);
+                    std::uint32_t bank_cycle, std::uint32_t beta,
+                    std::uint32_t fanout_limit = 0);
 
   [[nodiscard]] std::size_t scope_count() const noexcept {
     return scopes_.size();
@@ -119,6 +129,17 @@ class ConflictAuditor {
   /// (Monarch/OMP, §2.1.2–2.1.3).  Counted once per stalled access.
   void on_phase_stall(ScopeId scope, Cycle now, Cycle cycles);
 
+  /// A coded-memory decode reconstructed one word by touching `fanout`
+  /// banks (stripe survivors + parity).  The CodedRelaxed contract bounds
+  /// fanout by the scope's `fanout_limit` => else "decode_fanout".
+  void on_decode(ScopeId scope, Cycle now, std::uint32_t fanout);
+
+  /// Torn-parity guard, probed at every decode with the number of parity
+  /// deltas still pending against the stripe group being decoded.  A
+  /// decode through stale parity would reconstruct garbage: pending > 0
+  /// => "torn_parity".
+  void on_parity_guard(ScopeId scope, Cycle now, std::uint64_t pending);
+
   /// A deliberately injected fault (bank failure, brownout, dropped
   /// message, faulted omega link) was observed by the scope's unit.
   /// Tallied separately from genuine invariant violations: a degraded
@@ -129,7 +150,8 @@ class ConflictAuditor {
 
   // ---- aggregation (call only while no tick is in flight) --------------
 
-  /// Invariant breaks summed over ConflictFree scopes.  Zero on every CFM
+  /// Invariant breaks summed over ConflictFree and CodedRelaxed scopes
+  /// (each kind's own claimed invariant).  Zero on every CFM
   /// configuration, by the paper's construction.
   [[nodiscard]] std::uint64_t violations() const;
   /// Contention events summed over Contended scopes.  Positive on the
@@ -162,6 +184,7 @@ class ConflictAuditor {
     std::uint32_t banks = 0;
     std::uint32_t bank_cycle = 1;
     std::uint32_t beta = 0;
+    std::uint32_t fanout_limit = 0;  ///< CodedRelaxed decode bound (0 = off)
     std::vector<Cycle> busy_until;      ///< per bank/module/channel
     std::vector<std::uint32_t> perm_seen;  ///< omega scratch, slot-stamped
     std::uint64_t perm_stamp = 0;

@@ -160,6 +160,21 @@ std::string FaultPlan::to_string() const {
   return os.str();
 }
 
+void FaultPlan::validate_banks(std::uint32_t banks_provisioned,
+                               std::string_view what) const {
+  for (const auto& s : specs_) {
+    if (s.kind != FaultKind::BankDead) continue;
+    if (s.bank >= banks_provisioned) {
+      throw std::invalid_argument(
+          "fault plan: bank_dead targets bank " + std::to_string(s.bank) +
+          ", but the " + std::string(what) + " provisions only " +
+          std::to_string(banks_provisioned) +
+          " bank(s) [0, " + std::to_string(banks_provisioned) +
+          ") — the fault would be silently inert");
+    }
+  }
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), rng_(seed) {}
 

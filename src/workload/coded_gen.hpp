@@ -1,0 +1,97 @@
+// Closed-loop workload for the coded-redundancy memory backend.
+//
+// The coded experiment asks a different question from Fig 3.13: not "is
+// the machine conflict-free" (with banks < c·n it cannot be) but "how
+// much of the CFM's efficiency does a coded machine keep at a fraction of
+// the bank budget, and does it keep *any* of it with a bank dead".  The
+// driver therefore mixes reads with block writes (parity maintenance is
+// the interesting cost) and reuses the CFM driver's retry discipline so
+// fault-aborted accesses resolve in bounded time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/coded/coded_memory.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/types.hpp"
+#include "workload/access_gen.hpp"
+
+namespace cfm::workload {
+
+/// Closed-loop random read/write driver for one CodedMemory, as a
+/// scheduler component in the memory's tick domain (the AccessDriver
+/// pattern): every Phase::Issue it harvests completed block operations
+/// and issues a fresh access per idle processor with probability `rate`,
+/// a block write with probability `write_fraction` of those.
+class CodedDriver final : public sim::Component {
+ public:
+  CodedDriver(std::string name, sim::DomainId domain,
+              mem::coded::CodedMemory& memory, double rate,
+              double write_fraction, std::uint64_t seed,
+              sim::StatShard& shard);
+
+  void tick_phase(sim::Phase phase, sim::Cycle now) override;
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept;
+  [[nodiscard]] std::uint64_t in_flight_retries() const noexcept;
+
+ private:
+  struct ProcState {
+    mem::coded::CodedMemory::OpToken op = mem::coded::CodedMemory::kNoOp;
+    sim::Cycle issued = 0;
+    sim::Cycle retry_at = 0;
+    std::uint32_t retries = 0;
+    bool pending_retry = false;
+    bool is_write = false;
+    sim::BlockAddr block = 0;
+  };
+
+  static constexpr std::uint32_t kMaxRetries = 8;
+
+  void issue(sim::Cycle now, sim::ProcessorId p, ProcState& st);
+  void publish_wake(sim::Cycle now);
+
+  mem::coded::CodedMemory& mem_;
+  double rate_;
+  double write_fraction_;
+  sim::Rng rng_;
+  std::vector<ProcState> procs_;
+  std::vector<sim::Word> scratch_;
+  sim::StatShard& shard_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+/// Optional instrumentation, mirroring CfmRunHooks: the one machine
+/// builder the coded bench and the campaign runner share.
+struct CodedRunHooks {
+  sim::ConflictAuditor* auditor = nullptr;       ///< CodedRelaxed scope
+  const sim::FaultInjector* injector = nullptr;  ///< permanent-decode mode
+  sim::CounterSet* counters_out = nullptr;
+  sim::RunningStat* access_time_out = nullptr;
+  /// Largest decode fan-out the run observed (bounded by stripe_width).
+  std::uint32_t* decode_fanout_max_out = nullptr;
+  /// Parity deltas still queued at the end of the run.
+  std::uint64_t* pending_parity_out = nullptr;
+  sim::Cycle telemetry_window = 0;
+  std::size_t telemetry_capacity = 0;
+  sim::Json* timeseries_out = nullptr;
+};
+
+/// Runs the closed-loop read/write workload against a CodedMemory built
+/// from `cfg` for `cycles` cycles.  EfficiencyResult::efficiency is
+/// measured against the coded machine's own stall-free block time
+/// (data_banks + c − 1), so 1.0 means "as good as its banks allow" — the
+/// bench compares absolute mean access times across backends on top.
+[[nodiscard]] EfficiencyResult measure_coded_instrumented(
+    const mem::coded::CodedConfig& cfg, double rate, double write_fraction,
+    sim::Cycle cycles, std::uint64_t seed, const CodedRunHooks& hooks);
+
+}  // namespace cfm::workload

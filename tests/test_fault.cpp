@@ -87,6 +87,30 @@ TEST(FaultPlan, MalformedTextThrows) {
   EXPECT_THROW((void)FaultPlan::parse(";"), std::invalid_argument);
 }
 
+TEST(FaultPlan, ValidateBanksRejectsUnprovisionedTargets) {
+  // A bank_dead aimed past the backend's provisioning would never fire —
+  // the scan only covers provisioned banks — so the plan must be rejected
+  // up front instead of silently running a clean machine.
+  const auto plan =
+      FaultPlan::parse("bank_dead@100:module=0,bank=11;brownout@200:module=9");
+  EXPECT_NO_THROW(plan.validate_banks(12, "cfm memory"));   // 11 < 12
+  EXPECT_THROW(plan.validate_banks(11, "cfm memory"),       // 11 >= 11
+               std::invalid_argument);
+  try {
+    plan.validate_banks(4, "coded memory (data + parity banks)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bank 11"), std::string::npos) << what;
+    EXPECT_NE(what.find("coded memory"), std::string::npos) << what;
+    EXPECT_NE(what.find("silently inert"), std::string::npos) << what;
+  }
+  // Non-bank faults carry no bank target; they never trip the check.
+  EXPECT_NO_THROW(
+      FaultPlan::parse("brownout@10:module=3;drop@0:prob=0.5")
+          .validate_banks(1, "anything"));
+}
+
 TEST(FaultInjector, QueriesHonorTheFaultWindow) {
   FaultPlan plan;
   FaultSpec dead;

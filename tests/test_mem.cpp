@@ -66,6 +66,37 @@ TEST(Bank, ReadsOwnWordIndex) {
   EXPECT_EQ(b2.access(0, WordOp::Read, 3), 12u);
 }
 
+TEST(Bank, AccessAsKeepsWordSlicesAndOccupancyContinuous) {
+  // One physical bank serving two roles inside one window: standing in
+  // for a dead bank's word slice (remap path, access_as) and serving its
+  // own slice (decode/survivor path, access).  The occupancy state must
+  // be continuous across both — it is one physical bank — while the two
+  // word slices stay fully separate.
+  BackingStore store(8);
+  store.write_block(
+      9, std::vector<cfm::sim::Word>{100, 101, 102, 103, 104, 105, 106, 107});
+  Bank bank(6, 2, store);
+
+  // Remap path: the spare inherits dead bank 3's slice...
+  EXPECT_EQ(bank.access_as(0, WordOp::Read, 9, 3), 103u);
+  // ...and the access occupies the *physical* bank, not slice 3.
+  EXPECT_TRUE(bank.busy(1));
+  EXPECT_FALSE(bank.busy(2));
+
+  // Survivor path in the same window: the bank's own slice is untouched
+  // by the remap traffic and still serves word 6.
+  EXPECT_EQ(bank.access(2, WordOp::Read, 9), 106u);
+
+  // A remapped write lands in the inherited slice only.
+  bank.access_as(4, WordOp::Write, 9, 3, 77);
+  EXPECT_EQ(store.read_word(9, 3), 77u);
+  EXPECT_EQ(store.read_word(9, 6), 106u);
+
+  // Occupancy accounting is continuous across both paths.
+  EXPECT_EQ(bank.accesses(), 3u);
+  EXPECT_EQ(bank.busy_cycles(), 6u);
+}
+
 TEST(Module, BankCountAndSharedStore) {
   Module m(0, 8, 2);
   EXPECT_EQ(m.bank_count(), 8u);

@@ -47,12 +47,15 @@
 //
 // The summary line ("served N requests — ...") is machine-readable on
 // purpose: the serve-smoke CI job greps it.
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -93,6 +96,61 @@ struct CliOptions {
   std::exit(code);
 }
 
+/// Strict unsigned parse for serving flags: every character must be a
+/// digit (so "abc", "-1", "12x" and "" are all usage errors, not silent
+/// zeros) and the value must fit.  Matches cfm_campaign's flag parsing.
+std::uint64_t parse_u64(const char* argv0, const char* flag,
+                        const std::string& text) {
+  bool digits = !text.empty();
+  for (const char ch : text) {
+    if (std::isdigit(static_cast<unsigned char>(ch)) == 0) digits = false;
+  }
+  if (!digits) {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n",
+                 argv0, flag, text.c_str());
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    std::fprintf(stderr, "%s: %s value '%s' is out of range\n", argv0, flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+/// parse_u64 with an additional ceiling, for flags narrowed to 32 bits
+/// (processors, bank cycle, spares) or to a reasonable thread count.
+std::uint64_t parse_u64_max(const char* argv0, const char* flag,
+                            const std::string& text, std::uint64_t max) {
+  const auto value = parse_u64(argv0, flag, text);
+  if (value > max) {
+    std::fprintf(stderr, "%s: %s value '%s' is out of range (max %llu)\n",
+                 argv0, flag, text.c_str(),
+                 static_cast<unsigned long long>(max));
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Strict fraction parse: a finite decimal number, fully consumed.  The
+/// fraction flags additionally require [0, 1].
+double parse_frac(const char* argv0, const char* flag,
+                  const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      !(value >= 0.0 && value <= 1.0)) {
+    std::fprintf(stderr, "%s: %s expects a fraction in [0, 1], got '%s'\n",
+                 argv0, flag, text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions opts;
   const auto value_of = [&](int& i, const char* flag) -> std::string {
@@ -102,8 +160,12 @@ CliOptions parse_cli(int argc, char** argv) {
     }
     return argv[++i];
   };
-  const auto as_u64 = [&](const std::string& v) {
-    return std::strtoull(v.c_str(), nullptr, 10);
+  const auto as_u64 = [&](const char* flag, const std::string& v) {
+    return parse_u64(argv[0], flag, v);
+  };
+  const auto as_u32 = [&](const char* flag, const std::string& v) {
+    return static_cast<std::uint32_t>(parse_u64_max(
+        argv[0], flag, v, std::numeric_limits<std::uint32_t>::max()));
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,56 +179,61 @@ CliOptions parse_cli(int argc, char** argv) {
       } else if (arg == "--no-telemetry") {
         opts.serve.telemetry = false;
       } else if (arg == "--telemetry-window") {
-        opts.serve.telemetry_window = as_u64(value_of(i, "--telemetry-window"));
+        opts.serve.telemetry_window =
+            as_u64("--telemetry-window", value_of(i, "--telemetry-window"));
       } else if (arg == "--telemetry-capacity") {
-        opts.serve.telemetry_capacity = static_cast<std::size_t>(
-            as_u64(value_of(i, "--telemetry-capacity")));
+        opts.serve.telemetry_capacity =
+            static_cast<std::size_t>(as_u64("--telemetry-capacity",
+                                            value_of(i, "--telemetry-capacity")));
       } else if (arg == "--anomaly-exit") {
         opts.anomaly_exit = true;
       } else if (arg == "--load") {
         opts.serve.arrival =
             cfm::serve::ArrivalConfig::parse(value_of(i, "--load"));
       } else if (arg == "--slo") {
-        opts.serve.slo = as_u64(value_of(i, "--slo"));
+        opts.serve.slo = as_u64("--slo", value_of(i, "--slo"));
       } else if (arg == "--queue-depth") {
-        opts.serve.queue_depth =
-            static_cast<std::size_t>(as_u64(value_of(i, "--queue-depth")));
+        opts.serve.queue_depth = static_cast<std::size_t>(
+            as_u64("--queue-depth", value_of(i, "--queue-depth")));
       } else if (arg == "--processors") {
         opts.serve.processors =
-            static_cast<std::uint32_t>(as_u64(value_of(i, "--processors")));
+            as_u32("--processors", value_of(i, "--processors"));
       } else if (arg == "--bank-cycle") {
         opts.serve.bank_cycle =
-            static_cast<std::uint32_t>(as_u64(value_of(i, "--bank-cycle")));
+            as_u32("--bank-cycle", value_of(i, "--bank-cycle"));
       } else if (arg == "--seed") {
-        opts.serve.seed = as_u64(value_of(i, "--seed"));
+        opts.serve.seed = as_u64("--seed", value_of(i, "--seed"));
       } else if (arg == "--threads") {
-        opts.serve.threads =
-            static_cast<unsigned>(as_u64(value_of(i, "--threads")));
+        opts.serve.threads = static_cast<unsigned>(
+            parse_u64_max(argv[0], "--threads", value_of(i, "--threads"),
+                          std::numeric_limits<unsigned>::max()));
       } else if (arg == "--fault-plan") {
         opts.serve.fault_plan = value_of(i, "--fault-plan");
       } else if (arg == "--spares") {
-        opts.serve.spare_banks =
-            static_cast<std::uint32_t>(as_u64(value_of(i, "--spares")));
+        opts.serve.spare_banks = as_u32("--spares", value_of(i, "--spares"));
       } else if (arg == "--audit") {
         opts.serve.audit = true;
       } else if (arg == "--count") {
-        opts.count = static_cast<std::size_t>(as_u64(value_of(i, "--count")));
+        opts.count =
+            static_cast<std::size_t>(as_u64("--count", value_of(i, "--count")));
       } else if (arg == "--blocks") {
-        opts.blocks = as_u64(value_of(i, "--blocks"));
+        opts.blocks = as_u64("--blocks", value_of(i, "--blocks"));
       } else if (arg == "--write-frac") {
-        opts.write_frac = std::strtod(value_of(i, "--write-frac").c_str(),
-                                      nullptr);
+        opts.write_frac =
+            parse_frac(argv[0], "--write-frac", value_of(i, "--write-frac"));
       } else if (arg == "--swap-frac") {
-        opts.swap_frac = std::strtod(value_of(i, "--swap-frac").c_str(),
-                                     nullptr);
+        opts.swap_frac =
+            parse_frac(argv[0], "--swap-frac", value_of(i, "--swap-frac"));
       } else if (arg == "--lock-frac") {
-        opts.lock_frac = std::strtod(value_of(i, "--lock-frac").c_str(),
-                                     nullptr);
+        opts.lock_frac =
+            parse_frac(argv[0], "--lock-frac", value_of(i, "--lock-frac"));
       } else if (arg == "--fast-path") {
-        opts.tuning.fast_path = as_u64(value_of(i, "--fast-path")) != 0;
+        opts.tuning.fast_path =
+            parse_u64_max(argv[0], "--fast-path", value_of(i, "--fast-path"),
+                          1) != 0;
         opts.tuning_set = true;
       } else if (arg == "--max-span") {
-        opts.tuning.max_span = as_u64(value_of(i, "--max-span"));
+        opts.tuning.max_span = as_u64("--max-span", value_of(i, "--max-span"));
         opts.tuning_set = true;
       } else if (arg == "--quiet") {
         opts.quiet = true;

@@ -115,6 +115,9 @@ def validate(path):
     if "faults" in doc["tables"]:
         validate_faults(path, doc["tables"]["faults"])
         extras.append(f"faults ({len(doc['tables']['faults'])} scenarios)")
+    if "coded" in doc["tables"]:
+        validate_coded(path, doc["tables"]["coded"])
+        extras.append(f"coded ({len(doc['tables']['coded'])} configs)")
     if "timeseries" in doc:
         validate_timeseries(path, doc["timeseries"], "timeseries")
         extras.append(
@@ -199,7 +202,8 @@ def validate_audit(path, section):
         for key in ("kind", "checks", "issues"):
             if key not in scope:
                 fail(path, f"audit scope '{name}' missing '{key}'")
-        if scope["kind"] not in ("conflict_free", "contended"):
+        if scope["kind"] not in ("conflict_free", "contended",
+                                 "coded_relaxed"):
             fail(path, f"audit scope '{name}' has unknown kind "
                        f"{scope['kind']!r}")
         if "injected" in scope and not isinstance(scope["injected"], dict):
@@ -239,6 +243,77 @@ def validate_faults(path, rows):
                        f"{row['violations']} genuine conflict violation(s)")
         if row["scenario"] == "baseline" and row["injected_detected"] != 0:
             fail(path, f"{where}: clean baseline reports injected faults")
+
+
+CODED_ROW_KEYS = ("scenario", "data_banks", "parity_banks", "stripe_width",
+                  "parity_per_stripe", "parity_policy", "code_rate",
+                  "banks_provisioned", "efficiency", "mean_access_time",
+                  "completed", "failed", "reads_direct", "reads_decoded",
+                  "writes", "decode_fanout_max", "parity_updates",
+                  "parity_amplification", "decode_mismatches", "violations")
+
+
+def validate_coded(path, rows):
+    """The "coded" table from bench_coded_memory: one row per (code,
+    policy, scenario).  The structural arithmetic is re-derived — the code
+    rate from the stripe shape, the provisioning from the split, the
+    parity amplification from its counters — and the coded contract is
+    re-checked: decode fan-out within the stripe width, every decode
+    verified against the architectural word, zero violations, and no
+    failed accesses (faults must be absorbed by decode, not surfaced)."""
+    if not rows:
+        fail(path, "tables.coded is empty")
+    for i, row in enumerate(rows):
+        where = f"tables.coded[{i}]"
+        for key in CODED_ROW_KEYS:
+            if key not in row:
+                fail(path, f"{where} missing '{key}'")
+        for key in ("data_banks", "parity_banks", "stripe_width",
+                    "parity_per_stripe", "banks_provisioned", "completed",
+                    "failed", "reads_direct", "reads_decoded", "writes",
+                    "decode_fanout_max", "parity_updates",
+                    "decode_mismatches", "violations"):
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(path, f"{where}.{key} is not a non-negative int")
+        k, r = row["stripe_width"], row["parity_per_stripe"]
+        if not 1 <= k <= row["data_banks"] or row["data_banks"] % k != 0:
+            fail(path, f"{where}: stripe width {k} does not tile "
+                       f"{row['data_banks']} data banks")
+        want_rate = k / (k + r)
+        if abs(row["code_rate"] - want_rate) > 1e-9:
+            fail(path, f"{where}: code_rate {row['code_rate']} != "
+                       f"k/(k+r) = {want_rate}")
+        want_parity = (row["data_banks"] // k) * r
+        if row["parity_banks"] != want_parity:
+            fail(path, f"{where}: parity_banks {row['parity_banks']} != "
+                       f"stripes*r = {want_parity}")
+        if row["banks_provisioned"] != row["data_banks"] + row["parity_banks"]:
+            fail(path, f"{where}: banks_provisioned is not data + parity")
+        if row["decode_fanout_max"] > k:
+            fail(path, f"{where}: decode fan-out {row['decode_fanout_max']} "
+                       f"exceeds the stripe width {k} — the relaxed bound "
+                       f"broke")
+        if r == 0 and row["reads_decoded"] != 0:
+            fail(path, f"{where}: uncoded split reports decoded reads")
+        writes = row["writes"]
+        amp = row["parity_amplification"]
+        check_number(path, f"{where}.parity_amplification", amp)
+        want_amp = 0.0 if writes == 0 else row["parity_updates"] / writes
+        if abs(amp - want_amp) > 1e-9:
+            fail(path, f"{where}: parity_amplification {amp} != "
+                       f"parity_updates/writes = {want_amp}")
+        if row["decode_mismatches"] != 0:
+            fail(path, f"{where}: {row['decode_mismatches']} decode(s) "
+                       f"disagreed with the architectural word")
+        if row["violations"] != 0:
+            fail(path, f"{where}: scenario {row['scenario']!r} reports "
+                       f"{row['violations']} coded-scope violation(s)")
+        if row["failed"] != 0:
+            fail(path, f"{where}: scenario {row['scenario']!r} reports "
+                       f"{row['failed']} failed access(es) — faults must be "
+                       f"absorbed by decode")
+        if row["scenario"] == "bank_dead" and row["reads_decoded"] == 0:
+            fail(path, f"{where}: bank_dead scenario served no decoded reads")
 
 
 TIMESERIES_SCHEMA = "cfm-timeseries/v1"
@@ -366,6 +441,46 @@ def validate_anomalies(path, section, where, fail_on_anomalies):
                    f"({', '.join(kinds)})")
 
 
+CODED_POINT_METRICS = ("decode_rate", "parity_amplification",
+                       "decode_fanout_max", "banks_provisioned",
+                       "banks_required_cfm", "pending_parity_end")
+
+
+def validate_coded_point(path, where, point):
+    """One executed point of a 'coded' campaign: the coded headline
+    metrics must be present, the decode rate a valid fraction, the decode
+    fan-out within the point's own stripe width, and the bank provisioning
+    must re-derive from (data_banks, stripe_width, code_rate) — the
+    "banks provisioned != banks required" seam, machine-checked."""
+    params, metrics = point["params"], point["metrics"]
+    for key in CODED_POINT_METRICS:
+        if key not in metrics:
+            fail(path, f"{where}.metrics missing coded metric '{key}'")
+        check_number(path, f"{where}.metrics.{key}", metrics[key])
+    if not 0.0 <= metrics["decode_rate"] <= 1.0:
+        fail(path, f"{where}: decode_rate {metrics['decode_rate']} outside "
+                   f"[0, 1]")
+    if metrics["parity_amplification"] < 0.0:
+        fail(path, f"{where}: negative parity_amplification")
+    k = params.get("stripe_width")
+    if isinstance(k, int) and metrics["decode_fanout_max"] > k:
+        fail(path, f"{where}: decode fan-out {metrics['decode_fanout_max']} "
+                   f"exceeds the stripe width {k}")
+    d, rate = params.get("data_banks"), params.get("code_rate")
+    if isinstance(d, int) and isinstance(k, int) and rate:
+        r = round(k * (1.0 - rate) / rate)
+        want = d + (d // k) * r
+        if metrics["banks_provisioned"] != want:
+            fail(path, f"{where}: banks_provisioned "
+                       f"{metrics['banks_provisioned']} != data + parity "
+                       f"derived from the code ({want})")
+    n, c = params.get("n"), params.get("c")
+    if isinstance(n, int) and isinstance(c, int) \
+            and metrics["banks_required_cfm"] != n * c:
+        fail(path, f"{where}: banks_required_cfm "
+                   f"{metrics['banks_required_cfm']} != c*n = {n * c}")
+
+
 CAMPAIGN_REQUIRED = ("schema", "name", "spec", "spec_hash", "axes", "points",
                      "counters", "stats", "tables", "audit", "totals")
 
@@ -401,6 +516,7 @@ def validate_campaign(path, doc):
         fail(path, f"{len(points)} points but the axes span a grid of {grid}")
     if doc["totals"].get("points") != len(points):
         fail(path, "totals.points disagrees with the points list")
+    coded = doc["spec"].get("workload") == "coded"
     failed = 0
     violations_sum = 0
     ts_points = 0
@@ -445,6 +561,8 @@ def validate_campaign(path, doc):
             failed += 1
         elif "metrics" not in point or not isinstance(point["metrics"], dict):
             fail(path, f"{where} has neither metrics nor an error")
+        elif coded:
+            validate_coded_point(path, where, point)
         violations_sum += point.get("audit_violations", 0)
         if "timeseries" in point:
             validate_timeseries(path, point["timeseries"],
